@@ -1,0 +1,159 @@
+package tinymlops_test
+
+import (
+	"testing"
+
+	"tinymlops"
+)
+
+// TestDatasetGenerators exercises every public generator and the drift
+// stream through the facade.
+func TestDatasetGenerators(t *testing.T) {
+	rng := tinymlops.NewRNG(1)
+	cases := []struct {
+		name string
+		ds   *tinymlops.Dataset
+	}{
+		{"blobs", tinymlops.Blobs(rng, 100, 4, 3, 3)},
+		{"rings", tinymlops.Rings(rng, 100, 2, 0.1)},
+		{"shapes", tinymlops.ShapeImages(rng, 40, 12, 0.1)},
+		{"keywords", tinymlops.KeywordSeq(rng, 100, 32, 4, 0.1, 0.2)},
+		{"vibration", tinymlops.VibrationAnomaly(rng, 100, 32, 0.3, 2)},
+	}
+	for _, c := range cases {
+		if c.ds.Len() == 0 || c.ds.NumClasses < 2 {
+			t.Fatalf("%s: empty or degenerate dataset", c.name)
+		}
+		if len(c.ds.Y) != c.ds.Len() {
+			t.Fatalf("%s: labels out of sync", c.name)
+		}
+	}
+	shards := tinymlops.PartitionIID(rng, cases[0].ds, 4)
+	if len(shards) != 4 {
+		t.Fatalf("PartitionIID returned %d shards", len(shards))
+	}
+	stream := tinymlops.NewDriftStream(rng, cases[0].ds, 10, tinymlops.DriftScale, 0.5)
+	for i := 0; i < 20; i++ {
+		x, y := stream.Next()
+		if len(x) != 4 || y < 0 || y > 2 {
+			t.Fatalf("stream output %v, %d", x, y)
+		}
+	}
+	if !stream.Drifted() {
+		t.Fatal("stream should have passed onset")
+	}
+}
+
+// TestDeviceAndSelectionSurface exercises profiles and manual selection.
+func TestDeviceAndSelectionSurface(t *testing.T) {
+	profiles := tinymlops.StandardProfiles()
+	if len(profiles) != 6 {
+		t.Fatalf("%d profiles", len(profiles))
+	}
+	if _, err := tinymlops.ProfileByName("npu-board"); err != nil {
+		t.Fatal(err)
+	}
+	rng := tinymlops.NewRNG(2)
+	fleet, err := tinymlops.NewStandardFleet(tinymlops.FleetSpec{CountPerProfile: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range fleet.Devices() {
+		d.SetBehavior(1, 1, 0)
+	}
+	fleet.Tick()
+	platform, err := tinymlops.NewPlatform(fleet, tinymlops.PlatformConfig{
+		VendorKey: []byte("surface-test-key-0123456789abcde"), Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := tinymlops.Blobs(rng, 400, 4, 2, 4)
+	net := tinymlops.NewNetwork([]int{4}, tinymlops.Dense(4, 8, rng), tinymlops.ReLU(), tinymlops.Dense(8, 2, rng))
+	versions, err := platform.Publish("surface", net, ds, tinymlops.DefaultOptimizationSpec(ds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := fleet.Get("phone-00")
+	dec, err := tinymlops.Select(d, versions, tinymlops.DefaultSelectionPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Chosen == nil || len(dec.Evaluations) != len(versions) {
+		t.Fatalf("decision = %+v", dec)
+	}
+}
+
+// TestLayerConstructorsAndConvPath builds a conv network purely through
+// the facade and trains a step.
+func TestLayerConstructorsAndConvPath(t *testing.T) {
+	rng := tinymlops.NewRNG(3)
+	ds := tinymlops.ShapeImages(rng, 80, 12, 0.1)
+	net := tinymlops.NewNetwork([]int{1, 12, 12},
+		tinymlops.Conv2D(1, 4, 3, 3, 1, 1, rng), tinymlops.ReLU(),
+		tinymlops.MaxPool2D(2, 2), tinymlops.Flatten(),
+		tinymlops.Dense(144, 16, rng), tinymlops.BatchNorm1D(16), tinymlops.Tanh(),
+		tinymlops.Dropout(0.2, rng),
+		tinymlops.Dense(16, 4, rng))
+	if _, err := tinymlops.Train(net, ds.X, ds.Y, tinymlops.TrainConfig{
+		Epochs: 2, BatchSize: 16, Optimizer: tinymlops.Adam(0.01), RNG: rng,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Sigmoid and Softmax constructors compile into a valid net.
+	head := tinymlops.NewNetwork([]int{4}, tinymlops.Dense(4, 2, rng), tinymlops.Sigmoid(), tinymlops.Softmax())
+	if out := head.Predict(tinymlops.NewTensor(1, 4)); out.Dim(1) != 2 {
+		t.Fatalf("head output %v", out.Shape())
+	}
+}
+
+// TestProtectionWrappers covers the remaining §V/§VI facade functions.
+func TestProtectionWrappers(t *testing.T) {
+	rng := tinymlops.NewRNG(4)
+	net := tinymlops.NewNetwork([]int{4}, tinymlops.Dense(4, 8, rng), tinymlops.ReLU(), tinymlops.Dense(8, 2, rng))
+	// Encryption.
+	artifact, err := net.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := []byte("wrapper-test-key-0123456789abcde")
+	em, err := tinymlops.EncryptModel(key, "m", artifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tinymlops.DecryptModel(key, em); err != nil {
+		t.Fatal(err)
+	}
+	// Trigger watermark.
+	ds := tinymlops.Blobs(rng, 300, 4, 2, 4)
+	triggers := tinymlops.NewTriggerSet("owner", 10, []int{4}, 2)
+	if err := tinymlops.EmbedTriggerWatermark(net, triggers, ds.X, ds.Y, 3, rng); err != nil {
+		t.Fatal(err)
+	}
+	if rec := tinymlops.VerifyTriggerWatermark(net, triggers); rec < 0.5 {
+		t.Fatalf("trigger recall %v", rec)
+	}
+	// Query detector.
+	det := tinymlops.NewQueryDetector()
+	det.Observe([]float32{1, 2, 3, 4})
+	if det.Flagged() {
+		t.Fatal("detector flagged after one query")
+	}
+	// Enclave.
+	encl, err := tinymlops.NewEnclave("t", []byte("root-0123456789"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var meas [32]byte
+	rep := encl.Attest(meas, []byte("n"))
+	if !tinymlops.VerifyAttestation([]byte("root-0123456789"), rep) {
+		t.Fatal("attestation failed")
+	}
+	// Personalization wrapper.
+	personal, err := tinymlops.Personalize(net, ds, tinymlops.PersonalizeConfig{
+		Epochs: 1, BatchSize: 16, LR: 0.05, RNG: rng,
+	})
+	if err != nil || personal == nil {
+		t.Fatalf("personalize: %v", err)
+	}
+}

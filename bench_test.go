@@ -1,0 +1,419 @@
+// Benchmarks: one per experiment (E1–E11, DESIGN.md §3), measuring the
+// kernel each experiment's table is built on. Run with:
+//
+//	go test -bench=. -benchmem
+package tinymlops_test
+
+import (
+	"io"
+	"testing"
+
+	"tinymlops/internal/compat"
+	"tinymlops/internal/core"
+	"tinymlops/internal/dataset"
+	"tinymlops/internal/device"
+	"tinymlops/internal/experiments"
+	"tinymlops/internal/fed"
+	"tinymlops/internal/ipprot"
+	"tinymlops/internal/market"
+	"tinymlops/internal/metering"
+	"tinymlops/internal/nn"
+	"tinymlops/internal/observe"
+	"tinymlops/internal/quant"
+	"tinymlops/internal/registry"
+	"tinymlops/internal/selector"
+	"tinymlops/internal/tensor"
+	"tinymlops/internal/verify"
+)
+
+// --- E1: platform end-to-end query path -------------------------------
+
+func BenchmarkE1PlatformInfer(b *testing.B) {
+	rng := tensor.NewRNG(1)
+	ds := dataset.Blobs(rng, 600, 4, 3, 5)
+	net := nn.NewNetwork([]int{4}, nn.NewDense(4, 16, rng), nn.NewReLU(), nn.NewDense(16, 3, rng))
+	if _, err := nn.Train(net, ds.X, ds.Y, nn.TrainConfig{
+		Epochs: 5, BatchSize: 32, Optimizer: nn.NewSGD(0.1), RNG: rng,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	fleet, _ := device.NewStandardFleet(device.FleetSpec{CountPerProfile: 1, Seed: 1})
+	for _, d := range fleet.Devices() {
+		d.SetBehavior(1, 1, 0)
+	}
+	fleet.Tick()
+	p, err := core.New(fleet, core.Config{VendorKey: []byte("bench-vendor-key-0123456789abcd0"), Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := p.Publish("bench", net, ds, core.DefaultOptimizationSpec(ds)); err != nil {
+		b.Fatal(err)
+	}
+	dep, err := p.Deploy("edge-gateway-00", "bench", core.DeployConfig{
+		PrepaidQueries: uint64(1<<62) - 1, Calibration: ds,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]float32, 4)
+	for f := range x {
+		x[f] = ds.X.At2(0, f)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dep.Infer(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E2: variant selection ---------------------------------------------
+
+func BenchmarkE2VariantSelection(b *testing.B) {
+	rng := tensor.NewRNG(2)
+	reg := registry.New()
+	net := nn.NewNetwork([]int{64}, nn.NewDense(64, 128, rng), nn.NewReLU(), nn.NewDense(128, 4, rng))
+	vs, err := reg.RegisterWithVariants("bench", net, 0.95, registry.OptimizationSpec{
+		Schemes:  []quant.Scheme{quant.Int8, quant.Int4, quant.Ternary, quant.Binary},
+		Evaluate: func(*nn.Network) float64 { return 0.9 },
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	caps, _ := device.ProfileByName("m4-wearable")
+	d := device.NewDevice("bench", caps, tensor.NewRNG(3))
+	d.SetBehavior(1, 1, 0)
+	d.Tick()
+	policy := selector.DefaultPolicy()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := selector.Select(d, vs, policy); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E3: precision kernels ----------------------------------------------
+
+const benchM, benchK, benchN = 128, 256, 128
+
+func int8Operands(rng *tensor.RNG) (a, bb []int8, scales []float32, dst []float32) {
+	a = make([]int8, benchM*benchK)
+	bb = make([]int8, benchK*benchN)
+	for i := range a {
+		a[i] = int8(rng.Intn(255) - 127)
+	}
+	for i := range bb {
+		bb[i] = int8(rng.Intn(255) - 127)
+	}
+	scales = make([]float32, benchN)
+	for i := range scales {
+		scales[i] = 0.01
+	}
+	return a, bb, scales, make([]float32, benchM*benchN)
+}
+
+func BenchmarkE3MatMulFloat32(b *testing.B) {
+	rng := tensor.NewRNG(4)
+	x := tensor.Randn(rng, 1, benchM, benchK)
+	y := tensor.Randn(rng, 1, benchK, benchN)
+	out := tensor.New(benchM, benchN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMulInto(out, x, y)
+	}
+}
+
+func BenchmarkE3MatMulInt8Native(b *testing.B) {
+	a, bb, scales, dst := int8Operands(tensor.NewRNG(5))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		quant.MatMulInt8(dst, a, bb, benchM, benchK, benchN, 0.05, scales)
+	}
+}
+
+func BenchmarkE3MatMulInt8Emulated(b *testing.B) {
+	a, bb, scales, dst := int8Operands(tensor.NewRNG(6))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		quant.MatMulInt8Emulated(dst, a, bb, benchM, benchK, benchN, 0.05, scales)
+	}
+}
+
+// --- E4: drift detectors -------------------------------------------------
+
+func driftRef(rng *tensor.RNG) []float64 {
+	ref := make([]float64, 1000)
+	for i := range ref {
+		ref[i] = rng.NormFloat64()
+	}
+	return ref
+}
+
+func BenchmarkE4DriftKS(b *testing.B) {
+	rng := tensor.NewRNG(7)
+	det, err := observe.NewKSDetector(driftRef(rng), 100, 0.01)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.Observe(rng.NormFloat64())
+	}
+}
+
+func BenchmarkE4DriftPSI(b *testing.B) {
+	rng := tensor.NewRNG(8)
+	det, err := observe.NewPSIDetector(driftRef(rng), 10, 200, 0.25)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.Observe(rng.NormFloat64())
+	}
+}
+
+func BenchmarkE4DriftCUSUM(b *testing.B) {
+	rng := tensor.NewRNG(9)
+	det, err := observe.NewCUSUMDetector(0, 1, 0.5, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.Observe(rng.NormFloat64())
+	}
+}
+
+// --- E5: metering --------------------------------------------------------
+
+func BenchmarkE5MeterCharge(b *testing.B) {
+	issuer, _ := metering.NewIssuer([]byte("bench-key-0123456789abcdef012345"))
+	v, _ := issuer.Issue("dev", "model", uint64(1<<62))
+	m := metering.NewMeter(v)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Charge(uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E6: federated round ---------------------------------------------------
+
+func BenchmarkE6FederatedRound(b *testing.B) {
+	rng := tensor.NewRNG(10)
+	ds := dataset.Blobs(rng, 800, 4, 3, 4)
+	shards := dataset.PartitionDirichlet(rng, ds, 4, 1)
+	global := nn.NewNetwork([]int{4}, nn.NewDense(4, 16, rng), nn.NewReLU(), nn.NewDense(16, 3, rng))
+	co, err := fed.NewCoordinator(global, fed.MakeClients(ds, shards, "c"), nil, nil, fed.Config{
+		Rounds: 1, LocalEpochs: 1, LocalBatch: 32, LR: 0.1, Seed: 11, Codec: fed.TernaryCodec{},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := co.RunRound(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E7: compatibility + split search --------------------------------------
+
+func BenchmarkE7SplitSearch(b *testing.B) {
+	rng := tensor.NewRNG(12)
+	net := nn.NewNetwork([]int{64},
+		nn.NewDense(64, 256, rng), nn.NewReLU(),
+		nn.NewDense(256, 256, rng), nn.NewReLU(),
+		nn.NewDense(256, 8, rng))
+	costs, err := net.Summary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	dev, _ := device.ProfileByName("m0-sensor")
+	cloud, _ := device.ProfileByName("edge-gateway")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := market.BestSplit(costs, dev, cloud, 32, 125e3, 5e6, 256); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE7LoweringFoldBN(b *testing.B) {
+	rng := tensor.NewRNG(13)
+	build := nn.NewNetwork([]int{32},
+		nn.NewDense(32, 64, rng), nn.NewBatchNorm1D(64), nn.NewReLU(), nn.NewDense(64, 4, rng))
+	data, err := build.MarshalBinary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net, err := nn.UnmarshalNetwork(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		caps, _ := device.ProfileByName("npu-board")
+		if _, err := compat.Lower(net, caps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E8: watermark embedding -------------------------------------------------
+
+func BenchmarkE8WatermarkEmbed(b *testing.B) {
+	rng := tensor.NewRNG(14)
+	base := nn.NewNetwork([]int{16}, nn.NewDense(16, 64, rng), nn.NewReLU(), nn.NewDense(64, 4, rng))
+	data, _ := base.MarshalBinary()
+	bits := ipprot.KeyedBits("bench-owner", 64)
+	cfg := ipprot.DefaultStaticWMConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net, err := nn.UnmarshalNetwork(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := ipprot.EmbedStatic(net, "bench-owner", bits, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E9: prediction poisoning -------------------------------------------------
+
+func BenchmarkE9DefenseDeceptive(b *testing.B) {
+	rng := tensor.NewRNG(15)
+	probs := nn.SoftmaxRows(tensor.Randn(rng, 1, 256, 10))
+	d := ipprot.DeceptiveDefense{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Apply(probs)
+	}
+}
+
+func BenchmarkE9QueryDetector(b *testing.B) {
+	rng := tensor.NewRNG(16)
+	det := ipprot.DefaultQueryDetector()
+	rows := make([][]float32, 512)
+	for i := range rows {
+		row := make([]float32, 8)
+		for f := range row {
+			row[f] = rng.NormFloat32()
+		}
+		rows[i] = row
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.Observe(rows[i%len(rows)])
+	}
+}
+
+// --- E10: verifiable execution -------------------------------------------------
+
+func e10Operands(rng *tensor.RNG, m, k, n int) ([]int32, []int32) {
+	a := make([]int32, m*k)
+	bb := make([]int32, k*n)
+	for i := range a {
+		a[i] = int32(rng.Intn(255) - 127)
+	}
+	for i := range bb {
+		bb[i] = int32(rng.Intn(255) - 127)
+	}
+	return a, bb
+}
+
+func BenchmarkE10Prove(b *testing.B) {
+	a, bb := e10Operands(tensor.NewRNG(17), 64, 64, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := verify.ProveMatMul(a, 64, 64, bb, 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE10Verify(b *testing.B) {
+	a, bb := e10Operands(tensor.NewRNG(18), 64, 64, 32)
+	c, proof, _, err := verify.ProveMatMul(a, 64, 64, bb, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, _, err := verify.VerifyMatMul(a, 64, 64, bb, 32, c, proof)
+		if err != nil || !ok {
+			b.Fatalf("verify failed: %v %v", ok, err)
+		}
+	}
+}
+
+func BenchmarkE10DirectReexecution(b *testing.B) {
+	a, bb := e10Operands(tensor.NewRNG(19), 64, 64, 32)
+	out := make([]int64, 64*32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for p := range out {
+			out[p] = 0
+		}
+		for r := 0; r < 64; r++ {
+			for p := 0; p < 64; p++ {
+				av := int64(a[r*64+p])
+				for j := 0; j < 32; j++ {
+					out[r*32+j] += av * int64(bb[p*32+j])
+				}
+			}
+		}
+	}
+}
+
+// --- E11: encryption -------------------------------------------------------------
+
+func BenchmarkE11EncryptModel(b *testing.B) {
+	rng := tensor.NewRNG(20)
+	net := nn.NewNetwork([]int{64}, nn.NewDense(64, 256, rng), nn.NewReLU(), nn.NewDense(256, 10, rng))
+	artifact, err := net.MarshalBinary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := []byte("bench-vendor-key-0123456789abcd0")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ipprot.EncryptModel(key, "bench", artifact); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE11DecryptModel(b *testing.B) {
+	rng := tensor.NewRNG(21)
+	net := nn.NewNetwork([]int{64}, nn.NewDense(64, 256, rng), nn.NewReLU(), nn.NewDense(256, 10, rng))
+	artifact, _ := net.MarshalBinary()
+	key := []byte("bench-vendor-key-0123456789abcd0")
+	em, err := ipprot.EncryptModel(key, "bench", artifact)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ipprot.DecryptModel(key, em); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- full experiment harness (guarded: heavyweight) -------------------------
+
+// BenchmarkExperimentsE2Table regenerates a full experiment table per
+// iteration, demonstrating the harness is benchmarkable end to end.
+func BenchmarkExperimentsE2Table(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.RunE2(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+// Command experiments regenerates the reproduction's experiment tables
+// (E1–E11; see DESIGN.md §3 and EXPERIMENTS.md).
+//
+// Usage:
+//
+//	experiments            # run everything
+//	experiments -run E6    # one experiment
+//	experiments -list      # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tinymlops/internal/experiments"
+)
+
+func main() {
+	runFlag := flag.String("run", "all", "comma-separated experiment IDs (E1..E11) or 'all'")
+	listFlag := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *listFlag {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %-10s %s\n", e.ID, e.Paper, e.Title)
+		}
+		return
+	}
+	if *runFlag == "all" {
+		if err := experiments.RunAll(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, id := range strings.Split(*runFlag, ",") {
+		id = strings.TrimSpace(strings.ToUpper(id))
+		e, ok := experiments.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+			os.Exit(1)
+		}
+		if err := experiments.RunOne(os.Stdout, e); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Command tinymlops is a small operator CLI for the TinyMLOps platform:
+// train demo models, inspect and convert model artifacts, derive quantized
+// variants, and run a fleet simulation.
+//
+// Usage:
+//
+//	tinymlops train    -task blobs -out model.tmln
+//	tinymlops info     -model model.tmln
+//	tinymlops variants -model model.tmln
+//	tinymlops export   -model model.tmln -out model.json
+//	tinymlops import   -graph model.json -out model.tmln
+//	tinymlops simulate -devices 2 -queries 150 -quota 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "train":
+		err = cmdTrain(os.Args[2:])
+	case "info":
+		err = cmdInfo(os.Args[2:])
+	case "variants":
+		err = cmdVariants(os.Args[2:])
+	case "export":
+		err = cmdExport(os.Args[2:])
+	case "import":
+		err = cmdImport(os.Args[2:])
+	case "simulate":
+		err = cmdSimulate(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown subcommand %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `tinymlops — TinyMLOps platform CLI
+
+subcommands:
+  train      train a model on a synthetic task and write a .tmln artifact
+  info       describe a model artifact (layers, params, MACs, op kinds)
+  variants   derive quantized variants and print their size/accuracy table
+  export     convert a .tmln artifact to the JSON exchange format
+  import     convert a JSON exchange document back to a .tmln artifact
+  simulate   run a fleet deployment + metered inference simulation
+
+run 'tinymlops <subcommand> -h' for flags`)
+}
+
+func newFlagSet(name string) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	return fs
+}

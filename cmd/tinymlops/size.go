@@ -1,0 +1,12 @@
+package main
+
+import (
+	"tinymlops"
+	"tinymlops/internal/quant"
+)
+
+// quantNetworkSize reports the packed weight footprint of net at the
+// given scheme's bit width.
+func quantNetworkSize(net *tinymlops.Network, scheme tinymlops.Scheme) int {
+	return quant.NetworkSizeBytes(net, scheme)
+}

@@ -1,0 +1,131 @@
+// Predictive maintenance (§III-B, §III-D): a vibration-anomaly model is
+// deployed to machine-mounted sensors, its input distribution drifts when
+// a bearing starts wearing, the on-device monitor raises the alarm without
+// shipping raw data, and the platform reacts by retraining and rolling the
+// new version out — first to a canary, then to the rest of the fleet.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tinymlops"
+)
+
+const window = 32
+
+func main() {
+	rng := tinymlops.NewRNG(7)
+
+	// Train the anomaly detector on factory-floor reference data.
+	reference := tinymlops.VibrationAnomaly(rng, 2000, window, 0.3, 0)
+	train, test := reference.Split(0.8, rng)
+	model := tinymlops.NewNetwork([]int{window},
+		tinymlops.Dense(window, 24, rng), tinymlops.ReLU(),
+		tinymlops.Dense(24, 2, rng))
+	if _, err := tinymlops.Train(model, train.X, train.Y, tinymlops.TrainConfig{
+		Epochs: 12, BatchSize: 32, Optimizer: tinymlops.SGD(0.1).WithMomentum(0.9), RNG: rng,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("anomaly detector: test accuracy %.3f\n", tinymlops.Evaluate(model, test.X, test.Y))
+
+	// Platform + fleet of machine-mounted M4 sensors.
+	fleet, err := tinymlops.NewStandardFleet(tinymlops.FleetSpec{CountPerProfile: 3, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range fleet.Devices() {
+		d.SetBehavior(1, 1, 0)
+	}
+	fleet.Tick()
+	platform, err := tinymlops.NewPlatform(fleet, tinymlops.PlatformConfig{
+		VendorKey: []byte("maintenance-vendor-key-012345678"), Seed: 7, MinCohort: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := platform.Publish("vibration", model, test, tinymlops.DefaultOptimizationSpec(test)); err != nil {
+		log.Fatal(err)
+	}
+	sensors := []string{"m4-wearable-00", "m4-wearable-01", "m4-wearable-02"}
+	for _, id := range sensors {
+		if _, err := platform.Deploy(id, "vibration", tinymlops.DeployConfig{
+			PrepaidQueries: 100000, Calibration: train,
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("deployed to %d machine sensors\n\n", len(sensors))
+
+	// Machine 0 develops a fault: its signal statistics shift mid-stream.
+	fmt.Println("=== streaming with drift onset at t=800 on sensor 0 ===")
+	stream := tinymlops.NewDriftStream(rng, test, 800, tinymlops.DriftMeanShift, 1.5)
+	dep, _ := platform.Deployment(sensors[0])
+	alarmAt := -1
+	for t := 0; t < 2400; t++ {
+		x, _ := stream.Next()
+		res, err := dep.Infer(x)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.DriftAlarm && alarmAt < 0 {
+			alarmAt = t
+		}
+	}
+	if alarmAt < 0 {
+		log.Fatal("drift was never detected")
+	}
+	fmt.Printf("  drift onset t=800, on-device alarm at t=%d (delay %d windows)\n", alarmAt, alarmAt-800)
+
+	// Telemetry carries the alarm (aggregates only) to the fleet monitor.
+	if _, _, err := platform.SyncTelemetry(); err != nil {
+		log.Fatal(err)
+	}
+	sum, err := platform.Aggregator.Summarize("cortex-m4")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  cloud monitor: cohort %s reports %d drift alarm(s) across %d devices\n\n",
+		sum.Cohort, sum.DriftAlarms, sum.Devices)
+
+	// React: retrain on data from the new regime and roll out.
+	fmt.Println("=== retrain and staged rollout ===")
+	shifted := tinymlops.VibrationAnomaly(rng, 2000, window, 0.3, 0)
+	// The new regime: emulate the drifted distribution the monitor saw.
+	for i := range shifted.X.Data {
+		shifted.X.Data[i] += 1.5
+	}
+	newTrain, newTest := shifted.Split(0.8, rng)
+	retrained := model.Clone()
+	if _, err := tinymlops.Train(retrained, newTrain.X, newTrain.Y, tinymlops.TrainConfig{
+		Epochs: 8, BatchSize: 32, Optimizer: tinymlops.SGD(0.05), RNG: rng,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	oldAcc := tinymlops.Evaluate(model, newTest.X, newTest.Y)
+	newAcc := tinymlops.Evaluate(retrained, newTest.X, newTest.Y)
+	fmt.Printf("  on the drifted regime: old model %.3f, retrained %.3f\n", oldAcc, newAcc)
+	if _, err := platform.Publish("vibration", retrained, newTest, tinymlops.DefaultOptimizationSpec(newTest)); err != nil {
+		log.Fatal(err)
+	}
+	// Canary first, then the rest of the cohort.
+	canary, err := platform.Deploy(sensors[0], "vibration", tinymlops.DeployConfig{
+		PrepaidQueries: 100000, Calibration: newTrain,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  canary %s now runs version %s (%s)\n", sensors[0], canary.Version.ID, canary.Version.Scheme)
+	for _, id := range sensors[1:] {
+		dep, err := platform.Deploy(id, "vibration", tinymlops.DeployConfig{
+			PrepaidQueries: 100000, Calibration: newTrain,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  rollout %s -> version %s\n", id, dep.Version.ID)
+	}
+	fmt.Printf("\nregistry now tracks %d versions across the incident\n",
+		len(platform.Registry.Versions("vibration")))
+}

@@ -1,0 +1,221 @@
+package compat
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"tinymlops/internal/nn"
+	"tinymlops/internal/tensor"
+)
+
+// The exchange format is this reproduction's ONNX/NNEF: a versioned,
+// self-describing graph document that different "frameworks" (here: the
+// nn engine and any external tool) can produce and consume. The paper
+// notes these formats are young and incomplete — "not all operations are
+// readily supported... not trivial to use them for more exotic models" —
+// which the importer reproduces faithfully: unknown ops and newer format
+// versions are hard errors, not best-effort guesses.
+
+// ExchangeVersion is the current format version.
+const ExchangeVersion = 1
+
+// GraphDoc is the interchange document.
+type GraphDoc struct {
+	FormatVersion int    `json:"format_version"`
+	Producer      string `json:"producer"`
+	InputShape    []int  `json:"input_shape"`
+	Nodes         []Node `json:"nodes"`
+}
+
+// Node is one operator instance with its attributes and weights.
+type Node struct {
+	Op string `json:"op"`
+	// IntAttrs carries shape/hyper-parameters (in, out, kernel, stride...).
+	IntAttrs map[string]int `json:"int_attrs,omitempty"`
+	// FloatAttrs carries scalar attributes (eps, momentum, p).
+	FloatAttrs map[string]float64 `json:"float_attrs,omitempty"`
+	// Tensors carries named weight payloads as flat values plus shapes.
+	Tensors map[string]TensorDoc `json:"tensors,omitempty"`
+}
+
+// TensorDoc is an embedded weight tensor.
+type TensorDoc struct {
+	Shape []int     `json:"shape"`
+	Data  []float32 `json:"data"`
+}
+
+func tensorDoc(t *tensor.Tensor) TensorDoc {
+	return TensorDoc{Shape: append([]int(nil), t.Shape()...), Data: append([]float32(nil), t.Data...)}
+}
+
+func (td TensorDoc) tensor() (*tensor.Tensor, error) {
+	n := 1
+	for _, d := range td.Shape {
+		if d < 0 {
+			return nil, fmt.Errorf("compat: negative dimension in %v", td.Shape)
+		}
+		n *= d
+	}
+	if n != len(td.Data) {
+		return nil, fmt.Errorf("compat: tensor shape %v does not match %d values", td.Shape, len(td.Data))
+	}
+	return tensor.FromSlice(append([]float32(nil), td.Data...), td.Shape...), nil
+}
+
+// Export converts a network to the exchange document.
+func Export(net *nn.Network) (*GraphDoc, error) {
+	doc := &GraphDoc{
+		FormatVersion: ExchangeVersion,
+		Producer:      "tinymlops-nn",
+		InputShape:    append([]int(nil), net.InputShape...),
+	}
+	for i, l := range net.Layers() {
+		node := Node{Op: l.Kind()}
+		switch v := l.(type) {
+		case *nn.Dense:
+			node.IntAttrs = map[string]int{"in": v.In, "out": v.Out}
+			node.Tensors = map[string]TensorDoc{"weight": tensorDoc(v.W.Value), "bias": tensorDoc(v.B.Value)}
+		case *nn.Conv2D:
+			node.IntAttrs = map[string]int{"in_c": v.InC, "out_c": v.OutC, "kh": v.KH, "kw": v.KW, "stride": v.Stride, "pad": v.Pad}
+			node.Tensors = map[string]TensorDoc{"weight": tensorDoc(v.W.Value), "bias": tensorDoc(v.B.Value)}
+		case *nn.MaxPool2D:
+			node.IntAttrs = map[string]int{"k": v.K, "stride": v.Stride}
+		case *nn.BatchNorm1D:
+			node.IntAttrs = map[string]int{"features": v.F}
+			node.FloatAttrs = map[string]float64{"eps": float64(v.Eps), "momentum": float64(v.Momentum)}
+			node.Tensors = map[string]TensorDoc{
+				"gamma": tensorDoc(v.Gamma.Value), "beta": tensorDoc(v.Beta.Value),
+				"mean": tensorDoc(v.RunMean), "var": tensorDoc(v.RunVar),
+			}
+		case *nn.Dropout:
+			node.FloatAttrs = map[string]float64{"p": float64(v.P)}
+		case *nn.Flatten, *nn.ReLU, *nn.Sigmoid, *nn.Tanh, *nn.Softmax:
+			// no attributes
+		default:
+			return nil, fmt.Errorf("compat: layer %d: op %q has no exchange mapping", i, l.Kind())
+		}
+		doc.Nodes = append(doc.Nodes, node)
+	}
+	return doc, nil
+}
+
+// Import reconstructs a network from an exchange document. Unknown ops and
+// future format versions are errors.
+func Import(doc *GraphDoc) (*nn.Network, error) {
+	if doc.FormatVersion > ExchangeVersion {
+		return nil, fmt.Errorf("compat: document format v%d is newer than supported v%d", doc.FormatVersion, ExchangeVersion)
+	}
+	if doc.FormatVersion < 1 {
+		return nil, fmt.Errorf("compat: invalid format version %d", doc.FormatVersion)
+	}
+	net := nn.NewNetwork(append([]int(nil), doc.InputShape...))
+	for i, node := range doc.Nodes {
+		l, err := importNode(node)
+		if err != nil {
+			return nil, fmt.Errorf("compat: node %d: %w", i, err)
+		}
+		net.Add(l)
+	}
+	if _, err := net.Summary(); err != nil {
+		return nil, fmt.Errorf("compat: imported graph fails shape inference: %w", err)
+	}
+	return net, nil
+}
+
+func importNode(node Node) (nn.Layer, error) {
+	getT := func(name string) (*tensor.Tensor, error) {
+		td, ok := node.Tensors[name]
+		if !ok {
+			return nil, fmt.Errorf("missing tensor %q", name)
+		}
+		return td.tensor()
+	}
+	switch node.Op {
+	case "dense":
+		w, err := getT("weight")
+		if err != nil {
+			return nil, err
+		}
+		b, err := getT("bias")
+		if err != nil {
+			return nil, err
+		}
+		d := nn.NewDense(node.IntAttrs["in"], node.IntAttrs["out"], tensor.NewRNG(0))
+		if !tensor.SameShape(d.W.Value, w) || !tensor.SameShape(d.B.Value, b) {
+			return nil, fmt.Errorf("dense attrs %v disagree with tensor shapes %v/%v", node.IntAttrs, w.Shape(), b.Shape())
+		}
+		d.W.Value.CopyFrom(w)
+		d.B.Value.CopyFrom(b)
+		return d, nil
+	case "conv2d":
+		w, err := getT("weight")
+		if err != nil {
+			return nil, err
+		}
+		b, err := getT("bias")
+		if err != nil {
+			return nil, err
+		}
+		a := node.IntAttrs
+		c := nn.NewConv2D(a["in_c"], a["out_c"], a["kh"], a["kw"], a["stride"], a["pad"], tensor.NewRNG(0))
+		if !tensor.SameShape(c.W.Value, w) || !tensor.SameShape(c.B.Value, b) {
+			return nil, fmt.Errorf("conv2d attrs %v disagree with tensor shapes %v/%v", a, w.Shape(), b.Shape())
+		}
+		c.W.Value.CopyFrom(w)
+		c.B.Value.CopyFrom(b)
+		return c, nil
+	case "maxpool2d":
+		return nn.NewMaxPool2D(node.IntAttrs["k"], node.IntAttrs["stride"]), nil
+	case "batchnorm1d":
+		bn := nn.NewBatchNorm1D(node.IntAttrs["features"])
+		if v, ok := node.FloatAttrs["eps"]; ok {
+			bn.Eps = float32(v)
+		}
+		if v, ok := node.FloatAttrs["momentum"]; ok {
+			bn.Momentum = float32(v)
+		}
+		for name, dst := range map[string]*tensor.Tensor{
+			"gamma": bn.Gamma.Value, "beta": bn.Beta.Value, "mean": bn.RunMean, "var": bn.RunVar,
+		} {
+			src, err := getT(name)
+			if err != nil {
+				return nil, err
+			}
+			if !tensor.SameShape(dst, src) {
+				return nil, fmt.Errorf("batchnorm tensor %q shape %v, want %v", name, src.Shape(), dst.Shape())
+			}
+			dst.CopyFrom(src)
+		}
+		return bn, nil
+	case "dropout":
+		return nn.NewDropout(float32(node.FloatAttrs["p"]), tensor.NewRNG(0)), nil
+	case "flatten":
+		return nn.NewFlatten(), nil
+	case "relu":
+		return nn.NewReLU(), nil
+	case "sigmoid":
+		return nn.NewSigmoid(), nil
+	case "tanh":
+		return nn.NewTanh(), nil
+	case "softmax":
+		return nn.NewSoftmax(), nil
+	default:
+		return nil, fmt.Errorf("op %q is not supported by exchange format v%d", node.Op, ExchangeVersion)
+	}
+}
+
+// MarshalJSON / UnmarshalGraph are the on-the-wire forms.
+
+// EncodeJSON serializes the document.
+func (d *GraphDoc) EncodeJSON() ([]byte, error) {
+	return json.Marshal(d)
+}
+
+// DecodeJSON parses a document.
+func DecodeJSON(data []byte) (*GraphDoc, error) {
+	var d GraphDoc
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("compat: parse exchange document: %w", err)
+	}
+	return &d, nil
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"tinymlops/internal/device"
+	"tinymlops/internal/metering"
+	"tinymlops/internal/nn"
+	"tinymlops/internal/observe"
+	"tinymlops/internal/procvm"
+	"tinymlops/internal/registry"
+	"tinymlops/internal/tensor"
+)
+
+// Deployment is one model running on one device: the decrypted model, the
+// metering gate, the drift monitor, the telemetry buffer and the optional
+// procvm pipeline stages.
+type Deployment struct {
+	DeviceID string
+	Version  *registry.ModelVersion
+
+	Meter   *metering.Meter
+	Monitor *observe.Monitor
+	Buffer  *observe.Buffer
+
+	device  *device.Device
+	model   *nn.Network
+	pre     *procvm.Module
+	post    *procvm.Module
+	runtime *procvm.Runtime
+
+	mu          sync.Mutex
+	tick        uint64
+	window      uint32
+	winCount    uint32
+	winDenied   uint32
+	winLatency  observe.Welford
+	winEnergyMJ float64
+	featStats   []observe.Welford
+}
+
+// ErrQueryDenied wraps metering denial at the inference entry point.
+var ErrQueryDenied = errors.New("core: query denied by meter")
+
+// InferenceResult is one query's outcome.
+type InferenceResult struct {
+	// Label is the predicted class (post-module output if one is bound,
+	// otherwise the logits argmax).
+	Label int
+	// Latency is the modeled on-device execution time.
+	Latency time.Duration
+	// DriftAlarm reports whether the monitor has latched.
+	DriftAlarm bool
+}
+
+// Infer runs one metered, monitored query through the deployed pipeline.
+func (d *Deployment) Infer(x []float32) (InferenceResult, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.tick++
+
+	// 1. Metering gate (offline enforcement, §III-C).
+	if err := d.Meter.Charge(d.tick); err != nil {
+		d.device.DenyQuery()
+		d.winDenied++
+		return InferenceResult{}, fmt.Errorf("%w: %v", ErrQueryDenied, err)
+	}
+
+	// 2. Portable preprocessing (§III-A / §IV).
+	features := x
+	if d.pre != nil {
+		res, err := d.runtime.Run(d.pre, x)
+		if err != nil {
+			return InferenceResult{}, fmt.Errorf("core: preprocess: %w", err)
+		}
+		if !res.Output.IsVec {
+			return InferenceResult{}, fmt.Errorf("core: preprocess must produce a vector")
+		}
+		features = res.Output.Vec
+	}
+
+	// 3. Drift monitoring on the model's input distribution (§III-B).
+	if d.Monitor != nil {
+		d.Monitor.Observe(features)
+	}
+
+	// 4. Inference on the device cost model.
+	lat, err := d.device.RunInference(d.Version.Metrics.MACs, d.Version.Scheme.Bits())
+	if err != nil {
+		return InferenceResult{}, fmt.Errorf("core: device: %w", err)
+	}
+	in := tensor.FromSlice(append([]float32(nil), features...), 1, len(features))
+	logits := d.model.Predict(in)
+
+	// 5. Portable postprocessing.
+	label := logits.ArgMaxRows()[0]
+	if d.post != nil {
+		res, err := d.runtime.Run(d.post, logits.Data)
+		if err != nil {
+			return InferenceResult{}, fmt.Errorf("core: postprocess: %w", err)
+		}
+		if res.Output.IsVec {
+			return InferenceResult{}, fmt.Errorf("core: postprocess must reduce to a scalar label")
+		}
+		label = int(res.Output.Scalar)
+	}
+
+	// 6. Telemetry accounting (aggregates only; the input never leaves).
+	d.winCount++
+	d.winLatency.Add(float64(lat.Nanoseconds()) / 1e3) // fractional µs; MCU-class inferences can be sub-µs in the model
+	d.winEnergyMJ += d.device.Caps.InferenceEnergy(d.Version.Metrics.MACs) * 1e3
+	if d.featStats == nil {
+		d.featStats = make([]observe.Welford, len(features))
+	}
+	for i := range features {
+		if i < len(d.featStats) {
+			d.featStats[i].Add(float64(features[i]))
+		}
+	}
+
+	drift := d.Monitor != nil && d.Monitor.Drifted()
+	return InferenceResult{Label: label, Latency: lat, DriftAlarm: drift}, nil
+}
+
+// rollWindow closes the current telemetry window into the buffer.
+func (d *Deployment) rollWindow() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.winCount == 0 && d.winDenied == 0 {
+		return
+	}
+	rec := observe.Record{
+		DeviceID:      d.DeviceID,
+		Window:        d.window,
+		Inferences:    d.winCount,
+		Denied:        d.winDenied,
+		MeanLatencyUS: float32(d.winLatency.Mean()),
+		MaxLatencyUS:  float32(d.winLatency.Max()),
+		EnergyMJ:      float32(d.winEnergyMJ),
+	}
+	if d.Monitor != nil {
+		rec.DriftScore = float32(d.Monitor.MaxScore())
+		rec.DriftAlarm = d.Monitor.Drifted()
+	}
+	for i := range d.featStats {
+		rec.FeatureMeans = append(rec.FeatureMeans, float32(d.featStats[i].Mean()))
+		rec.FeatureStds = append(rec.FeatureStds, float32(d.featStats[i].Std()))
+	}
+	d.Buffer.Add(rec)
+	d.window++
+	d.winCount, d.winDenied = 0, 0
+	d.winLatency.Reset()
+	d.winEnergyMJ = 0
+	for i := range d.featStats {
+		d.featStats[i].Reset()
+	}
+}
+
+// Model exposes the deployed network for white-box operations (ownership
+// verification in disputes). The caller must not mutate it.
+func (d *Deployment) Model() *nn.Network { return d.model }
+
+// Device returns the underlying simulated device.
+func (d *Deployment) Device() *device.Device { return d.device }

@@ -1,0 +1,339 @@
+// Package core assembles the TinyMLOps platform of Figure 1: one facade
+// that owns the model registry and optimization pipeline (§III-A), deploys
+// per-device variants with encrypted artifacts and metered query packages
+// (§III-A/C, §V), runs the on-device pipeline (procvm preprocessing →
+// metering gate → inference on the device cost model → drift monitoring →
+// postprocessing), ships anonymized telemetry when devices reach WiFi
+// (§III-B), settles usage with the vendor (§III-C), and retrains the
+// global model federatedly before re-deriving every variant (§III-D).
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"tinymlops/internal/dataset"
+	"tinymlops/internal/device"
+	"tinymlops/internal/fed"
+	"tinymlops/internal/ipprot"
+	"tinymlops/internal/metering"
+	"tinymlops/internal/nn"
+	"tinymlops/internal/observe"
+	"tinymlops/internal/procvm"
+	"tinymlops/internal/quant"
+	"tinymlops/internal/registry"
+	"tinymlops/internal/selector"
+	"tinymlops/internal/tensor"
+)
+
+// Config provisions a Platform.
+type Config struct {
+	// VendorKey signs vouchers and wraps model encryption keys.
+	VendorKey []byte
+	// Seed drives all platform-side randomness.
+	Seed uint64
+	// MinCohort is the telemetry k-anonymity floor.
+	MinCohort int
+}
+
+// Platform is the TinyMLOps control plane plus the simulated data plane.
+type Platform struct {
+	Registry   *registry.Registry
+	Fleet      *device.Fleet
+	Issuer     *metering.Issuer
+	Settler    *metering.Settler
+	Aggregator *observe.Aggregator
+
+	vendorKey []byte
+	rng       *tensor.RNG
+
+	mu          sync.Mutex
+	deployments map[string]*Deployment
+}
+
+// New creates a platform over a device fleet.
+func New(fleet *device.Fleet, cfg Config) (*Platform, error) {
+	if len(cfg.VendorKey) < 16 {
+		return nil, fmt.Errorf("core: vendor key must be at least 16 bytes")
+	}
+	issuer, err := metering.NewIssuer(cfg.VendorKey)
+	if err != nil {
+		return nil, err
+	}
+	minCohort := cfg.MinCohort
+	if minCohort < 1 {
+		minCohort = 1
+	}
+	return &Platform{
+		Registry:    registry.New(),
+		Fleet:       fleet,
+		Issuer:      issuer,
+		Settler:     metering.NewSettler(issuer),
+		Aggregator:  observe.NewAggregator(minCohort),
+		vendorKey:   append([]byte(nil), cfg.VendorKey...),
+		rng:         tensor.NewRNG(cfg.Seed),
+		deployments: make(map[string]*Deployment),
+	}, nil
+}
+
+// Publish registers a trained model and derives its optimized variants,
+// evaluating each candidate on eval. It returns all registered versions
+// (base first).
+func (p *Platform) Publish(name string, net *nn.Network, eval *dataset.Dataset, spec registry.OptimizationSpec) ([]*registry.ModelVersion, error) {
+	if spec.Evaluate == nil {
+		spec.Evaluate = func(n *nn.Network) float64 { return nn.Evaluate(n, eval.X, eval.Y) }
+	}
+	base := spec.Evaluate(net)
+	return p.Registry.RegisterWithVariants(name, net, base, spec)
+}
+
+// DeployConfig controls one device deployment.
+type DeployConfig struct {
+	// Policy drives variant selection (zero value = DefaultPolicy).
+	Policy selector.Policy
+	// PrepaidQueries sets the voucher quota.
+	PrepaidQueries uint64
+	// Calibration provides the drift-detector reference sample; nil
+	// disables monitoring.
+	Calibration *dataset.Dataset
+	// Watermark, when non-empty, is the customer identity whose static
+	// watermark is embedded into the deployed copy (§V: per-user marks).
+	Watermark string
+	// Pre and Post are optional procvm pipeline modules.
+	Pre, Post *procvm.Module
+}
+
+// Deploy selects the best variant of the named model line for the device,
+// encrypts and "ships" it (charging the download to the device's radio),
+// provisions a prepaid meter and a drift monitor, and returns the live
+// deployment handle.
+func (p *Platform) Deploy(deviceID, modelName string, cfg DeployConfig) (*Deployment, error) {
+	dev, ok := p.Fleet.Get(deviceID)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown device %q", deviceID)
+	}
+	candidates := p.candidates(modelName)
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("core: model line %q is empty", modelName)
+	}
+	decision, err := selector.Select(dev, candidates, cfg.Policy)
+	if err != nil {
+		return nil, fmt.Errorf("core: select for %s: %w", deviceID, err)
+	}
+	version := decision.Chosen.Version
+
+	// Encrypt the artifact, transfer it, decrypt on device.
+	artifact, err := p.Registry.Bytes(version.ID)
+	if err != nil {
+		return nil, err
+	}
+	em, err := ipprot.EncryptModel(p.vendorKey, version.ID, artifact)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := dev.Download(int64(version.Metrics.SizeBytes)); err != nil {
+		return nil, fmt.Errorf("core: ship to %s: %w", deviceID, err)
+	}
+	plain, err := ipprot.DecryptModel(p.vendorKey, em)
+	if err != nil {
+		return nil, err
+	}
+	model, err := nn.UnmarshalNetwork(plain)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Watermark != "" {
+		// Scale capacity to the carrier layer so tiny models still embed
+		// reliably (the mark identifies the customer; 16 bits suffice for
+		// dispute evidence when combined with the registry tag).
+		capacity := watermarkCapacity(model)
+		bits := ipprot.KeyedBits(cfg.Watermark, capacity)
+		if err := ipprot.EmbedStatic(model, cfg.Watermark, bits, ipprot.DefaultStaticWMConfig()); err != nil {
+			return nil, fmt.Errorf("core: watermark: %w", err)
+		}
+		if err := p.Registry.SetTag(version.ID, "watermark", cfg.Watermark); err != nil {
+			return nil, err
+		}
+	}
+
+	quota := cfg.PrepaidQueries
+	if quota == 0 {
+		quota = 1000
+	}
+	voucher, err := p.Issuer.Issue(deviceID, version.ID, quota)
+	if err != nil {
+		return nil, err
+	}
+
+	d := &Deployment{
+		DeviceID: deviceID,
+		Version:  version,
+		device:   dev,
+		model:    model,
+		Meter:    metering.NewMeter(voucher),
+		Buffer:   observe.NewBuffer(256),
+		pre:      cfg.Pre,
+		post:     cfg.Post,
+		runtime:  procvm.NewRuntime(procvm.CapSensor),
+	}
+	if cfg.Calibration != nil {
+		mon, err := buildMonitor(cfg.Calibration)
+		if err != nil {
+			return nil, err
+		}
+		d.Monitor = mon
+	}
+	p.mu.Lock()
+	p.deployments[deviceID] = d
+	p.mu.Unlock()
+	return d, nil
+}
+
+// candidates returns every version of a model line (bases and variants).
+func (p *Platform) candidates(name string) []*registry.ModelVersion {
+	return p.Registry.Versions(name)
+}
+
+// Deployment returns the live deployment on a device, if any.
+func (p *Platform) Deployment(deviceID string) (*Deployment, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	d, ok := p.deployments[deviceID]
+	return d, ok
+}
+
+// Deployments returns all live deployments.
+func (p *Platform) Deployments() []*Deployment {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*Deployment, 0, len(p.deployments))
+	for _, d := range p.deployments {
+		out = append(out, d)
+	}
+	return out
+}
+
+// buildMonitor calibrates per-feature CUSUM detectors from a reference
+// dataset (cheapest detector; the observability experiment compares the
+// alternatives).
+func buildMonitor(ref *dataset.Dataset) (*observe.Monitor, error) {
+	n := ref.Len()
+	rows := make([][]float32, n)
+	es := ref.X.Size() / n
+	for i := 0; i < n; i++ {
+		rows[i] = ref.X.Data[i*es : (i+1)*es]
+	}
+	cols := observe.ColumnsOf(rows)
+	// The monitor alarms when ANY feature's detector fires, which divides
+	// the per-feature in-control run length by the feature count; scale
+	// the CUSUM threshold with log(features) to compensate.
+	h := 10 + 4*float64(log2Ceil(len(cols)))
+	return observe.NewMonitor(cols, func(col []float64) (observe.Detector, error) {
+		var w observe.Welford
+		for _, v := range col {
+			w.Add(v)
+		}
+		std := w.Std()
+		if std <= 0 {
+			std = 1
+		}
+		return observe.NewCUSUMDetector(w.Mean(), std, 0.5, h)
+	})
+}
+
+func log2Ceil(n int) int {
+	k := 0
+	for 1<<k < n {
+		k++
+	}
+	return k
+}
+
+// watermarkCapacity picks a per-customer mark size the first dense layer
+// can carry comfortably (≤ a quarter of its weights, at most 32 bits).
+func watermarkCapacity(model *nn.Network) int {
+	for _, l := range model.Layers() {
+		if d, ok := l.(*nn.Dense); ok {
+			c := d.W.Value.Size() / 4
+			if c > 32 {
+				c = 32
+			}
+			if c < 4 {
+				c = 4
+			}
+			return c
+		}
+	}
+	return 16
+}
+
+// SyncTelemetry flushes every deployment's buffered records for devices
+// currently on WiFi into the aggregator (cohort = device class). It
+// returns the number of records ingested and bytes uplinked.
+func (p *Platform) SyncTelemetry() (records, bytes int, err error) {
+	for _, d := range p.Deployments() {
+		d.rollWindow()
+		recs, n, ferr := d.Buffer.FlushIfWiFi(d.device)
+		if ferr != nil {
+			return records, bytes, ferr
+		}
+		for _, r := range recs {
+			p.Aggregator.Ingest(d.device.Caps.Class.String(), r)
+		}
+		records += len(recs)
+		bytes += n
+	}
+	return records, bytes, nil
+}
+
+// SettleAll settles every deployment's meter against a settlement server
+// address, returning per-device errors keyed by device ID.
+func (p *Platform) SettleAll(addr string) map[string]error {
+	out := make(map[string]error)
+	for _, d := range p.Deployments() {
+		out[d.DeviceID] = metering.MustSettle(addr, d.Meter)
+	}
+	return out
+}
+
+// FederatedUpdate runs federated training of the named model line over
+// client shards and publishes the improved global model (re-deriving all
+// variants). It returns the new versions and per-round stats.
+func (p *Platform) FederatedUpdate(name string, clients []*fed.Client, test *dataset.Dataset, fcfg fed.Config, spec registry.OptimizationSpec) ([]*registry.ModelVersion, []fed.RoundStats, error) {
+	latest, err := p.Registry.Latest(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	global, err := p.Registry.Load(latest.ID)
+	if err != nil {
+		return nil, nil, err
+	}
+	co, err := fed.NewCoordinator(global, clients, test.X, test.Y, fcfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats, err := co.Run()
+	if err != nil {
+		return nil, nil, err
+	}
+	if spec.Evaluate == nil {
+		spec.Evaluate = func(n *nn.Network) float64 { return nn.Evaluate(n, test.X, test.Y) }
+	}
+	versions, err := p.Registry.RegisterWithVariants(name, co.Global, spec.Evaluate(co.Global), spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	return versions, stats, nil
+}
+
+// DefaultOptimizationSpec derives the standard int8/int4/ternary/binary
+// variant matrix evaluated on eval.
+func DefaultOptimizationSpec(eval *dataset.Dataset) registry.OptimizationSpec {
+	return registry.OptimizationSpec{
+		Schemes:        []quant.Scheme{quant.Int8, quant.Int4, quant.Ternary, quant.Binary},
+		PruneFractions: []float64{0},
+		Evaluate: func(n *nn.Network) float64 {
+			return nn.Evaluate(n, eval.X, eval.Y)
+		},
+	}
+}

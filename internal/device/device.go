@@ -1,0 +1,262 @@
+package device
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"tinymlops/internal/tensor"
+)
+
+// NetState is a device's current connectivity.
+type NetState int
+
+// Connectivity states.
+const (
+	Offline NetState = iota
+	Cellular
+	WiFi
+)
+
+// String implements fmt.Stringer.
+func (n NetState) String() string {
+	switch n {
+	case Offline:
+		return "offline"
+	case Cellular:
+		return "cellular"
+	case WiFi:
+		return "wifi"
+	default:
+		return fmt.Sprintf("net(%d)", int(n))
+	}
+}
+
+// Bandwidth returns the downlink bandwidth in bytes/second for the state.
+func (n NetState) Bandwidth() float64 {
+	switch n {
+	case Cellular:
+		return 5e6 / 8 * 4 // ≈2.5 MB/s
+	case WiFi:
+		return 20e6 / 8 * 8 // ≈20 MB/s
+	default:
+		return 0
+	}
+}
+
+// Counters accumulates what a device has done; the observability layer
+// reads them as telemetry.
+type Counters struct {
+	Inferences    int64
+	MACs          int64
+	BusyTime      time.Duration
+	EnergyJoule   float64
+	TxBytes       int64
+	RxBytes       int64
+	DeniedQueries int64
+}
+
+// Device is one simulated edge node: static capabilities plus mutable
+// runtime state (battery, charger, connectivity) and usage counters.
+// All methods are safe for concurrent use; the fleet simulator drives many
+// devices from a worker pool.
+type Device struct {
+	ID   string
+	Caps Capabilities
+
+	mu       sync.Mutex
+	battery  float64 // joules remaining; ignored when wall powered
+	charging bool
+	net      NetState
+	counters Counters
+
+	// Behavioral probabilities per simulation tick.
+	pCharge  float64 // probability of being on a charger
+	pWiFi    float64 // probability of WiFi when connected
+	pOffline float64 // probability of having no connectivity
+
+	rng *tensor.RNG
+}
+
+// NewDevice returns a device with a full battery, offline, not charging.
+func NewDevice(id string, caps Capabilities, rng *tensor.RNG) *Device {
+	return &Device{
+		ID: id, Caps: caps,
+		battery:  caps.BatteryJoule,
+		net:      Offline,
+		pCharge:  0.3,
+		pWiFi:    0.5,
+		pOffline: 0.2,
+		rng:      rng,
+	}
+}
+
+// SetBehavior configures the per-tick probabilities of being on a charger,
+// on WiFi (when connected), and offline.
+func (d *Device) SetBehavior(pCharge, pWiFi, pOffline float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.pCharge, d.pWiFi, d.pOffline = pCharge, pWiFi, pOffline
+}
+
+// BatteryLevel returns the battery fraction in [0,1]; wall-powered devices
+// report 1.
+func (d *Device) BatteryLevel() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.batteryLevelLocked()
+}
+
+func (d *Device) batteryLevelLocked() float64 {
+	if d.Caps.WallPowered() {
+		return 1
+	}
+	lv := d.battery / d.Caps.BatteryJoule
+	if lv < 0 {
+		return 0
+	}
+	return lv
+}
+
+// Charging reports whether the device is on a charger (wall-powered
+// devices always are).
+func (d *Device) Charging() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.charging || d.Caps.WallPowered()
+}
+
+// Net returns the current connectivity state.
+func (d *Device) Net() NetState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.Caps.WallPowered() {
+		return WiFi
+	}
+	return d.net
+}
+
+// Snapshot returns a copy of the usage counters.
+func (d *Device) Snapshot() Counters {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.counters
+}
+
+// Tick advances the device's behavioral state by one simulation step:
+// charger and connectivity flip according to the configured probabilities,
+// and a charging battery regains 1% capacity.
+func (d *Device) Tick() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.Caps.WallPowered() {
+		return
+	}
+	d.charging = d.rng.Float64() < d.pCharge
+	switch {
+	case d.rng.Float64() < d.pOffline:
+		d.net = Offline
+	case d.rng.Float64() < d.pWiFi:
+		d.net = WiFi
+	default:
+		d.net = Cellular
+	}
+	if d.charging {
+		d.battery += 0.01 * d.Caps.BatteryJoule
+		if d.battery > d.Caps.BatteryJoule {
+			d.battery = d.Caps.BatteryJoule
+		}
+	}
+}
+
+// ErrModelTooLarge is returned when an artifact exceeds device storage.
+var ErrModelTooLarge = fmt.Errorf("device: model exceeds flash capacity")
+
+// ErrOutOfMemory is returned when the working set exceeds device RAM.
+var ErrOutOfMemory = fmt.Errorf("device: working set exceeds RAM")
+
+// ErrBatteryDepleted is returned when an operation needs more energy than
+// the battery holds.
+var ErrBatteryDepleted = fmt.Errorf("device: battery depleted")
+
+// CheckFit verifies that a model of modelBytes storage and ramBytes
+// working set fits the device.
+func (d *Device) CheckFit(modelBytes, ramBytes int64) error {
+	if modelBytes > d.Caps.FlashBytes {
+		return fmt.Errorf("%w: %d > %d bytes", ErrModelTooLarge, modelBytes, d.Caps.FlashBytes)
+	}
+	if ramBytes > d.Caps.RAMBytes {
+		return fmt.Errorf("%w: %d > %d bytes", ErrOutOfMemory, ramBytes, d.Caps.RAMBytes)
+	}
+	return nil
+}
+
+// RunInference simulates executing one inference of macs multiply-
+// accumulates at the given weight bit width. It returns the modeled
+// latency, charges the energy to the battery and updates counters.
+func (d *Device) RunInference(macs int64, bits int) (time.Duration, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	energy := d.Caps.InferenceEnergy(macs)
+	if !d.Caps.WallPowered() && d.battery < energy {
+		return 0, fmt.Errorf("%w on %s", ErrBatteryDepleted, d.ID)
+	}
+	lat := d.Caps.InferenceLatency(macs, bits)
+	if !d.Caps.WallPowered() {
+		d.battery -= energy
+	}
+	d.counters.Inferences++
+	d.counters.MACs += macs
+	d.counters.BusyTime += lat
+	d.counters.EnergyJoule += energy
+	return lat, nil
+}
+
+// DenyQuery records a query rejected by policy (metering exhaustion).
+func (d *Device) DenyQuery() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.counters.DeniedQueries++
+}
+
+// Download simulates receiving size bytes over the current link, returning
+// the transfer time. Offline devices return an error.
+func (d *Device) Download(size int64) (time.Duration, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := d.net
+	if d.Caps.WallPowered() {
+		st = WiFi
+	}
+	bw := st.Bandwidth()
+	if bw == 0 {
+		return 0, fmt.Errorf("device: %s is offline", d.ID)
+	}
+	d.counters.RxBytes += size
+	return time.Duration(float64(size) / bw * float64(time.Second)), nil
+}
+
+// Upload simulates sending size bytes over the current link, charging
+// radio energy and returning the transfer time.
+func (d *Device) Upload(size int64) (time.Duration, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := d.net
+	if d.Caps.WallPowered() {
+		st = WiFi
+	}
+	bw := st.Bandwidth()
+	if bw == 0 {
+		return 0, fmt.Errorf("device: %s is offline", d.ID)
+	}
+	energy := float64(size) * d.Caps.EnergyPerTxByteJoule
+	if !d.Caps.WallPowered() {
+		if d.battery < energy {
+			return 0, fmt.Errorf("%w on %s", ErrBatteryDepleted, d.ID)
+		}
+		d.battery -= energy
+	}
+	d.counters.TxBytes += size
+	d.counters.EnergyJoule += energy
+	return time.Duration(float64(size) / bw * float64(time.Second)), nil
+}

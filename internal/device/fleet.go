@@ -1,0 +1,117 @@
+package device
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Fleet is a collection of simulated devices addressed by ID.
+type Fleet struct {
+	mu      sync.RWMutex
+	devices map[string]*Device
+	order   []string
+}
+
+// NewFleet returns an empty fleet.
+func NewFleet() *Fleet {
+	return &Fleet{devices: make(map[string]*Device)}
+}
+
+// Add registers a device; it returns an error on duplicate IDs.
+func (f *Fleet) Add(d *Device) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, exists := f.devices[d.ID]; exists {
+		return fmt.Errorf("device: duplicate device id %q", d.ID)
+	}
+	f.devices[d.ID] = d
+	f.order = append(f.order, d.ID)
+	return nil
+}
+
+// Get returns the device with the given ID.
+func (f *Fleet) Get(id string) (*Device, bool) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	d, ok := f.devices[id]
+	return d, ok
+}
+
+// Size returns the number of devices.
+func (f *Fleet) Size() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.devices)
+}
+
+// Devices returns the devices in insertion order.
+func (f *Fleet) Devices() []*Device {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make([]*Device, 0, len(f.order))
+	for _, id := range f.order {
+		out = append(out, f.devices[id])
+	}
+	return out
+}
+
+// Tick advances every device's behavioral state by one step.
+func (f *Fleet) Tick() {
+	for _, d := range f.Devices() {
+		d.Tick()
+	}
+}
+
+// Eligible returns devices that currently satisfy the federated-client
+// gate of §III-D: on a charger and on WiFi (so training neither drains the
+// battery nor burns metered bandwidth).
+func (f *Fleet) Eligible() []*Device {
+	var out []*Device
+	for _, d := range f.Devices() {
+		if d.Charging() && d.Net() == WiFi {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// ByClass groups device IDs by hardware class, each group sorted by ID.
+func (f *Fleet) ByClass() map[Class][]string {
+	out := make(map[Class][]string)
+	for _, d := range f.Devices() {
+		out[d.Caps.Class] = append(out[d.Caps.Class], d.ID)
+	}
+	for c := range out {
+		sort.Strings(out[c])
+	}
+	return out
+}
+
+// FleetSpec configures NewStandardFleet.
+type FleetSpec struct {
+	// CountPerProfile is the number of devices per standard profile.
+	CountPerProfile int
+	// Seed derives each device's behavioral RNG.
+	Seed uint64
+}
+
+// NewStandardFleet builds a heterogeneous fleet with CountPerProfile
+// devices of each standard profile, deterministically from the seed.
+func NewStandardFleet(spec FleetSpec) (*Fleet, error) {
+	if spec.CountPerProfile < 1 {
+		spec.CountPerProfile = 1
+	}
+	f := NewFleet()
+	root := newSeeder(spec.Seed)
+	for _, p := range StandardProfiles() {
+		for i := 0; i < spec.CountPerProfile; i++ {
+			id := fmt.Sprintf("%s-%02d", p.Name, i)
+			d := NewDevice(id, p, root.next())
+			if err := f.Add(d); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return f, nil
+}

@@ -1,0 +1,15 @@
+package device
+
+import "tinymlops/internal/tensor"
+
+// seeder hands out independent RNGs derived from one root seed, so fleet
+// construction is deterministic regardless of device count or order of use.
+type seeder struct {
+	root *tensor.RNG
+}
+
+func newSeeder(seed uint64) *seeder {
+	return &seeder{root: tensor.NewRNG(seed)}
+}
+
+func (s *seeder) next() *tensor.RNG { return s.root.Split() }

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"tinymlops/internal/enclave"
+	"tinymlops/internal/ipprot"
+	"tinymlops/internal/nn"
+	"tinymlops/internal/tensor"
+	"tinymlops/internal/verify"
+)
+
+// RunE10 measures verifiable-execution overhead: sum-check prover and
+// verifier cost versus re-execution across matrix sizes (the SafetyNets
+// shape: verifier ≪ prover ≈ execution, proofs of a few hundred bytes),
+// plus the enclave alternative's latency factors (MLCapsule ≈2×).
+func RunE10(w io.Writer) error {
+	rng := tensor.NewRNG(70)
+	tw := table(w)
+	fmt.Fprintln(tw, "batch×in×out\tproof B\tprover muls\tverifier muls\tdirect muls\tverifier saving\tt(prove)\tt(verify)\tt(direct)")
+	for _, dims := range [][3]int{{32, 32, 32}, {64, 64, 32}, {128, 128, 64}, {256, 256, 128}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a := make([]int32, m*k)
+		b := make([]int32, k*n)
+		for i := range a {
+			a[i] = int32(rng.Intn(255) - 127)
+		}
+		for i := range b {
+			b[i] = int32(rng.Intn(255) - 127)
+		}
+		tStart := time.Now()
+		c, proof, pstats, err := verify.ProveMatMul(a, m, k, b, n)
+		if err != nil {
+			return err
+		}
+		tProve := time.Since(tStart)
+		tStart = time.Now()
+		ok, vstats, err := verify.VerifyMatMul(a, m, k, b, n, c, proof)
+		if err != nil {
+			return err
+		}
+		tVerify := time.Since(tStart)
+		if !ok {
+			return fmt.Errorf("honest proof rejected at %v", dims)
+		}
+		// Direct re-execution (plain int64).
+		tStart = time.Now()
+		directMatMul(a, m, k, b, n)
+		tDirect := time.Since(tStart)
+		fmt.Fprintf(tw, "%d×%d×%d\t%d\t%d\t%d\t%d\t%.0f×\t%v\t%v\t%v\n",
+			m, k, n, proof.SizeBytes(), pstats.ProverMuls, vstats.VerifierMuls, vstats.DirectMuls,
+			float64(vstats.DirectMuls)/float64(vstats.VerifierMuls),
+			tProve.Round(time.Microsecond), tVerify.Round(time.Microsecond), tDirect.Round(time.Microsecond))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	// Whole-network verifiable inference.
+	net := nn.NewNetwork([]int{64},
+		nn.NewDense(64, 64, rng), nn.NewReLU(),
+		nn.NewDense(64, 10, rng))
+	x := tensor.Randn(rng, 1, 64, 64)
+	start := time.Now()
+	ip, err := verify.ProveInference(net, x)
+	if err != nil {
+		return err
+	}
+	tProve := time.Since(start)
+	start = time.Now()
+	ok, stats, err := verify.VerifyInference(net, x, ip)
+	if err != nil {
+		return err
+	}
+	tVerify := time.Since(start)
+	start = time.Now()
+	net.Predict(x)
+	tPlain := time.Since(start)
+	fmt.Fprintf(w, "\nMLP (64→64→10, batch 64): evidence %d B, prove %v, verify %v, plain inference %v\n",
+		ip.SizeBytes(), tProve.Round(time.Microsecond), tVerify.Round(time.Microsecond), tPlain.Round(time.Microsecond))
+	fmt.Fprintf(w, "proof verifies: %v; verifier %d vs direct %d field muls (%.0f× cheaper than re-execution)\n",
+		ok, stats.VerifierMuls, stats.DirectMuls, float64(stats.DirectMuls)/float64(stats.VerifierMuls))
+
+	// Enclave alternative.
+	encl, err := enclave.New("e10-spe", []byte("root-key-0123456789abcdef"), 2.0)
+	if err != nil {
+		return err
+	}
+	macs, err := net.TotalMACs()
+	if err != nil {
+		return err
+	}
+	full := encl.PlanFullEnclave(macs)
+	slalom, err := encl.PlanSlalom(macs, macs/10)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nenclave alternative: untrusted 1.00×, Slalom(10%% protected) %.2f×, full enclave %.2f× latency\n",
+		slalom.LatencyFactor, full.LatencyFactor)
+	return nil
+}
+
+func directMatMul(a []int32, m, k int, b []int32, n int) []int64 {
+	out := make([]int64, m*n)
+	for i := 0; i < m; i++ {
+		for p := 0; p < k; p++ {
+			av := int64(a[i*k+p])
+			if av == 0 {
+				continue
+			}
+			row := b[p*n : (p+1)*n]
+			orow := out[i*n : (i+1)*n]
+			for j, bv := range row {
+				orow[j] += av * int64(bv)
+			}
+		}
+	}
+	return out
+}
+
+// RunE11 measures model encryption-at-rest cost across model sizes and
+// the per-query amortization.
+func RunE11(w io.Writer) error {
+	rng := tensor.NewRNG(80)
+	vendorKey := []byte("e11-vendor-key-0123456789abcdef0")
+	tw := table(w)
+	fmt.Fprintln(tw, "model\tparams\tartifact B\tencrypt\tdecrypt+load\tplain load\tamortized over 10k queries")
+	for _, size := range []struct {
+		name   string
+		hidden []int
+	}{
+		{"tiny", []int{32}},
+		{"small", []int{128, 64}},
+		{"medium", []int{512, 256}},
+		{"large", []int{1024, 512, 256}},
+	} {
+		layers := []nn.Layer{}
+		in := 64
+		for _, h := range size.hidden {
+			layers = append(layers, nn.NewDense(in, h, rng), nn.NewReLU())
+			in = h
+		}
+		layers = append(layers, nn.NewDense(in, 10, rng))
+		net := nn.NewNetwork([]int{64}, layers...)
+		artifact, err := net.MarshalBinary()
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		em, err := ipprot.EncryptModel(vendorKey, size.name, artifact)
+		if err != nil {
+			return err
+		}
+		tEnc := time.Since(start)
+		start = time.Now()
+		plain, err := ipprot.DecryptModel(vendorKey, em)
+		if err != nil {
+			return err
+		}
+		if _, err := nn.UnmarshalNetwork(plain); err != nil {
+			return err
+		}
+		tDec := time.Since(start)
+		start = time.Now()
+		if _, err := nn.UnmarshalNetwork(artifact); err != nil {
+			return err
+		}
+		tPlain := time.Since(start)
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%v\t%v\t%v\t%v/query\n",
+			size.name, net.ParamCount(), len(artifact),
+			tEnc.Round(time.Microsecond), tDec.Round(time.Microsecond), tPlain.Round(time.Microsecond),
+			((tDec - tPlain) / 10000).Round(time.Nanosecond))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\ndecryption is a one-time load cost; amortized per query it is negligible (§V),")
+	fmt.Fprintln(w, "while a flash dump of the sealed artifact reveals nothing without the vendor key.")
+	return nil
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 11 {
+		t.Fatalf("registry has %d experiments, want 11", len(all))
+	}
+	for i, e := range all {
+		want := "E" + string(rune('1'+i))
+		if i >= 9 {
+			want = "E1" + string(rune('0'+i-9))
+		}
+		if e.ID != want {
+			t.Fatalf("experiment %d has ID %q, want %q", i, e.ID, want)
+		}
+		if e.Run == nil || e.Title == "" || e.Paper == "" {
+			t.Fatalf("experiment %s incomplete: %+v", e.ID, e)
+		}
+	}
+	if _, ok := ByID("E7"); !ok {
+		t.Fatal("ByID(E7) failed")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Fatal("ByID accepted unknown ID")
+	}
+}
+
+// TestEveryExperimentRuns executes each table generator end to end; this
+// is the integration test that ties all sixteen packages together. Heavy
+// generators are skipped in -short mode.
+func TestEveryExperimentRuns(t *testing.T) {
+	heavy := map[string]bool{"E2": true, "E6": true, "E9": true, "E10": true}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			if testing.Short() && heavy[e.ID] {
+				t.Skipf("%s is heavy; run without -short", e.ID)
+			}
+			var buf bytes.Buffer
+			if err := e.Run(&buf); err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			if buf.Len() == 0 {
+				t.Fatalf("%s produced no output", e.ID)
+			}
+			if strings.Contains(buf.String(), "FALSE POSITIVE") {
+				t.Fatalf("%s reports a false positive:\n%s", e.ID, buf.String())
+			}
+			if strings.Contains(buf.String(), "%!") {
+				t.Fatalf("%s has a formatting bug:\n%s", e.ID, buf.String())
+			}
+		})
+	}
+}
+
+func TestRunOneBanners(t *testing.T) {
+	e, _ := ByID("E5")
+	var buf bytes.Buffer
+	if err := RunOne(&buf, e); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "E5 —") || !strings.Contains(out, "§III-C") {
+		t.Fatalf("banner missing:\n%s", out)
+	}
+}
+
+func TestRunAllToDiscard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness is heavy; run without -short")
+	}
+	if err := RunAll(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}

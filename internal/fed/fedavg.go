@@ -1,0 +1,274 @@
+package fed
+
+import (
+	"fmt"
+	"sync"
+
+	"tinymlops/internal/dataset"
+	"tinymlops/internal/device"
+	"tinymlops/internal/nn"
+	"tinymlops/internal/tensor"
+)
+
+// Client is one federated participant: a private data shard, optionally
+// tied to a simulated device whose charger/WiFi state gates participation
+// (§III-D: "calculate the model updates when the device is idle or
+// connected to a charger").
+type Client struct {
+	ID   string
+	Data *dataset.Dataset
+	// Device, when set, gates participation on Charging() && WiFi.
+	Device *device.Device
+	// rng drives this client's local shuffling, derived by the coordinator.
+	rng *tensor.RNG
+}
+
+// Eligible reports whether the client may train this round.
+func (c *Client) Eligible() bool {
+	if c.Device == nil {
+		return true
+	}
+	return c.Device.Charging() && c.Device.Net() == device.WiFi
+}
+
+// Config controls federated optimization.
+type Config struct {
+	// Rounds of federated averaging.
+	Rounds int
+	// ClientsPerRound samples this many eligible clients (0 = all).
+	ClientsPerRound int
+	// LocalEpochs and LocalBatch configure each client's local training.
+	LocalEpochs int
+	LocalBatch  int
+	// LR is the client learning rate.
+	LR float32
+	// ProximalMu, when > 0, adds the FedProx term μ/2·‖w−w_global‖² to
+	// each client's objective, taming client drift on non-IID shards.
+	ProximalMu float32
+	// Codec compresses uplink updates (nil = NoneCodec).
+	Codec Codec
+	// Seed derives all stochasticity (client sampling, local shuffling).
+	Seed uint64
+}
+
+// RoundStats records one round's outcome.
+type RoundStats struct {
+	Round        int
+	Participants int
+	// UplinkBytes is the total compressed update traffic; DownlinkBytes
+	// the global-model broadcast traffic.
+	UplinkBytes   int64
+	DownlinkBytes int64
+	// TestAccuracy of the averaged global model (if a test set is given).
+	TestAccuracy float64
+}
+
+// Coordinator runs federated averaging over a set of clients.
+type Coordinator struct {
+	Global  *nn.Network
+	Clients []*Client
+	cfg     Config
+
+	testX *tensor.Tensor
+	testY []int
+	rng   *tensor.RNG
+	round int
+}
+
+// NewCoordinator builds a coordinator around a global model. testX/testY
+// may be nil to skip accuracy tracking.
+func NewCoordinator(global *nn.Network, clients []*Client, testX *tensor.Tensor, testY []int, cfg Config) (*Coordinator, error) {
+	if len(clients) == 0 {
+		return nil, fmt.Errorf("fed: no clients")
+	}
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 1
+	}
+	if cfg.LocalEpochs <= 0 {
+		cfg.LocalEpochs = 1
+	}
+	if cfg.LocalBatch <= 0 {
+		cfg.LocalBatch = 16
+	}
+	if cfg.LR <= 0 {
+		cfg.LR = 0.05
+	}
+	if cfg.Codec == nil {
+		cfg.Codec = NoneCodec{}
+	}
+	root := tensor.NewRNG(cfg.Seed)
+	for _, c := range clients {
+		c.rng = root.Split()
+	}
+	return &Coordinator{
+		Global: global, Clients: clients, cfg: cfg,
+		testX: testX, testY: testY,
+		rng: root.Split(),
+	}, nil
+}
+
+// clientUpdate is a weighted, decoded update from one client.
+type clientUpdate struct {
+	delta   []float32
+	samples int
+	bytes   int
+}
+
+// RunRound executes one round of federated averaging and returns its
+// statistics. Local training runs concurrently across sampled clients.
+func (co *Coordinator) RunRound() (RoundStats, error) {
+	co.round++
+	stats := RoundStats{Round: co.round}
+
+	var eligible []*Client
+	for _, c := range co.Clients {
+		if c.Eligible() {
+			eligible = append(eligible, c)
+		}
+	}
+	if len(eligible) == 0 {
+		// No chargers + WiFi this round: skip, as a real fleet would.
+		if co.testX != nil {
+			stats.TestAccuracy = nn.Evaluate(co.Global, co.testX, co.testY)
+		}
+		return stats, nil
+	}
+	sampled := eligible
+	if co.cfg.ClientsPerRound > 0 && co.cfg.ClientsPerRound < len(eligible) {
+		perm := co.rng.Perm(len(eligible))
+		sampled = make([]*Client, co.cfg.ClientsPerRound)
+		for i := 0; i < co.cfg.ClientsPerRound; i++ {
+			sampled[i] = eligible[perm[i]]
+		}
+	}
+	stats.Participants = len(sampled)
+
+	globalFlat := co.Global.FlatParams()
+	modelBytes := int64(4 * len(globalFlat))
+	stats.DownlinkBytes = modelBytes * int64(len(sampled))
+
+	updates := make([]clientUpdate, len(sampled))
+	errs := make([]error, len(sampled))
+	var wg sync.WaitGroup
+	for i := range sampled {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			updates[i], errs[i] = co.localRound(sampled[i], globalFlat)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return stats, err
+		}
+	}
+
+	// Weighted average of decoded deltas.
+	agg := make([]float32, len(globalFlat))
+	var totalSamples float64
+	for _, u := range updates {
+		totalSamples += float64(u.samples)
+		stats.UplinkBytes += int64(u.bytes)
+	}
+	if totalSamples > 0 {
+		for _, u := range updates {
+			w := float32(float64(u.samples) / totalSamples)
+			for j, d := range u.delta {
+				agg[j] += w * d
+			}
+		}
+		next := make([]float32, len(globalFlat))
+		for j := range next {
+			next[j] = globalFlat[j] + agg[j]
+		}
+		if err := co.Global.SetFlatParams(next); err != nil {
+			return stats, err
+		}
+	}
+	if co.testX != nil {
+		stats.TestAccuracy = nn.Evaluate(co.Global, co.testX, co.testY)
+	}
+	return stats, nil
+}
+
+// localRound trains one client from the global weights and returns its
+// encoded-then-decoded (i.e. lossy, as the server would see it) delta.
+func (co *Coordinator) localRound(c *Client, globalFlat []float32) (clientUpdate, error) {
+	local := co.Global.Clone()
+	if err := local.SetFlatParams(globalFlat); err != nil {
+		return clientUpdate{}, err
+	}
+	tc := nn.TrainConfig{
+		Epochs:    co.cfg.LocalEpochs,
+		BatchSize: co.cfg.LocalBatch,
+		Optimizer: nn.NewSGD(co.cfg.LR),
+		RNG:       c.rng,
+	}
+	if co.cfg.ProximalMu > 0 {
+		mu := co.cfg.ProximalMu
+		tc.ExtraGrad = func(net *nn.Network) {
+			// ∇(μ/2·‖w−w_g‖²) = μ(w−w_g), applied parameter-wise.
+			off := 0
+			for _, p := range net.Params() {
+				n := p.Value.Size()
+				for k := 0; k < n; k++ {
+					p.Grad.Data[k] += mu * (p.Value.Data[k] - globalFlat[off+k])
+				}
+				off += n
+			}
+		}
+	}
+	if _, err := nn.Train(local, c.Data.X, c.Data.Y, tc); err != nil {
+		return clientUpdate{}, fmt.Errorf("fed: client %s: %w", c.ID, err)
+	}
+	localFlat := local.FlatParams()
+	delta := make([]float32, len(localFlat))
+	for j := range delta {
+		delta[j] = localFlat[j] - globalFlat[j]
+	}
+	payload, err := co.cfg.Codec.Encode(delta)
+	if err != nil {
+		return clientUpdate{}, fmt.Errorf("fed: client %s encode: %w", c.ID, err)
+	}
+	decoded, err := co.cfg.Codec.Decode(payload, len(delta))
+	if err != nil {
+		return clientUpdate{}, fmt.Errorf("fed: client %s decode: %w", c.ID, err)
+	}
+	// Charge the uplink to the device radio when one is attached.
+	if c.Device != nil {
+		if _, err := c.Device.Upload(int64(len(payload))); err != nil {
+			return clientUpdate{}, fmt.Errorf("fed: client %s upload: %w", c.ID, err)
+		}
+	}
+	return clientUpdate{delta: decoded, samples: c.Data.Len(), bytes: len(payload)}, nil
+}
+
+// Run executes cfg.Rounds rounds and returns per-round statistics.
+func (co *Coordinator) Run() ([]RoundStats, error) {
+	out := make([]RoundStats, 0, co.cfg.Rounds)
+	for r := 0; r < co.cfg.Rounds; r++ {
+		s, err := co.RunRound()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// MakeClients shards a dataset into federated clients using the provided
+// partition (index lists per client).
+func MakeClients(ds *dataset.Dataset, shards [][]int, idPrefix string) []*Client {
+	out := make([]*Client, 0, len(shards))
+	for i, shard := range shards {
+		if len(shard) == 0 {
+			continue
+		}
+		out = append(out, &Client{
+			ID:   fmt.Sprintf("%s-%03d", idPrefix, i),
+			Data: ds.Subset(shard),
+		})
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package fed
+
+import (
+	"fmt"
+
+	"tinymlops/internal/tensor"
+)
+
+// Secure aggregation by pairwise masking (Bonawitz et al. style, without
+// the dropout-recovery machinery): every pair of clients (i, j) derives a
+// shared mask from a pairwise seed; client i adds the mask, client j
+// subtracts it. Individual uploads are indistinguishable from noise to the
+// server, but the masks cancel exactly in the sum, so federated averaging
+// still works — addressing §III-D's tension between aggregating updates
+// and not revealing any single user's update.
+
+// PairwiseSeeds holds the symmetric seed matrix seeds[i][j] (= seeds[j][i])
+// agreed between each client pair (in production via key agreement; here
+// derived from a session RNG).
+type PairwiseSeeds [][]uint64
+
+// NewPairwiseSeeds derives the seed matrix for n clients.
+func NewPairwiseSeeds(rng *tensor.RNG, n int) PairwiseSeeds {
+	seeds := make([][]uint64, n)
+	for i := range seeds {
+		seeds[i] = make([]uint64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			s := rng.Uint64()
+			seeds[i][j] = s
+			seeds[j][i] = s
+		}
+	}
+	return seeds
+}
+
+// MaskUpdate returns client idx's update with all pairwise masks applied:
+// + mask(i,j) for j > i, − mask(i,j) for j < i. The mask magnitude scales
+// with maskStd (it should dwarf the update values for privacy).
+func MaskUpdate(update []float32, idx int, seeds PairwiseSeeds, maskStd float32) ([]float32, error) {
+	n := len(seeds)
+	if idx < 0 || idx >= n {
+		return nil, fmt.Errorf("fed: client index %d out of range %d", idx, n)
+	}
+	out := make([]float32, len(update))
+	copy(out, update)
+	for peer := 0; peer < n; peer++ {
+		if peer == idx {
+			continue
+		}
+		mrng := tensor.NewRNG(seeds[idx][peer])
+		sign := float32(1)
+		if peer < idx {
+			sign = -1
+		}
+		for k := range out {
+			out[k] += sign * mrng.NormFloat32() * maskStd
+		}
+	}
+	return out, nil
+}
+
+// SumUpdates adds a set of equal-length vectors; applied to masked updates
+// the pairwise masks cancel and the true sum emerges.
+func SumUpdates(updates [][]float32) ([]float32, error) {
+	if len(updates) == 0 {
+		return nil, fmt.Errorf("fed: no updates to sum")
+	}
+	n := len(updates[0])
+	out := make([]float32, n)
+	for _, u := range updates {
+		if len(u) != n {
+			return nil, fmt.Errorf("fed: update length %d != %d", len(u), n)
+		}
+		for k, v := range u {
+			out[k] += v
+		}
+	}
+	return out, nil
+}

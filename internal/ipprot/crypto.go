@@ -1,0 +1,125 @@
+// Package ipprot implements the model intellectual-property protections of
+// §V: encryption at rest with per-model wrapped keys (the OpenVINO/CoreML
+// mechanism the paper cites), static white-box watermarking (Uchida-style
+// projection embedding), dynamic black-box watermarking (trigger sets),
+// the indirect model-stealing attack itself (student-teacher extraction
+// against a black-box API) with the prediction-poisoning defenses the
+// paper lists (rounding, top-1, noise, deceptive perturbation), a
+// PRADA-style stealing-query detector, and key-gated weight scrambling
+// (ref [83]).
+package ipprot
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+)
+
+// EncryptedModel is a model artifact sealed for distribution: the payload
+// is AES-GCM encrypted under a fresh data key, and the data key is wrapped
+// under the vendor key. A device that has been provisioned the vendor key
+// (in production: inside its SPE) can unwrap and decrypt; the artifact on
+// flash is opaque.
+type EncryptedModel struct {
+	// WrappedKey is the data key encrypted under the vendor key.
+	WrappedKey []byte
+	// KeyNonce is the GCM nonce of the wrap.
+	KeyNonce []byte
+	// Nonce is the GCM nonce of the payload.
+	Nonce []byte
+	// Ciphertext is the sealed model artifact.
+	Ciphertext []byte
+	// ModelID binds the blob to a registry version (authenticated data).
+	ModelID string
+}
+
+// EncryptModel seals artifact bytes for modelID under the vendor key.
+func EncryptModel(vendorKey []byte, modelID string, artifact []byte) (*EncryptedModel, error) {
+	if len(vendorKey) < 16 {
+		return nil, errors.New("ipprot: vendor key must be at least 16 bytes")
+	}
+	dataKey := make([]byte, 32)
+	if _, err := rand.Read(dataKey); err != nil {
+		return nil, fmt.Errorf("ipprot: data key: %w", err)
+	}
+	payloadGCM, err := newGCM(dataKey)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, payloadGCM.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, fmt.Errorf("ipprot: nonce: %w", err)
+	}
+	ct := payloadGCM.Seal(nil, nonce, artifact, []byte(modelID))
+
+	wrapGCM, err := newGCM(kdf(vendorKey, "model-wrap"))
+	if err != nil {
+		return nil, err
+	}
+	keyNonce := make([]byte, wrapGCM.NonceSize())
+	if _, err := rand.Read(keyNonce); err != nil {
+		return nil, fmt.Errorf("ipprot: key nonce: %w", err)
+	}
+	wrapped := wrapGCM.Seal(nil, keyNonce, dataKey, []byte(modelID))
+	return &EncryptedModel{
+		WrappedKey: wrapped, KeyNonce: keyNonce,
+		Nonce: nonce, Ciphertext: ct, ModelID: modelID,
+	}, nil
+}
+
+// DecryptModel unwraps the data key and decrypts the artifact. Any
+// tampering — with the ciphertext, the wrapped key or the model binding —
+// fails authentication.
+func DecryptModel(vendorKey []byte, em *EncryptedModel) ([]byte, error) {
+	wrapGCM, err := newGCM(kdf(vendorKey, "model-wrap"))
+	if err != nil {
+		return nil, err
+	}
+	dataKey, err := wrapGCM.Open(nil, em.KeyNonce, em.WrappedKey, []byte(em.ModelID))
+	if err != nil {
+		return nil, fmt.Errorf("ipprot: unwrap data key: %w", err)
+	}
+	payloadGCM, err := newGCM(dataKey)
+	if err != nil {
+		return nil, err
+	}
+	pt, err := payloadGCM.Open(nil, em.Nonce, em.Ciphertext, []byte(em.ModelID))
+	if err != nil {
+		return nil, fmt.Errorf("ipprot: decrypt model: %w", err)
+	}
+	return pt, nil
+}
+
+func newGCM(key []byte) (cipher.AEAD, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("ipprot: cipher: %w", err)
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("ipprot: gcm: %w", err)
+	}
+	return gcm, nil
+}
+
+// kdf derives a purpose-bound 32-byte key from a root key.
+func kdf(root []byte, purpose string) []byte {
+	mac := hmac.New(sha256.New, root)
+	mac.Write([]byte(purpose))
+	return mac.Sum(nil)
+}
+
+// keySeed derives a deterministic uint64 stream seed from a string key,
+// used by watermark projections, trigger sets and scrambling permutations.
+func keySeed(key, purpose string) uint64 {
+	sum := sha256.Sum256([]byte(purpose + "\x00" + key))
+	var s uint64
+	for i := 0; i < 8; i++ {
+		s = s<<8 | uint64(sum[i])
+	}
+	return s
+}

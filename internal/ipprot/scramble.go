@@ -1,0 +1,84 @@
+package ipprot
+
+import (
+	"fmt"
+
+	"tinymlops/internal/nn"
+	"tinymlops/internal/tensor"
+)
+
+// Key-gated weight scrambling (after "chaotic weights" / hardware-assisted
+// key locking, §V refs [82][83]): before distribution, every dense layer's
+// output channels are permuted with a key-derived permutation, and biases
+// with them — but the *next* layer is left expecting the original order,
+// so the distributed artifact computes garbage. Unscrambling with the
+// correct key restores the exact original network; any other key yields
+// another broken permutation. This gives the model "a secret key to
+// operate at its full potential".
+
+// ScrambleNetwork permutes each dense layer's output channels (weights and
+// bias) in place with permutations derived from key. Call Unscramble with
+// the same key to restore.
+func ScrambleNetwork(net *nn.Network, key string) error {
+	return applyScramble(net, key, false)
+}
+
+// UnscrambleNetwork inverts ScrambleNetwork under the same key.
+func UnscrambleNetwork(net *nn.Network, key string) error {
+	return applyScramble(net, key, true)
+}
+
+func applyScramble(net *nn.Network, key string, invert bool) error {
+	dl := denseLayers(net)
+	if len(dl) == 0 {
+		return fmt.Errorf("ipprot: network has no dense layers to scramble")
+	}
+	rng := tensor.NewRNG(keySeed(key, "scramble"))
+	for li, d := range dl {
+		perm := rng.Perm(d.Out)
+		if li == len(dl)-1 {
+			// Leave the final layer intact so the output space stays
+			// labeled correctly — the damage comes from inter-layer
+			// mismatch, mirroring the cited schemes which scramble the
+			// hidden representation.
+			continue
+		}
+		p := perm
+		if invert {
+			p = invertPerm(perm)
+		}
+		permuteColumns(d.W.Value, p)
+		permuteVector(d.B.Value, p)
+	}
+	return nil
+}
+
+func invertPerm(p []int) []int {
+	inv := make([]int, len(p))
+	for i, v := range p {
+		inv[v] = i
+	}
+	return inv
+}
+
+// permuteColumns reorders matrix columns: out column p[j] receives source
+// column j.
+func permuteColumns(w *tensor.Tensor, p []int) {
+	rows, cols := w.Dim(0), w.Dim(1)
+	tmp := make([]float32, cols)
+	for r := 0; r < rows; r++ {
+		row := w.Data[r*cols : (r+1)*cols]
+		for j, dst := range p {
+			tmp[dst] = row[j]
+		}
+		copy(row, tmp)
+	}
+}
+
+func permuteVector(v *tensor.Tensor, p []int) {
+	tmp := make([]float32, v.Size())
+	for j, dst := range p {
+		tmp[dst] = v.Data[j]
+	}
+	copy(v.Data, tmp)
+}

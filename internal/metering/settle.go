@@ -1,0 +1,230 @@
+package metering
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Receipt is the server's settlement answer.
+type Receipt struct {
+	OK bool
+	// AckSeq is the highest charge sequence the server has accepted.
+	AckSeq uint64
+	// Reason explains a rejection — these are the §III-C tamper signals.
+	Reason string
+}
+
+// Tamper reasons reported in Receipt.Reason.
+const (
+	ReasonBadVoucher = "voucher signature invalid"
+	ReasonRollback   = "rollback detected: report restarts below settled sequence"
+	ReasonGap        = "gap detected: report skips sequences"
+	ReasonBadChain   = "hash chain broken"
+	ReasonOverQuota  = "claimed usage exceeds voucher quota"
+	ReasonBadUsage   = "claimed usage inconsistent with entries"
+)
+
+// voucherState is what the vendor remembers per voucher between
+// settlements: the last accepted head and sequence.
+type voucherState struct {
+	head [32]byte
+	seq  uint64
+	used uint64
+}
+
+// Settler is the vendor-side settlement service.
+type Settler struct {
+	issuer *Issuer
+
+	mu    sync.Mutex
+	state map[string]*voucherState
+	// TamperLog records rejected settlements for audit.
+	tamperLog []string
+}
+
+// NewSettler returns a settlement service trusting vouchers from issuer.
+func NewSettler(issuer *Issuer) *Settler {
+	return &Settler{issuer: issuer, state: make(map[string]*voucherState)}
+}
+
+// Settle verifies a usage report and returns a receipt. On success the
+// server state advances; on any inconsistency the report is rejected and
+// logged.
+func (s *Settler) Settle(r Report) Receipt {
+	if !s.issuer.Verify(&r.Voucher) {
+		return s.reject(r, ReasonBadVoucher)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.state[r.Voucher.ID]
+	if !ok {
+		st = &voucherState{head: GenesisHead(r.Voucher)}
+		s.state[r.Voucher.ID] = st
+	}
+	switch {
+	case r.FromSeq <= st.seq:
+		return s.rejectLocked(r, ReasonRollback)
+	case r.FromSeq > st.seq+1:
+		return s.rejectLocked(r, ReasonGap)
+	}
+	// Verify the chain extends the stored head, with contiguous sequences.
+	head := st.head
+	seq := st.seq
+	for i := range r.Entries {
+		e := &r.Entries[i]
+		if e.Seq != seq+1 {
+			return s.rejectLocked(r, ReasonGap)
+		}
+		want := chainHash(head, e.Seq, e.Tick, r.Voucher.ID)
+		if want != e.Hash {
+			return s.rejectLocked(r, ReasonBadChain)
+		}
+		head = e.Hash
+		seq = e.Seq
+	}
+	if r.Used != seq {
+		return s.rejectLocked(r, ReasonBadUsage)
+	}
+	if r.Used > r.Voucher.Queries {
+		return s.rejectLocked(r, ReasonOverQuota)
+	}
+	st.head = head
+	st.seq = seq
+	st.used = r.Used
+	return Receipt{OK: true, AckSeq: seq}
+}
+
+func (s *Settler) reject(r Report, reason string) Receipt {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rejectLocked(r, reason)
+}
+
+func (s *Settler) rejectLocked(r Report, reason string) Receipt {
+	s.tamperLog = append(s.tamperLog, fmt.Sprintf("voucher %s: %s", r.Voucher.ID, reason))
+	return Receipt{OK: false, Reason: reason}
+}
+
+// TamperEvents returns the audit log of rejected settlements.
+func (s *Settler) TamperEvents() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.tamperLog...)
+}
+
+// SettledUsage returns the server-acknowledged usage for a voucher.
+func (s *Settler) SettledUsage(voucherID string) (uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.state[voucherID]
+	if !ok {
+		return 0, false
+	}
+	return st.used, true
+}
+
+// Server exposes the settler over TCP with newline-delimited JSON — the
+// reconnect path a fleet device uses after an offline period.
+type Server struct {
+	settler  *Settler
+	listener net.Listener
+	wg       sync.WaitGroup
+	closed   chan struct{}
+}
+
+// Serve starts accepting settlement connections on l until Close.
+func Serve(l net.Listener, settler *Settler) *Server {
+	srv := &Server{settler: settler, listener: l, closed: make(chan struct{})}
+	srv.wg.Add(1)
+	go srv.acceptLoop()
+	return srv
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+				continue
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	reader := bufio.NewReader(conn)
+	dec := json.NewDecoder(reader)
+	enc := json.NewEncoder(conn)
+	for {
+		var report Report
+		if err := dec.Decode(&report); err != nil {
+			return
+		}
+		receipt := s.settler.Settle(report)
+		if err := enc.Encode(receipt); err != nil {
+			return
+		}
+	}
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+// Close stops the server and waits for in-flight settlements.
+func (s *Server) Close() error {
+	close(s.closed)
+	err := s.listener.Close()
+	s.wg.Wait()
+	return err
+}
+
+// SettleOverTCP dials the settlement server, submits the report and
+// returns the receipt.
+func SettleOverTCP(addr string, report Report) (Receipt, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return Receipt{}, fmt.Errorf("metering: dial settlement server: %w", err)
+	}
+	defer conn.Close()
+	if err := json.NewEncoder(conn).Encode(report); err != nil {
+		return Receipt{}, fmt.Errorf("metering: send report: %w", err)
+	}
+	var receipt Receipt
+	if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&receipt); err != nil {
+		return Receipt{}, fmt.Errorf("metering: read receipt: %w", err)
+	}
+	return receipt, nil
+}
+
+// ErrSettlementRejected wraps a rejected receipt for callers that want an
+// error-shaped API.
+var ErrSettlementRejected = errors.New("metering: settlement rejected")
+
+// MustSettle is a convenience that settles and converts rejection into an
+// error.
+func MustSettle(addr string, m *Meter) error {
+	report := m.BuildReport()
+	receipt, err := SettleOverTCP(addr, report)
+	if err != nil {
+		return err
+	}
+	if !receipt.OK {
+		return fmt.Errorf("%w: %s", ErrSettlementRejected, receipt.Reason)
+	}
+	m.Acknowledge(receipt.AckSeq)
+	return nil
+}

@@ -1,0 +1,137 @@
+package nn
+
+import (
+	"fmt"
+
+	"tinymlops/internal/tensor"
+)
+
+// TrainConfig controls the mini-batch training loop.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	Optimizer Optimizer
+	// RNG shuffles examples between epochs. Required.
+	RNG *tensor.RNG
+	// ExtraGrad, if non-nil, is invoked after the loss gradient has been
+	// backpropagated and may add additional parameter gradients — the hook
+	// watermark embedding and FedProx's proximal term use.
+	ExtraGrad func(net *Network)
+	// OnEpoch, if non-nil, receives (epoch, meanLoss) after each epoch.
+	OnEpoch func(epoch int, loss float32)
+}
+
+// Train runs mini-batch classification training of net on (x, labels) with
+// softmax cross-entropy. x is [n, features...] and labels has length n. It
+// returns the mean loss of the final epoch.
+func Train(net *Network, x *tensor.Tensor, labels []int, cfg TrainConfig) (float32, error) {
+	n := x.Dim(0)
+	if len(labels) != n {
+		return 0, fmt.Errorf("nn: Train got %d labels for %d examples", len(labels), n)
+	}
+	if cfg.RNG == nil {
+		return 0, fmt.Errorf("nn: TrainConfig.RNG is required")
+	}
+	if cfg.Optimizer == nil {
+		return 0, fmt.Errorf("nn: TrainConfig.Optimizer is required")
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 1
+	}
+	var lastLoss float32
+	exampleSize := x.Size() / n
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		perm := cfg.RNG.Perm(n)
+		var epochLoss float64
+		batches := 0
+		for lo := 0; lo < n; lo += cfg.BatchSize {
+			hi := lo + cfg.BatchSize
+			if hi > n {
+				hi = n
+			}
+			bx, by := gatherBatch(x, labels, perm[lo:hi], exampleSize)
+			net.ZeroGrad()
+			logits := net.Forward(bx, true)
+			loss, grad := SoftmaxCrossEntropy(logits, by)
+			net.Backward(grad)
+			if cfg.ExtraGrad != nil {
+				cfg.ExtraGrad(net)
+			}
+			cfg.Optimizer.Step(net.Params())
+			epochLoss += float64(loss)
+			batches++
+		}
+		lastLoss = float32(epochLoss / float64(batches))
+		if cfg.OnEpoch != nil {
+			cfg.OnEpoch(epoch, lastLoss)
+		}
+	}
+	return lastLoss, nil
+}
+
+// gatherBatch copies the selected examples into a contiguous batch tensor.
+func gatherBatch(x *tensor.Tensor, labels []int, idx []int, exampleSize int) (*tensor.Tensor, []int) {
+	shape := append([]int{len(idx)}, x.Shape()[1:]...)
+	bx := tensor.New(shape...)
+	by := make([]int, len(idx))
+	for i, src := range idx {
+		copy(bx.Data[i*exampleSize:(i+1)*exampleSize], x.Data[src*exampleSize:(src+1)*exampleSize])
+		by[i] = labels[src]
+	}
+	return bx, by
+}
+
+// Evaluate returns classification accuracy of net on (x, labels), running
+// inference in batches to bound memory.
+func Evaluate(net *Network, x *tensor.Tensor, labels []int) float64 {
+	n := x.Dim(0)
+	if n == 0 {
+		return 0
+	}
+	const batch = 256
+	exampleSize := x.Size() / n
+	correct := 0
+	for lo := 0; lo < n; lo += batch {
+		hi := lo + batch
+		if hi > n {
+			hi = n
+		}
+		shape := append([]int{hi - lo}, x.Shape()[1:]...)
+		bx := tensor.FromSlice(x.Data[lo*exampleSize:hi*exampleSize], shape...)
+		pred := net.Predict(bx).ArgMaxRows()
+		for i, p := range pred {
+			if p == labels[lo+i] {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(n)
+}
+
+// MeanLoss returns the mean softmax cross-entropy of net on (x, labels)
+// without updating any state.
+func MeanLoss(net *Network, x *tensor.Tensor, labels []int) float32 {
+	n := x.Dim(0)
+	if n == 0 {
+		return 0
+	}
+	const batch = 256
+	exampleSize := x.Size() / n
+	var total float64
+	var count int
+	for lo := 0; lo < n; lo += batch {
+		hi := lo + batch
+		if hi > n {
+			hi = n
+		}
+		shape := append([]int{hi - lo}, x.Shape()[1:]...)
+		bx := tensor.FromSlice(x.Data[lo*exampleSize:hi*exampleSize], shape...)
+		loss, _ := SoftmaxCrossEntropy(net.Predict(bx), labels[lo:hi])
+		total += float64(loss) * float64(hi-lo)
+		count += hi - lo
+	}
+	return float32(total / float64(count))
+}

@@ -1,0 +1,254 @@
+package procvm
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Builder assembles pipeline modules with a fluent API and validates them
+// statically (pool references, operand encoding, stack balance) before
+// producing an immutable Module.
+//
+//	m, err := procvm.NewBuilder("preprocess").
+//		Input().
+//		Normalize(means, stds).
+//		Clamp(-4, 4).
+//		Build()
+type Builder struct {
+	m   Module
+	err error
+}
+
+// NewBuilder starts a module with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{m: Module{Name: name}}
+}
+
+// RequireCaps declares host capabilities the module needs.
+func (b *Builder) RequireCaps(c Capability) *Builder {
+	b.m.Caps |= c
+	return b
+}
+
+// WithGasLimit sets the module's own gas ceiling.
+func (b *Builder) WithGasLimit(gas uint64) *Builder {
+	b.m.GasLimit = gas
+	return b
+}
+
+func (b *Builder) emit(op OpCode, operands ...int) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if len(operands) != op.Operands() {
+		b.err = fmt.Errorf("procvm: %v takes %d operands, got %d", op, op.Operands(), len(operands))
+		return b
+	}
+	b.m.Code = append(b.m.Code, byte(op))
+	for _, v := range operands {
+		if v < 0 || v > 0xFFFF {
+			b.err = fmt.Errorf("procvm: operand %d out of u16 range", v)
+			return b
+		}
+		var tmp [2]byte
+		binary.LittleEndian.PutUint16(tmp[:], uint16(v))
+		b.m.Code = append(b.m.Code, tmp[:]...)
+	}
+	return b
+}
+
+func (b *Builder) scalarConst(v float32) int {
+	for i, s := range b.m.Scalars {
+		if s == v {
+			return i
+		}
+	}
+	b.m.Scalars = append(b.m.Scalars, v)
+	return len(b.m.Scalars) - 1
+}
+
+func (b *Builder) vectorConst(v []float32) int {
+	b.m.Vectors = append(b.m.Vectors, append([]float32(nil), v...))
+	return len(b.m.Vectors) - 1
+}
+
+// Input pushes the module input.
+func (b *Builder) Input() *Builder { return b.emit(OpInput) }
+
+// PushScalar pushes a scalar constant.
+func (b *Builder) PushScalar(v float32) *Builder {
+	if b.err != nil {
+		return b
+	}
+	return b.emit(OpPushScalar, b.scalarConst(v))
+}
+
+// PushVector pushes a vector constant.
+func (b *Builder) PushVector(v []float32) *Builder {
+	if b.err != nil {
+		return b
+	}
+	return b.emit(OpPushVector, b.vectorConst(v))
+}
+
+// Add, Sub, Mul, Div emit the binary arithmetic ops.
+func (b *Builder) Add() *Builder { return b.emit(OpAdd) }
+
+// Sub emits a subtraction.
+func (b *Builder) Sub() *Builder { return b.emit(OpSub) }
+
+// Mul emits a multiplication.
+func (b *Builder) Mul() *Builder { return b.emit(OpMul) }
+
+// Div emits a division.
+func (b *Builder) Div() *Builder { return b.emit(OpDiv) }
+
+// Neg negates the top value.
+func (b *Builder) Neg() *Builder { return b.emit(OpNeg) }
+
+// Abs takes element-wise absolute value.
+func (b *Builder) Abs() *Builder { return b.emit(OpAbs) }
+
+// Square squares element-wise.
+func (b *Builder) Square() *Builder { return b.emit(OpSquare) }
+
+// Sqrt takes the element-wise square root.
+func (b *Builder) Sqrt() *Builder { return b.emit(OpSqrt) }
+
+// Normalize subtracts mean and divides by std element-wise.
+func (b *Builder) Normalize(mean, std []float32) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if len(mean) != len(std) {
+		b.err = fmt.Errorf("procvm: Normalize mean/std lengths %d vs %d", len(mean), len(std))
+		return b
+	}
+	return b.PushVector(mean).PushVector(std).emit(OpNormalize)
+}
+
+// Clamp bounds elements to [lo, hi].
+func (b *Builder) Clamp(lo, hi float32) *Builder {
+	return b.PushScalar(lo).PushScalar(hi).emit(OpClamp)
+}
+
+// Threshold binarizes against t.
+func (b *Builder) Threshold(t float32) *Builder {
+	return b.PushScalar(t).emit(OpThreshold)
+}
+
+// Softmax applies softmax to the top vector.
+func (b *Builder) Softmax() *Builder { return b.emit(OpSoftmax) }
+
+// ArgMax reduces the top vector to the index of its maximum.
+func (b *Builder) ArgMax() *Builder { return b.emit(OpArgMax) }
+
+// Max reduces the top vector to its maximum.
+func (b *Builder) Max() *Builder { return b.emit(OpMax) }
+
+// Mean reduces the top vector to its mean.
+func (b *Builder) Mean() *Builder { return b.emit(OpMean) }
+
+// Sum reduces the top vector to its sum.
+func (b *Builder) Sum() *Builder { return b.emit(OpSum) }
+
+// MeanPool averages non-overlapping windows of size k.
+func (b *Builder) MeanPool(k int) *Builder { return b.emit(OpMeanPool, k) }
+
+// Slice keeps elements [lo, hi) of the top vector.
+func (b *Builder) Slice(lo, hi int) *Builder { return b.emit(OpSlice, lo, hi) }
+
+// Dup duplicates the top value.
+func (b *Builder) Dup() *Builder { return b.emit(OpDup) }
+
+// Drop discards the top value.
+func (b *Builder) Drop() *Builder { return b.emit(OpDrop) }
+
+// Swap exchanges the top two values.
+func (b *Builder) Swap() *Builder { return b.emit(OpSwap) }
+
+// Build validates and returns the module.
+func (b *Builder) Build() (*Module, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if err := Validate(&b.m); err != nil {
+		return nil, err
+	}
+	m := b.m // copy
+	m.Code = append([]byte(nil), b.m.Code...)
+	return &m, nil
+}
+
+// Validate statically checks a module: opcodes are defined, operands are
+// complete, pool references are in range and the stack never underflows
+// (conservatively, treating every value as one slot).
+func Validate(m *Module) error {
+	pc := 0
+	depth := 0
+	for pc < len(m.Code) {
+		op := OpCode(m.Code[pc])
+		pc++
+		if !op.Valid() {
+			return fmt.Errorf("procvm: invalid opcode %d at offset %d", byte(op), pc-1)
+		}
+		operands := make([]int, op.Operands())
+		for i := range operands {
+			if pc+2 > len(m.Code) {
+				return fmt.Errorf("procvm: truncated operand for %v at offset %d", op, pc)
+			}
+			operands[i] = int(binary.LittleEndian.Uint16(m.Code[pc:]))
+			pc += 2
+		}
+		switch op {
+		case OpPushScalar:
+			if operands[0] >= len(m.Scalars) {
+				return fmt.Errorf("procvm: scalar index %d out of pool (size %d)", operands[0], len(m.Scalars))
+			}
+		case OpPushVector:
+			if operands[0] >= len(m.Vectors) {
+				return fmt.Errorf("procvm: vector index %d out of pool (size %d)", operands[0], len(m.Vectors))
+			}
+		case OpMeanPool:
+			if operands[0] == 0 {
+				return fmt.Errorf("procvm: meanpool window must be positive")
+			}
+		case OpSlice:
+			if operands[0] > operands[1] {
+				return fmt.Errorf("procvm: slice bounds [%d:%d] inverted", operands[0], operands[1])
+			}
+		}
+		pops, pushes := stackEffect(op)
+		depth -= pops
+		if depth < 0 {
+			return fmt.Errorf("procvm: stack underflow at %v (offset %d)", op, pc)
+		}
+		depth += pushes
+	}
+	if depth < 1 {
+		return fmt.Errorf("procvm: module leaves %d values on the stack, need ≥1", depth)
+	}
+	return nil
+}
+
+// stackEffect returns how many values op pops and pushes.
+func stackEffect(op OpCode) (pops, pushes int) {
+	switch op {
+	case OpHalt:
+		return 0, 0
+	case OpInput, OpPushScalar, OpPushVector:
+		return 0, 1
+	case OpDup:
+		return 1, 2
+	case OpDrop:
+		return 1, 0
+	case OpSwap:
+		return 2, 2
+	case OpAdd, OpSub, OpMul, OpDiv, OpThreshold:
+		return 2, 1
+	case OpClamp, OpNormalize:
+		return 3, 1
+	default: // unary and reductions
+		return 1, 1
+	}
+}

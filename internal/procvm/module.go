@@ -1,0 +1,228 @@
+// Package procvm is a small sandboxed stack virtual machine for the
+// pre/post-processing pipelines that accompany a deployed model:
+// normalization, thresholding, windowing, argmax, softmax and control-free
+// vector arithmetic.
+//
+// It is the reproduction's stand-in for the WebAssembly modules the paper
+// proposes (§III-A, §IV, ref [24] — the hotg.ai Rune container): one
+// portable artifact that runs bit-identically on every target, is sandboxed
+// behind explicit capability grants, and is resource-bounded by a
+// deterministic gas meter. Experiment E7 contrasts the dense portability of
+// procvm modules with the sparse native-op support matrix.
+package procvm
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Capability is a bitmask of host resources a module may touch. The
+// interpreter itself offers no I/O instructions yet; the flags gate what a
+// *host integration* may wire into a pipeline stage, and deployment
+// refuses modules that demand more than the device policy grants.
+type Capability uint32
+
+// Capability flags.
+const (
+	CapNone    Capability = 0
+	CapSensor  Capability = 1 << iota // read a local sensor
+	CapNetwork                        // open network connections
+	CapStorage                        // persist data locally
+)
+
+// Has reports whether c includes all capabilities in want.
+func (c Capability) Has(want Capability) bool { return c&want == want }
+
+// String implements fmt.Stringer.
+func (c Capability) String() string {
+	if c == CapNone {
+		return "none"
+	}
+	var buf bytes.Buffer
+	add := func(f Capability, name string) {
+		if c&f != 0 {
+			if buf.Len() > 0 {
+				buf.WriteByte('|')
+			}
+			buf.WriteString(name)
+		}
+	}
+	add(CapSensor, "sensor")
+	add(CapNetwork, "network")
+	add(CapStorage, "storage")
+	return buf.String()
+}
+
+// Module is a compiled processing pipeline: a constant pool, bytecode and a
+// manifest (name, required capabilities, gas limit). Modules are immutable
+// once built; Digest identifies the exact artifact for registry storage
+// and integrity checks.
+type Module struct {
+	// Name labels the module in registries and reports.
+	Name string
+	// Caps are the capabilities the module requires from its host.
+	Caps Capability
+	// GasLimit bounds execution cost; 0 means "host default".
+	GasLimit uint64
+	// Scalars and Vectors form the constant pool.
+	Scalars []float32
+	Vectors [][]float32
+	// Code is the bytecode (see ops.go for the ISA).
+	Code []byte
+}
+
+const moduleMagic = "PVM1\n"
+
+// Encode serializes the module to its canonical binary form.
+func (m *Module) Encode() []byte {
+	var buf bytes.Buffer
+	buf.WriteString(moduleMagic)
+	putString(&buf, m.Name)
+	putU32(&buf, uint32(m.Caps))
+	putU64(&buf, m.GasLimit)
+	putU32(&buf, uint32(len(m.Scalars)))
+	for _, s := range m.Scalars {
+		putU32(&buf, math.Float32bits(s))
+	}
+	putU32(&buf, uint32(len(m.Vectors)))
+	for _, v := range m.Vectors {
+		putU32(&buf, uint32(len(v)))
+		for _, s := range v {
+			putU32(&buf, math.Float32bits(s))
+		}
+	}
+	putU32(&buf, uint32(len(m.Code)))
+	buf.Write(m.Code)
+	return buf.Bytes()
+}
+
+// Digest returns the SHA-256 of the canonical encoding — the module's
+// content address.
+func (m *Module) Digest() [32]byte { return sha256.Sum256(m.Encode()) }
+
+// DecodeModule parses a module from its canonical binary form.
+func DecodeModule(data []byte) (*Module, error) {
+	r := bytes.NewReader(data)
+	magic := make([]byte, len(moduleMagic))
+	if _, err := r.Read(magic); err != nil || string(magic) != moduleMagic {
+		return nil, errors.New("procvm: not a PVM1 module")
+	}
+	m := &Module{}
+	var err error
+	if m.Name, err = getString(r); err != nil {
+		return nil, err
+	}
+	caps, err := getU32(r)
+	if err != nil {
+		return nil, err
+	}
+	m.Caps = Capability(caps)
+	if m.GasLimit, err = getU64(r); err != nil {
+		return nil, err
+	}
+	ns, err := getU32(r)
+	if err != nil {
+		return nil, err
+	}
+	if ns > 1<<16 {
+		return nil, fmt.Errorf("procvm: implausible scalar pool size %d", ns)
+	}
+	m.Scalars = make([]float32, ns)
+	for i := range m.Scalars {
+		b, err := getU32(r)
+		if err != nil {
+			return nil, err
+		}
+		m.Scalars[i] = math.Float32frombits(b)
+	}
+	nv, err := getU32(r)
+	if err != nil {
+		return nil, err
+	}
+	if nv > 1<<12 {
+		return nil, fmt.Errorf("procvm: implausible vector pool size %d", nv)
+	}
+	m.Vectors = make([][]float32, nv)
+	for i := range m.Vectors {
+		ln, err := getU32(r)
+		if err != nil {
+			return nil, err
+		}
+		if ln > 1<<20 {
+			return nil, fmt.Errorf("procvm: implausible vector length %d", ln)
+		}
+		vec := make([]float32, ln)
+		for j := range vec {
+			b, err := getU32(r)
+			if err != nil {
+				return nil, err
+			}
+			vec[j] = math.Float32frombits(b)
+		}
+		m.Vectors[i] = vec
+	}
+	nc, err := getU32(r)
+	if err != nil {
+		return nil, err
+	}
+	if nc > 1<<20 {
+		return nil, fmt.Errorf("procvm: implausible code size %d", nc)
+	}
+	m.Code = make([]byte, nc)
+	if _, err := r.Read(m.Code); err != nil && nc > 0 {
+		return nil, fmt.Errorf("procvm: short code section: %w", err)
+	}
+	return m, nil
+}
+
+func putU32(b *bytes.Buffer, v uint32) {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], v)
+	b.Write(tmp[:])
+}
+
+func putU64(b *bytes.Buffer, v uint64) {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], v)
+	b.Write(tmp[:])
+}
+
+func putString(b *bytes.Buffer, s string) {
+	putU32(b, uint32(len(s)))
+	b.WriteString(s)
+}
+
+func getU32(r *bytes.Reader) (uint32, error) {
+	var tmp [4]byte
+	if _, err := r.Read(tmp[:]); err != nil {
+		return 0, fmt.Errorf("procvm: truncated module: %w", err)
+	}
+	return binary.LittleEndian.Uint32(tmp[:]), nil
+}
+
+func getU64(r *bytes.Reader) (uint64, error) {
+	var tmp [8]byte
+	if _, err := r.Read(tmp[:]); err != nil {
+		return 0, fmt.Errorf("procvm: truncated module: %w", err)
+	}
+	return binary.LittleEndian.Uint64(tmp[:]), nil
+}
+
+func getString(r *bytes.Reader) (string, error) {
+	n, err := getU32(r)
+	if err != nil {
+		return "", err
+	}
+	if n > 4096 {
+		return "", fmt.Errorf("procvm: implausible string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := r.Read(buf); err != nil && n > 0 {
+		return "", fmt.Errorf("procvm: truncated string: %w", err)
+	}
+	return string(buf), nil
+}

@@ -1,0 +1,127 @@
+package procvm
+
+import "fmt"
+
+// OpCode is one instruction of the pipeline ISA. Instructions operate on a
+// stack of values; a value is either a scalar or a float32 vector. Binary
+// arithmetic broadcasts scalars over vectors. The ISA is deliberately
+// control-flow-free (no jumps): every module is a straight-line pipeline,
+// which makes gas exactly predictable and termination trivial.
+type OpCode byte
+
+// The instruction set.
+const (
+	OpHalt OpCode = iota
+	// OpInput pushes the module input vector.
+	OpInput
+	// OpPushScalar <u16 idx> pushes Scalars[idx].
+	OpPushScalar
+	// OpPushVector <u16 idx> pushes a copy of Vectors[idx].
+	OpPushVector
+	// Stack shuffling.
+	OpDup
+	OpDrop
+	OpSwap
+	// Binary arithmetic: pops b then a, pushes a∘b (scalar broadcast).
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	// Unary.
+	OpNeg
+	OpAbs
+	OpSquare
+	OpSqrt
+	// OpClamp pops hi, lo, x and pushes x clamped element-wise.
+	OpClamp
+	// OpNormalize pops std (vector), mean (vector), x and pushes (x-mean)/std.
+	OpNormalize
+	// OpThreshold pops t (scalar), x and pushes the element-wise indicator x > t.
+	OpThreshold
+	// OpSoftmax pops a vector, pushes its softmax.
+	OpSoftmax
+	// OpArgMax pops a vector, pushes the index of its maximum as a scalar.
+	OpArgMax
+	// OpMax / OpMean / OpSum pop a vector and push the reduction as a scalar.
+	OpMax
+	OpMean
+	OpSum
+	// OpMeanPool <u16 k> pops a vector and pushes its length/k window means
+	// (k must divide the length).
+	OpMeanPool
+	// OpSlice <u16 lo> <u16 hi> pops a vector and pushes v[lo:hi].
+	OpSlice
+	opCount // sentinel
+)
+
+// opInfo describes one instruction's mnemonic and operand count (u16
+// operands following the opcode byte).
+type opInfo struct {
+	name     string
+	operands int
+}
+
+var opTable = [opCount]opInfo{
+	OpHalt:       {"halt", 0},
+	OpInput:      {"input", 0},
+	OpPushScalar: {"pushs", 1},
+	OpPushVector: {"pushv", 1},
+	OpDup:        {"dup", 0},
+	OpDrop:       {"drop", 0},
+	OpSwap:       {"swap", 0},
+	OpAdd:        {"add", 0},
+	OpSub:        {"sub", 0},
+	OpMul:        {"mul", 0},
+	OpDiv:        {"div", 0},
+	OpNeg:        {"neg", 0},
+	OpAbs:        {"abs", 0},
+	OpSquare:     {"square", 0},
+	OpSqrt:       {"sqrt", 0},
+	OpClamp:      {"clamp", 0},
+	OpNormalize:  {"normalize", 0},
+	OpThreshold:  {"threshold", 0},
+	OpSoftmax:    {"softmax", 0},
+	OpArgMax:     {"argmax", 0},
+	OpMax:        {"max", 0},
+	OpMean:       {"mean", 0},
+	OpSum:        {"sum", 0},
+	OpMeanPool:   {"meanpool", 1},
+	OpSlice:      {"slice", 2},
+}
+
+// String implements fmt.Stringer.
+func (o OpCode) String() string {
+	if int(o) < len(opTable) && opTable[o].name != "" {
+		return opTable[o].name
+	}
+	return fmt.Sprintf("op(%d)", byte(o))
+}
+
+// Valid reports whether the opcode is defined.
+func (o OpCode) Valid() bool { return int(o) < int(opCount) && opTable[o].name != "" }
+
+// Operands returns the number of u16 operands the opcode carries.
+func (o OpCode) Operands() int {
+	if !o.Valid() {
+		return 0
+	}
+	return opTable[o].operands
+}
+
+// gasCost returns the metered cost of executing op on a value of n
+// elements (n=1 for scalars). Costs are deterministic so a module's gas is
+// a pure function of its code and input length.
+func gasCost(op OpCode, n int) uint64 {
+	switch op {
+	case OpHalt, OpDup, OpDrop, OpSwap, OpPushScalar:
+		return 1
+	case OpInput, OpPushVector, OpSlice:
+		return uint64(n) + 1
+	case OpSoftmax:
+		return uint64(4*n) + 1
+	case OpSqrt, OpNormalize:
+		return uint64(2*n) + 1
+	default:
+		return uint64(n) + 1
+	}
+}

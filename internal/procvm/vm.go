@@ -1,0 +1,441 @@
+package procvm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Value is one stack slot: a scalar or a vector.
+type Value struct {
+	IsVec  bool
+	Scalar float32
+	Vec    []float32
+}
+
+// Len returns the element count (1 for scalars).
+func (v Value) Len() int {
+	if v.IsVec {
+		return len(v.Vec)
+	}
+	return 1
+}
+
+func scalar(s float32) Value   { return Value{Scalar: s} }
+func vector(v []float32) Value { return Value{IsVec: true, Vec: v} }
+
+// Result is the outcome of executing a module.
+type Result struct {
+	Output  Value
+	GasUsed uint64
+}
+
+// Runtime executes modules under a host policy: granted capabilities, a
+// stack-depth bound and a gas ceiling. The zero value is unusable; use
+// NewRuntime.
+type Runtime struct {
+	// Granted is the capability set the host extends to modules.
+	Granted Capability
+	// MaxStack bounds the value stack depth.
+	MaxStack int
+	// MaxGas caps execution cost when the module declares no tighter limit.
+	MaxGas uint64
+}
+
+// NewRuntime returns a runtime granting the given capabilities with
+// default resource bounds (stack 64, gas 1M).
+func NewRuntime(granted Capability) *Runtime {
+	return &Runtime{Granted: granted, MaxStack: 64, MaxGas: 1 << 20}
+}
+
+// Sentinel execution errors.
+var (
+	ErrCapabilityDenied = errors.New("procvm: module requires capabilities the host did not grant")
+	ErrOutOfGas         = errors.New("procvm: out of gas")
+	ErrStackOverflow    = errors.New("procvm: stack overflow")
+	ErrStackUnderflow   = errors.New("procvm: stack underflow")
+	ErrTypeMismatch     = errors.New("procvm: operand type mismatch")
+	ErrBadModule        = errors.New("procvm: malformed module")
+)
+
+// Run executes the module on the input vector and returns the top of the
+// stack at halt.
+func (rt *Runtime) Run(m *Module, input []float32) (Result, error) {
+	if !rt.Granted.Has(m.Caps) {
+		return Result{}, fmt.Errorf("%w: need %v, granted %v", ErrCapabilityDenied, m.Caps, rt.Granted)
+	}
+	gasLimit := rt.MaxGas
+	if m.GasLimit > 0 && m.GasLimit < gasLimit {
+		gasLimit = m.GasLimit
+	}
+	var gas uint64
+	stack := make([]Value, 0, 16)
+
+	push := func(v Value) error {
+		if len(stack) >= rt.MaxStack {
+			return ErrStackOverflow
+		}
+		stack = append(stack, v)
+		return nil
+	}
+	pop := func() (Value, error) {
+		if len(stack) == 0 {
+			return Value{}, ErrStackUnderflow
+		}
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		return v, nil
+	}
+	popVec := func() ([]float32, error) {
+		v, err := pop()
+		if err != nil {
+			return nil, err
+		}
+		if !v.IsVec {
+			return nil, fmt.Errorf("%w: expected vector", ErrTypeMismatch)
+		}
+		return v.Vec, nil
+	}
+	popScalar := func() (float32, error) {
+		v, err := pop()
+		if err != nil {
+			return 0, err
+		}
+		if v.IsVec {
+			return 0, fmt.Errorf("%w: expected scalar", ErrTypeMismatch)
+		}
+		return v.Scalar, nil
+	}
+
+	pc := 0
+	code := m.Code
+	readU16 := func() (int, error) {
+		if pc+2 > len(code) {
+			return 0, fmt.Errorf("%w: truncated operand at pc=%d", ErrBadModule, pc)
+		}
+		v := int(binary.LittleEndian.Uint16(code[pc:]))
+		pc += 2
+		return v, nil
+	}
+
+	for pc < len(code) {
+		op := OpCode(code[pc])
+		pc++
+		if !op.Valid() {
+			return Result{}, fmt.Errorf("%w: invalid opcode %d at pc=%d", ErrBadModule, byte(op), pc-1)
+		}
+		// Meter on the size of the value the op touches (top of stack or
+		// the pushed value).
+		n := 1
+		if len(stack) > 0 {
+			n = stack[len(stack)-1].Len()
+		}
+		if op == OpInput {
+			n = len(input)
+		}
+		gas += gasCost(op, n)
+		if gas > gasLimit {
+			return Result{GasUsed: gas}, fmt.Errorf("%w: used %d of %d", ErrOutOfGas, gas, gasLimit)
+		}
+
+		var err error
+		switch op {
+		case OpHalt:
+			pc = len(code)
+		case OpInput:
+			cp := make([]float32, len(input))
+			copy(cp, input)
+			err = push(vector(cp))
+		case OpPushScalar:
+			var idx int
+			if idx, err = readU16(); err == nil {
+				if idx >= len(m.Scalars) {
+					err = fmt.Errorf("%w: scalar pool index %d out of range", ErrBadModule, idx)
+				} else {
+					err = push(scalar(m.Scalars[idx]))
+				}
+			}
+		case OpPushVector:
+			var idx int
+			if idx, err = readU16(); err == nil {
+				if idx >= len(m.Vectors) {
+					err = fmt.Errorf("%w: vector pool index %d out of range", ErrBadModule, idx)
+				} else {
+					cp := make([]float32, len(m.Vectors[idx]))
+					copy(cp, m.Vectors[idx])
+					err = push(vector(cp))
+				}
+			}
+		case OpDup:
+			var v Value
+			if v, err = pop(); err == nil {
+				cp := v
+				if v.IsVec {
+					cp.Vec = append([]float32(nil), v.Vec...)
+				}
+				if err = push(v); err == nil {
+					err = push(cp)
+				}
+			}
+		case OpDrop:
+			_, err = pop()
+		case OpSwap:
+			var a, b Value
+			if b, err = pop(); err == nil {
+				if a, err = pop(); err == nil {
+					if err = push(b); err == nil {
+						err = push(a)
+					}
+				}
+			}
+		case OpAdd, OpSub, OpMul, OpDiv:
+			err = binaryOp(&stack, op, push, pop)
+		case OpNeg:
+			err = unaryOp(pop, push, func(x float32) float32 { return -x })
+		case OpAbs:
+			err = unaryOp(pop, push, func(x float32) float32 {
+				if x < 0 {
+					return -x
+				}
+				return x
+			})
+		case OpSquare:
+			err = unaryOp(pop, push, func(x float32) float32 { return x * x })
+		case OpSqrt:
+			err = unaryOp(pop, push, func(x float32) float32 {
+				return float32(math.Sqrt(float64(x)))
+			})
+		case OpClamp:
+			var hi, lo float32
+			var x Value
+			if hi, err = popScalar(); err == nil {
+				if lo, err = popScalar(); err == nil {
+					if x, err = pop(); err == nil {
+						err = push(mapValue(x, func(v float32) float32 {
+							if v < lo {
+								return lo
+							}
+							if v > hi {
+								return hi
+							}
+							return v
+						}))
+					}
+				}
+			}
+		case OpNormalize:
+			var std, mean, x []float32
+			if std, err = popVec(); err == nil {
+				if mean, err = popVec(); err == nil {
+					if x, err = popVec(); err == nil {
+						if len(x) != len(mean) || len(x) != len(std) {
+							err = fmt.Errorf("%w: normalize lengths %d/%d/%d", ErrTypeMismatch, len(x), len(mean), len(std))
+						} else {
+							out := make([]float32, len(x))
+							for i := range x {
+								d := std[i]
+								if d == 0 {
+									d = 1
+								}
+								out[i] = (x[i] - mean[i]) / d
+							}
+							err = push(vector(out))
+						}
+					}
+				}
+			}
+		case OpThreshold:
+			var t float32
+			var x Value
+			if t, err = popScalar(); err == nil {
+				if x, err = pop(); err == nil {
+					err = push(mapValue(x, func(v float32) float32 {
+						if v > t {
+							return 1
+						}
+						return 0
+					}))
+				}
+			}
+		case OpSoftmax:
+			var x []float32
+			if x, err = popVec(); err == nil {
+				err = push(vector(softmax(x)))
+			}
+		case OpArgMax:
+			var x []float32
+			if x, err = popVec(); err == nil {
+				if len(x) == 0 {
+					err = fmt.Errorf("%w: argmax of empty vector", ErrTypeMismatch)
+				} else {
+					best, bi := x[0], 0
+					for i, v := range x[1:] {
+						if v > best {
+							best, bi = v, i+1
+						}
+					}
+					err = push(scalar(float32(bi)))
+				}
+			}
+		case OpMax, OpMean, OpSum:
+			var x []float32
+			if x, err = popVec(); err == nil {
+				if len(x) == 0 {
+					err = fmt.Errorf("%w: reduction of empty vector", ErrTypeMismatch)
+				} else {
+					err = push(scalar(reduce(op, x)))
+				}
+			}
+		case OpMeanPool:
+			var k int
+			if k, err = readU16(); err == nil {
+				var x []float32
+				if x, err = popVec(); err == nil {
+					if k <= 0 || len(x)%k != 0 {
+						err = fmt.Errorf("%w: meanpool window %d does not divide length %d", ErrTypeMismatch, k, len(x))
+					} else {
+						out := make([]float32, len(x)/k)
+						for i := range out {
+							var s float32
+							for j := 0; j < k; j++ {
+								s += x[i*k+j]
+							}
+							out[i] = s / float32(k)
+						}
+						err = push(vector(out))
+					}
+				}
+			}
+		case OpSlice:
+			var lo, hi int
+			if lo, err = readU16(); err == nil {
+				if hi, err = readU16(); err == nil {
+					var x []float32
+					if x, err = popVec(); err == nil {
+						if lo > hi || hi > len(x) {
+							err = fmt.Errorf("%w: slice [%d:%d] of length %d", ErrTypeMismatch, lo, hi, len(x))
+						} else {
+							err = push(vector(append([]float32(nil), x[lo:hi]...)))
+						}
+					}
+				}
+			}
+		}
+		if err != nil {
+			return Result{GasUsed: gas}, err
+		}
+	}
+	if len(stack) == 0 {
+		return Result{GasUsed: gas}, fmt.Errorf("%w: module left an empty stack", ErrBadModule)
+	}
+	return Result{Output: stack[len(stack)-1], GasUsed: gas}, nil
+}
+
+func mapValue(v Value, f func(float32) float32) Value {
+	if !v.IsVec {
+		return scalar(f(v.Scalar))
+	}
+	out := make([]float32, len(v.Vec))
+	for i, x := range v.Vec {
+		out[i] = f(x)
+	}
+	return vector(out)
+}
+
+func unaryOp(pop func() (Value, error), push func(Value) error, f func(float32) float32) error {
+	v, err := pop()
+	if err != nil {
+		return err
+	}
+	return push(mapValue(v, f))
+}
+
+func binaryOp(stack *[]Value, op OpCode, push func(Value) error, pop func() (Value, error)) error {
+	b, err := pop()
+	if err != nil {
+		return err
+	}
+	a, err := pop()
+	if err != nil {
+		return err
+	}
+	apply := func(x, y float32) float32 {
+		switch op {
+		case OpAdd:
+			return x + y
+		case OpSub:
+			return x - y
+		case OpMul:
+			return x * y
+		default:
+			return x / y
+		}
+	}
+	switch {
+	case !a.IsVec && !b.IsVec:
+		return push(scalar(apply(a.Scalar, b.Scalar)))
+	case a.IsVec && !b.IsVec:
+		return push(mapValue(a, func(x float32) float32 { return apply(x, b.Scalar) }))
+	case !a.IsVec && b.IsVec:
+		return push(mapValue(b, func(y float32) float32 { return apply(a.Scalar, y) }))
+	default:
+		if len(a.Vec) != len(b.Vec) {
+			return fmt.Errorf("%w: vector lengths %d vs %d", ErrTypeMismatch, len(a.Vec), len(b.Vec))
+		}
+		out := make([]float32, len(a.Vec))
+		for i := range out {
+			out[i] = apply(a.Vec[i], b.Vec[i])
+		}
+		return push(vector(out))
+	}
+}
+
+func softmax(x []float32) []float32 {
+	if len(x) == 0 {
+		return nil
+	}
+	m := x[0]
+	for _, v := range x[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	out := make([]float32, len(x))
+	var sum float64
+	for i, v := range x {
+		e := math.Exp(float64(v - m))
+		out[i] = float32(e)
+		sum += e
+	}
+	inv := float32(1 / sum)
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+func reduce(op OpCode, x []float32) float32 {
+	switch op {
+	case OpMax:
+		m := x[0]
+		for _, v := range x[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	case OpSum:
+		var s float64
+		for _, v := range x {
+			s += float64(v)
+		}
+		return float32(s)
+	default: // OpMean
+		var s float64
+		for _, v := range x {
+			s += float64(v)
+		}
+		return float32(s / float64(len(x)))
+	}
+}

@@ -1,0 +1,73 @@
+package quant
+
+import (
+	"fmt"
+
+	"tinymlops/internal/nn"
+	"tinymlops/internal/tensor"
+)
+
+// DistillConfig controls teacher→student knowledge distillation.
+type DistillConfig struct {
+	Epochs      int
+	BatchSize   int
+	Temperature float32
+	Alpha       float32 // weight of the soft-target term in [0,1]
+	Optimizer   nn.Optimizer
+	RNG         *tensor.RNG
+}
+
+// Distill trains student to mimic teacher on x (with hard labels) using the
+// blended distillation loss. It is both an optimization-pipeline stage
+// (small student for weak devices, §II) and the attack primitive behind
+// indirect model stealing (§V, experiment E9 trains the clone exactly this
+// way against black-box teacher outputs).
+func Distill(teacher, student *nn.Network, x *tensor.Tensor, labels []int, cfg DistillConfig) (float32, error) {
+	n := x.Dim(0)
+	if len(labels) != n {
+		return 0, fmt.Errorf("quant: Distill got %d labels for %d examples", len(labels), n)
+	}
+	if cfg.RNG == nil || cfg.Optimizer == nil {
+		return 0, fmt.Errorf("quant: DistillConfig requires RNG and Optimizer")
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 1
+	}
+	if cfg.Temperature <= 0 {
+		cfg.Temperature = 2
+	}
+	exampleSize := x.Size() / n
+	var last float32
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		perm := cfg.RNG.Perm(n)
+		var epochLoss float64
+		batches := 0
+		for lo := 0; lo < n; lo += cfg.BatchSize {
+			hi := lo + cfg.BatchSize
+			if hi > n {
+				hi = n
+			}
+			idx := perm[lo:hi]
+			shape := append([]int{len(idx)}, x.Shape()[1:]...)
+			bx := tensor.New(shape...)
+			by := make([]int, len(idx))
+			for i, src := range idx {
+				copy(bx.Data[i*exampleSize:(i+1)*exampleSize], x.Data[src*exampleSize:(src+1)*exampleSize])
+				by[i] = labels[src]
+			}
+			teacherProbs := nn.SoftmaxRows(teacher.Predict(bx))
+			student.ZeroGrad()
+			logits := student.Forward(bx, true)
+			loss, grad := nn.DistillationLoss(logits, teacherProbs, by, cfg.Temperature, cfg.Alpha)
+			student.Backward(grad)
+			cfg.Optimizer.Step(student.Params())
+			epochLoss += float64(loss)
+			batches++
+		}
+		last = float32(epochLoss / float64(batches))
+	}
+	return last, nil
+}

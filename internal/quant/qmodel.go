@@ -1,0 +1,189 @@
+package quant
+
+import (
+	"fmt"
+
+	"tinymlops/internal/nn"
+	"tinymlops/internal/tensor"
+)
+
+// QModel is a quantized executable derived from an nn.Network: dense layers
+// run on the integer kernel with dynamically quantized activations, all
+// other layers run in float32. It mirrors what an int8 deployment of an MLP
+// looks like on a microcontroller runtime.
+type QModel struct {
+	InputShape []int
+	Scheme     Scheme
+
+	stages []qStage
+}
+
+// qStage is one executable stage of a QModel.
+type qStage interface {
+	run(x *tensor.Tensor) *tensor.Tensor
+	sizeBytes() int
+}
+
+// qDense runs y = dequant(quant(x) ⊗ Wq) + b on the integer kernel.
+type qDense struct {
+	w    *QTensor
+	bias []float32
+}
+
+func (d *qDense) run(x *tensor.Tensor) *tensor.Tensor {
+	qx, sx := QuantizeActivations(x)
+	rows := x.Dim(0)
+	out := tensor.New(rows, d.w.Cols)
+	MatMulInt8(out.Data, qx, d.w.Data, rows, d.w.Rows, d.w.Cols, sx, d.w.Scales)
+	for i := 0; i < rows; i++ {
+		row := out.Data[i*d.w.Cols : (i+1)*d.w.Cols]
+		for j := range row {
+			row[j] += d.bias[j]
+		}
+	}
+	return out
+}
+
+func (d *qDense) sizeBytes() int { return d.w.SizeBytes() + 4*len(d.bias) }
+
+// qFloat wraps a float layer (activation, pooling, flatten, ...).
+type qFloat struct {
+	layer nn.Layer
+	bytes int
+}
+
+func (f *qFloat) run(x *tensor.Tensor) *tensor.Tensor { return f.layer.Forward(x, false) }
+func (f *qFloat) sizeBytes() int                      { return f.bytes }
+
+// NewQModel quantizes net's dense layers under the scheme and returns an
+// integer-kernel executable. Convolutional layers are currently executed in
+// float32 with fake-quantized weights (the dominant cost on MLP-scale
+// TinyML models is the dense stack).
+func NewQModel(net *nn.Network, scheme Scheme) (*QModel, error) {
+	if scheme == Float32 {
+		return nil, fmt.Errorf("quant: NewQModel requires an integer scheme, got %v", scheme)
+	}
+	m := &QModel{InputShape: append([]int(nil), net.InputShape...), Scheme: scheme}
+	for _, l := range net.Layers() {
+		switch v := l.(type) {
+		case *nn.Dense:
+			qw, err := QuantizeMatrix(v.W.Value, scheme)
+			if err != nil {
+				return nil, err
+			}
+			bias := append([]float32(nil), v.B.Value.Data...)
+			m.stages = append(m.stages, &qDense{w: qw, bias: bias})
+		case *nn.Conv2D:
+			qw, err := QuantizeMatrix(v.W.Value, scheme)
+			if err != nil {
+				return nil, err
+			}
+			// Run in float with quantized weights; account size at scheme width.
+			clone := &nn.Conv2D{InC: v.InC, OutC: v.OutC, KH: v.KH, KW: v.KW,
+				Stride: v.Stride, Pad: v.Pad,
+				W: &nn.Param{Name: "weight", Value: qw.Dequantize(), Grad: tensor.New(v.W.Value.Shape()...)},
+				B: &nn.Param{Name: "bias", Value: v.B.Value.Clone(), Grad: tensor.New(v.B.Value.Shape()...)}}
+			m.stages = append(m.stages, &qFloat{layer: clone, bytes: qw.SizeBytes() + 4*v.B.Value.Size()})
+		default:
+			m.stages = append(m.stages, &qFloat{layer: l, bytes: 0})
+		}
+	}
+	return m, nil
+}
+
+// Predict runs quantized inference on a batch.
+func (m *QModel) Predict(x *tensor.Tensor) *tensor.Tensor {
+	for _, s := range m.stages {
+		x = s.run(x)
+	}
+	return x
+}
+
+// SizeBytes returns the total weight footprint of the quantized model.
+func (m *QModel) SizeBytes() int {
+	total := 0
+	for _, s := range m.stages {
+		total += s.sizeBytes()
+	}
+	return total
+}
+
+// QuantizeActivations quantizes a float32 batch to int8 with one dynamic
+// per-tensor symmetric scale, returning the codes and the scale.
+func QuantizeActivations(x *tensor.Tensor) ([]int8, float32) {
+	absMax := x.AbsMax()
+	scale := absMax / 127
+	if scale == 0 {
+		scale = 1
+	}
+	out := make([]int8, x.Size())
+	inv := 1 / scale
+	for i, v := range x.Data {
+		c := v * inv
+		if c > 127 {
+			c = 127
+		} else if c < -127 {
+			c = -127
+		}
+		// round half away from zero
+		if c >= 0 {
+			out[i] = int8(c + 0.5)
+		} else {
+			out[i] = int8(c - 0.5)
+		}
+	}
+	return out, scale
+}
+
+// MatMulInt8 computes dst[i,j] = sx*scales[j] * Σ_k a[i,k]·b[k,j] with
+// int32 accumulation — the "hardware supports int8 dot product" fast path
+// of experiment E3.
+func MatMulInt8(dst []float32, a, b []int8, m, k, n int, sx float32, scales []float32) {
+	tensor.Parallel(m, func(lo, hi int) {
+		acc := make([]int32, n) // one accumulator row per worker, reused
+		for i := lo; i < hi; i++ {
+			arow := a[i*k : (i+1)*k]
+			drow := dst[i*n : (i+1)*n]
+			for j := range acc {
+				acc[j] = 0
+			}
+			for p, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b[p*n : (p+1)*n]
+				a32 := int32(av)
+				for j, bv := range brow {
+					acc[j] += a32 * int32(bv)
+				}
+			}
+			for j := range drow {
+				drow[j] = float32(acc[j]) * sx * scales[j]
+			}
+		}
+	})
+}
+
+// MatMulInt8Emulated computes the same result as MatMulInt8 but the way a
+// platform *without* low-bit hardware support has to: every weight is
+// dequantized to float32 inside the inner loop before the multiply. It
+// exists so E3 can show that low bit width alone buys nothing without
+// hardware support (§III-A of the paper).
+func MatMulInt8Emulated(dst []float32, a, b []int8, m, k, n int, sx float32, scales []float32) {
+	tensor.Parallel(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a[i*k : (i+1)*k]
+			drow := dst[i*n : (i+1)*n]
+			for j := range drow {
+				drow[j] = 0
+			}
+			for p, av := range arow {
+				af := float32(av) * sx
+				brow := b[p*n : (p+1)*n]
+				for j, bv := range brow {
+					drow[j] += af * (float32(bv) * scales[j])
+				}
+			}
+		}
+	})
+}

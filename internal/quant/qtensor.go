@@ -1,0 +1,294 @@
+// Package quant implements the model-optimization pipeline of §III-A of the
+// TinyMLOps paper: post-training quantization at 8/4/2(ternary)/1(binary)
+// bits, an int8 inference engine, magnitude pruning and knowledge
+// distillation. The registry uses it to derive per-device variants from a
+// base model; experiment E2 sweeps its schemes and E3 measures its kernels
+// with and without simulated hardware support.
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"tinymlops/internal/nn"
+	"tinymlops/internal/tensor"
+)
+
+// Scheme selects a weight precision.
+type Scheme int
+
+// Supported quantization schemes, from full precision down to binary.
+const (
+	Float32 Scheme = iota
+	Int8
+	Int4
+	Ternary // 2-bit {-1, 0, +1} with a learned scale (TWN-style)
+	Binary  // 1-bit {-1, +1} with a mean-magnitude scale (BWN-style)
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case Float32:
+		return "float32"
+	case Int8:
+		return "int8"
+	case Int4:
+		return "int4"
+	case Ternary:
+		return "ternary"
+	case Binary:
+		return "binary"
+	default:
+		return fmt.Sprintf("scheme(%d)", int(s))
+	}
+}
+
+// Bits returns the storage width in bits per weight.
+func (s Scheme) Bits() int {
+	switch s {
+	case Float32:
+		return 32
+	case Int8:
+		return 8
+	case Int4:
+		return 4
+	case Ternary:
+		return 2
+	case Binary:
+		return 1
+	default:
+		return 32
+	}
+}
+
+// ParseScheme converts a string name to a Scheme.
+func ParseScheme(name string) (Scheme, error) {
+	switch name {
+	case "float32", "fp32", "32":
+		return Float32, nil
+	case "int8", "8":
+		return Int8, nil
+	case "int4", "4":
+		return Int4, nil
+	case "ternary", "2":
+		return Ternary, nil
+	case "binary", "1":
+		return Binary, nil
+	default:
+		return Float32, fmt.Errorf("quant: unknown scheme %q", name)
+	}
+}
+
+// QTensor is a quantized weight matrix with per-output-channel symmetric
+// scales: w ≈ Data[k,j] * Scales[j].
+type QTensor struct {
+	Rows, Cols int
+	// Data holds the quantized integer codes row-major. For sub-int8
+	// schemes the codes simply occupy the low bits of each int8 (size
+	// accounting uses the scheme's nominal width, not the in-memory width).
+	Data   []int8
+	Scales []float32 // length Cols (per output channel)
+	Scheme Scheme
+}
+
+// maxCode returns the largest magnitude representable by the scheme.
+func maxCode(s Scheme) float32 {
+	switch s {
+	case Int8:
+		return 127
+	case Int4:
+		return 7
+	default:
+		return 1
+	}
+}
+
+// QuantizeMatrix quantizes a [rows, cols] float32 matrix with
+// per-output-channel (column) scales under the given scheme.
+func QuantizeMatrix(w *tensor.Tensor, scheme Scheme) (*QTensor, error) {
+	if w.Rank() != 2 {
+		return nil, fmt.Errorf("quant: QuantizeMatrix needs 2D tensor, got %v", w.Shape())
+	}
+	if scheme == Float32 {
+		return nil, fmt.Errorf("quant: QuantizeMatrix called with float32 scheme")
+	}
+	rows, cols := w.Dim(0), w.Dim(1)
+	q := &QTensor{Rows: rows, Cols: cols, Data: make([]int8, rows*cols),
+		Scales: make([]float32, cols), Scheme: scheme}
+	switch scheme {
+	case Int8, Int4:
+		mc := maxCode(scheme)
+		for j := 0; j < cols; j++ {
+			var absMax float32
+			for i := 0; i < rows; i++ {
+				v := w.At2(i, j)
+				if v < 0 {
+					v = -v
+				}
+				if v > absMax {
+					absMax = v
+				}
+			}
+			scale := absMax / mc
+			if scale == 0 {
+				scale = 1
+			}
+			q.Scales[j] = scale
+			for i := 0; i < rows; i++ {
+				code := float64(w.At2(i, j) / scale)
+				c := math.Round(code)
+				if c > float64(mc) {
+					c = float64(mc)
+				}
+				if c < -float64(mc) {
+					c = -float64(mc)
+				}
+				q.Data[i*cols+j] = int8(c)
+			}
+		}
+	case Ternary:
+		// TWN: threshold Δ = 0.7·mean(|w|) per channel; scale = mean |w|
+		// over entries above the threshold.
+		for j := 0; j < cols; j++ {
+			var meanAbs float64
+			for i := 0; i < rows; i++ {
+				meanAbs += math.Abs(float64(w.At2(i, j)))
+			}
+			meanAbs /= float64(rows)
+			delta := 0.7 * meanAbs
+			var sum float64
+			var count int
+			for i := 0; i < rows; i++ {
+				v := float64(w.At2(i, j))
+				if math.Abs(v) > delta {
+					sum += math.Abs(v)
+					count++
+				}
+			}
+			scale := 1.0
+			if count > 0 {
+				scale = sum / float64(count)
+			}
+			q.Scales[j] = float32(scale)
+			for i := 0; i < rows; i++ {
+				v := float64(w.At2(i, j))
+				switch {
+				case v > delta:
+					q.Data[i*cols+j] = 1
+				case v < -delta:
+					q.Data[i*cols+j] = -1
+				default:
+					q.Data[i*cols+j] = 0
+				}
+			}
+		}
+	case Binary:
+		// BWN: w ≈ sign(w)·mean(|w|) per channel.
+		for j := 0; j < cols; j++ {
+			var meanAbs float64
+			for i := 0; i < rows; i++ {
+				meanAbs += math.Abs(float64(w.At2(i, j)))
+			}
+			meanAbs /= float64(rows)
+			if meanAbs == 0 {
+				meanAbs = 1
+			}
+			q.Scales[j] = float32(meanAbs)
+			for i := 0; i < rows; i++ {
+				if w.At2(i, j) >= 0 {
+					q.Data[i*cols+j] = 1
+				} else {
+					q.Data[i*cols+j] = -1
+				}
+			}
+		}
+	default:
+		return nil, fmt.Errorf("quant: unsupported scheme %v", scheme)
+	}
+	return q, nil
+}
+
+// Dequantize reconstructs the float32 approximation of the matrix.
+func (q *QTensor) Dequantize() *tensor.Tensor {
+	out := tensor.New(q.Rows, q.Cols)
+	for i := 0; i < q.Rows; i++ {
+		for j := 0; j < q.Cols; j++ {
+			out.Set2(i, j, float32(q.Data[i*q.Cols+j])*q.Scales[j])
+		}
+	}
+	return out
+}
+
+// SizeBytes returns the storage footprint at the scheme's nominal bit width
+// (packed), plus the per-channel scales.
+func (q *QTensor) SizeBytes() int {
+	wBits := len(q.Data) * q.Scheme.Bits()
+	return (wBits+7)/8 + 4*len(q.Scales)
+}
+
+// QuantizationError returns the mean absolute reconstruction error
+// |w - dequant(quant(w))| of quantizing w under the scheme.
+func QuantizationError(w *tensor.Tensor, scheme Scheme) (float64, error) {
+	q, err := QuantizeMatrix(w, scheme)
+	if err != nil {
+		return 0, err
+	}
+	d := q.Dequantize()
+	var sum float64
+	for i := range w.Data {
+		sum += math.Abs(float64(w.Data[i] - d.Data[i]))
+	}
+	return sum / float64(len(w.Data)), nil
+}
+
+// FakeQuantizeNetwork returns a deep copy of net whose dense and
+// convolutional weights are replaced by their quantize-dequantize
+// approximation under the scheme (biases stay float32, the standard
+// practice). The copy runs on the float engine, which makes it ideal for
+// accuracy evaluation of low-bit variants; use NewQModel for integer-kernel
+// execution.
+func FakeQuantizeNetwork(net *nn.Network, scheme Scheme) (*nn.Network, error) {
+	clone := net.Clone()
+	if scheme == Float32 {
+		return clone, nil
+	}
+	for _, l := range clone.Layers() {
+		switch v := l.(type) {
+		case *nn.Dense:
+			q, err := QuantizeMatrix(v.W.Value, scheme)
+			if err != nil {
+				return nil, err
+			}
+			v.W.Value.CopyFrom(q.Dequantize())
+		case *nn.Conv2D:
+			q, err := QuantizeMatrix(v.W.Value, scheme)
+			if err != nil {
+				return nil, err
+			}
+			v.W.Value.CopyFrom(q.Dequantize())
+		}
+	}
+	return clone, nil
+}
+
+// NetworkSizeBytes returns the serialized weight footprint of net if its
+// weight matrices were stored at the scheme's bit width (activations and
+// biases at float32).
+func NetworkSizeBytes(net *nn.Network, scheme Scheme) int {
+	total := 0
+	for _, l := range net.Layers() {
+		for _, p := range l.Params() {
+			if p.Name == "weight" && scheme != Float32 {
+				bits := p.Value.Size() * scheme.Bits()
+				total += (bits + 7) / 8
+				// per-channel scales
+				sh := p.Value.Shape()
+				total += 4 * sh[len(sh)-1]
+			} else {
+				total += 4 * p.Value.Size()
+			}
+		}
+	}
+	return total
+}

@@ -1,0 +1,356 @@
+package quant
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tinymlops/internal/nn"
+	"tinymlops/internal/tensor"
+)
+
+func TestSchemeStringsAndBits(t *testing.T) {
+	cases := []struct {
+		s    Scheme
+		name string
+		bits int
+	}{
+		{Float32, "float32", 32}, {Int8, "int8", 8}, {Int4, "int4", 4},
+		{Ternary, "ternary", 2}, {Binary, "binary", 1},
+	}
+	for _, c := range cases {
+		if c.s.String() != c.name || c.s.Bits() != c.bits {
+			t.Fatalf("scheme %v: %q/%d", c.s, c.s.String(), c.s.Bits())
+		}
+		got, err := ParseScheme(c.name)
+		if err != nil || got != c.s {
+			t.Fatalf("ParseScheme(%q) = %v, %v", c.name, got, err)
+		}
+	}
+	if _, err := ParseScheme("bogus"); err == nil {
+		t.Fatal("ParseScheme accepted bogus scheme")
+	}
+}
+
+func TestQuantizeInt8RoundTripErrorBounded(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	w := tensor.Randn(rng, 0.5, 32, 16)
+	q, err := QuantizeMatrix(w, Int8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := q.Dequantize()
+	// Max error per column is scale/2; verify element-wise.
+	for j := 0; j < 16; j++ {
+		for i := 0; i < 32; i++ {
+			diff := math.Abs(float64(w.At2(i, j) - d.At2(i, j)))
+			if diff > float64(q.Scales[j])/2+1e-6 {
+				t.Fatalf("int8 error %g exceeds scale/2=%g at (%d,%d)", diff, q.Scales[j]/2, i, j)
+			}
+		}
+	}
+}
+
+func TestQuantizeCodesWithinRange(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	w := tensor.Randn(rng, 2, 20, 10)
+	for _, c := range []struct {
+		s   Scheme
+		max int8
+	}{{Int8, 127}, {Int4, 7}, {Ternary, 1}, {Binary, 1}} {
+		q, err := QuantizeMatrix(w, c.s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range q.Data {
+			if v > c.max || v < -c.max {
+				t.Fatalf("%v code %d out of range ±%d", c.s, v, c.max)
+			}
+			if c.s == Binary && v == 0 {
+				t.Fatal("binary scheme produced a zero code")
+			}
+		}
+	}
+}
+
+func TestQuantizationErrorMonotoneInBits(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	w := tensor.Randn(rng, 1, 64, 32)
+	var prev float64 = -1
+	for _, s := range []Scheme{Int8, Int4, Ternary, Binary} {
+		e, err := QuantizationError(w, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e < prev {
+			t.Fatalf("error not monotone: %v gives %g after %g", s, e, prev)
+		}
+		prev = e
+	}
+}
+
+func TestQTensorSizeBytes(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	w := tensor.Randn(rng, 1, 100, 10)
+	q8, _ := QuantizeMatrix(w, Int8)
+	q1, _ := QuantizeMatrix(w, Binary)
+	if q8.SizeBytes() != 1000+40 {
+		t.Fatalf("int8 size = %d, want 1040", q8.SizeBytes())
+	}
+	if q1.SizeBytes() != 125+40 {
+		t.Fatalf("binary size = %d, want 165", q1.SizeBytes())
+	}
+}
+
+func trainBlobModel(t *testing.T, rng *tensor.RNG) (*nn.Network, *tensor.Tensor, []int) {
+	t.Helper()
+	n := 600
+	x := tensor.New(n, 4)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		cls := i % 3
+		for d := 0; d < 4; d++ {
+			center := float32(cls*2) * float32(1+d%2)
+			x.Set2(i, d, center+rng.NormFloat32()*0.6)
+		}
+		labels[i] = cls
+	}
+	net := nn.NewNetwork([]int{4}, nn.NewDense(4, 24, rng), nn.NewReLU(), nn.NewDense(24, 3, rng))
+	if _, err := nn.Train(net, x, labels, nn.TrainConfig{
+		Epochs: 12, BatchSize: 32, Optimizer: nn.NewSGD(0.1).WithMomentum(0.9), RNG: rng,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return net, x, labels
+}
+
+func TestFakeQuantAccuracyOrdering(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	net, x, labels := trainBlobModel(t, rng)
+	base := nn.Evaluate(net, x, labels)
+	if base < 0.9 {
+		t.Fatalf("base accuracy too low: %v", base)
+	}
+	acc8net, err := FakeQuantizeNetwork(net, Int8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc8 := nn.Evaluate(acc8net, x, labels)
+	if base-acc8 > 0.05 {
+		t.Fatalf("int8 accuracy dropped too much: %v -> %v", base, acc8)
+	}
+	accBinNet, err := FakeQuantizeNetwork(net, Binary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accBin := nn.Evaluate(accBinNet, x, labels)
+	if accBin > acc8+0.02 {
+		t.Fatalf("binary (%v) should not beat int8 (%v)", accBin, acc8)
+	}
+}
+
+func TestQModelMatchesFakeQuantPredictions(t *testing.T) {
+	rng := tensor.NewRNG(6)
+	net, x, labels := trainBlobModel(t, rng)
+	qm, err := NewQModel(net, Int8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logits := qm.Predict(x.RowSlice(0, 64))
+	// Compare classification agreement with the float model (activation
+	// quantization adds noise so exact equality is not expected).
+	want := net.Predict(x.RowSlice(0, 64)).ArgMaxRows()
+	got := logits.ArgMaxRows()
+	agree := 0
+	for i := range got {
+		if got[i] == want[i] {
+			agree++
+		}
+	}
+	if agree < 58 {
+		t.Fatalf("int8 QModel agrees on only %d/64 predictions", agree)
+	}
+	qacc := 0
+	pred := qm.Predict(x).ArgMaxRows()
+	for i := range pred {
+		if pred[i] == labels[i] {
+			qacc++
+		}
+	}
+	if float64(qacc)/float64(len(labels)) < 0.85 {
+		t.Fatalf("QModel accuracy %v too low", float64(qacc)/float64(len(labels)))
+	}
+}
+
+func TestQModelSizeShrinksWithBits(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	net := nn.NewNetwork([]int{32}, nn.NewDense(32, 64, rng), nn.NewReLU(), nn.NewDense(64, 10, rng))
+	m8, _ := NewQModel(net, Int8)
+	m4, _ := NewQModel(net, Int4)
+	m1, _ := NewQModel(net, Binary)
+	if !(m8.SizeBytes() > m4.SizeBytes() && m4.SizeBytes() > m1.SizeBytes()) {
+		t.Fatalf("sizes not monotone: %d, %d, %d", m8.SizeBytes(), m4.SizeBytes(), m1.SizeBytes())
+	}
+	if NetworkSizeBytes(net, Float32) <= NetworkSizeBytes(net, Int8) {
+		t.Fatal("float32 network should be larger than int8")
+	}
+}
+
+func TestNewQModelRejectsFloatScheme(t *testing.T) {
+	rng := tensor.NewRNG(8)
+	net := nn.NewNetwork([]int{4}, nn.NewDense(4, 2, rng))
+	if _, err := NewQModel(net, Float32); err == nil {
+		t.Fatal("NewQModel accepted Float32")
+	}
+}
+
+func TestInt8KernelsAgree(t *testing.T) {
+	rng := tensor.NewRNG(9)
+	m, k, n := 17, 23, 11
+	a := make([]int8, m*k)
+	b := make([]int8, k*n)
+	for i := range a {
+		a[i] = int8(rng.Intn(255) - 127)
+	}
+	for i := range b {
+		b[i] = int8(rng.Intn(255) - 127)
+	}
+	scales := make([]float32, n)
+	for i := range scales {
+		scales[i] = 0.01 * float32(i+1)
+	}
+	d1 := make([]float32, m*n)
+	d2 := make([]float32, m*n)
+	MatMulInt8(d1, a, b, m, k, n, 0.05, scales)
+	MatMulInt8Emulated(d2, a, b, m, k, n, 0.05, scales)
+	for i := range d1 {
+		if math.Abs(float64(d1[i]-d2[i])) > 1e-3*math.Max(1, math.Abs(float64(d1[i]))) {
+			t.Fatalf("kernel mismatch at %d: %v vs %v", i, d1[i], d2[i])
+		}
+	}
+}
+
+func TestQuantizeActivationsSymmetric(t *testing.T) {
+	x := tensor.FromSlice([]float32{-1, 0, 0.5, 1}, 1, 4)
+	q, scale := QuantizeActivations(x)
+	if q[0] != -127 || q[3] != 127 {
+		t.Fatalf("activation codes = %v", q)
+	}
+	if math.Abs(float64(scale-1.0/127)) > 1e-7 {
+		t.Fatalf("scale = %v", scale)
+	}
+	// All-zero input must not divide by zero.
+	z := tensor.New(1, 4)
+	qz, s := QuantizeActivations(z)
+	if s == 0 {
+		t.Fatal("zero scale for zero input")
+	}
+	for _, v := range qz {
+		if v != 0 {
+			t.Fatal("zero input must quantize to zero codes")
+		}
+	}
+}
+
+func TestMagnitudePrune(t *testing.T) {
+	rng := tensor.NewRNG(10)
+	net := nn.NewNetwork([]int{16}, nn.NewDense(16, 32, rng), nn.NewReLU(), nn.NewDense(32, 4, rng))
+	s, err := MagnitudePrune(net, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 0.49 || s > 0.6 {
+		t.Fatalf("sparsity = %v, want ≈0.5", s)
+	}
+	if got := Sparsity(net); math.Abs(got-s) > 1e-9 {
+		t.Fatalf("Sparsity() = %v, prune reported %v", got, s)
+	}
+	// Biases untouched by sparsity accounting: prune with 0 keeps state.
+	s2, err := MagnitudePrune(net, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 < s {
+		t.Fatalf("fraction=0 lost sparsity: %v -> %v", s, s2)
+	}
+	if _, err := MagnitudePrune(net, 1.5); err == nil {
+		t.Fatal("accepted fraction > 1")
+	}
+}
+
+func TestPruneKeepsLargestWeights(t *testing.T) {
+	rng := tensor.NewRNG(11)
+	net := nn.NewNetwork([]int{4}, nn.NewDense(4, 4, rng))
+	w := net.Layers()[0].(*nn.Dense).W.Value
+	for i := range w.Data {
+		w.Data[i] = float32(i + 1) // magnitudes 1..16
+	}
+	if _, err := MagnitudePrune(net, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	// Smallest four (1..4) must be zero, largest must survive.
+	for i := 0; i < 4; i++ {
+		if w.Data[i] != 0 {
+			t.Fatalf("small weight %d survived: %v", i, w.Data[i])
+		}
+	}
+	if w.Data[15] != 16 {
+		t.Fatalf("largest weight was pruned: %v", w.Data[15])
+	}
+}
+
+func TestDistillStudentApproachesTeacher(t *testing.T) {
+	rng := tensor.NewRNG(12)
+	teacher, x, labels := trainBlobModel(t, rng)
+	student := nn.NewNetwork([]int{4}, nn.NewDense(4, 8, rng), nn.NewReLU(), nn.NewDense(8, 3, rng))
+	before := nn.Evaluate(student, x, labels)
+	_, err := Distill(teacher, student, x, labels, DistillConfig{
+		Epochs: 15, BatchSize: 32, Temperature: 2, Alpha: 0.7,
+		Optimizer: nn.NewSGD(0.1).WithMomentum(0.9), RNG: rng,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := nn.Evaluate(student, x, labels)
+	if after < before+0.1 || after < 0.85 {
+		t.Fatalf("distillation did not help: %v -> %v", before, after)
+	}
+}
+
+func TestDistillValidatesConfig(t *testing.T) {
+	rng := tensor.NewRNG(13)
+	net := nn.NewNetwork([]int{2}, nn.NewDense(2, 2, rng))
+	x := tensor.New(4, 2)
+	if _, err := Distill(net, net, x, []int{0}, DistillConfig{RNG: rng, Optimizer: nn.NewSGD(0.1)}); err == nil {
+		t.Fatal("accepted mismatched labels")
+	}
+	if _, err := Distill(net, net, x, []int{0, 0, 0, 0}, DistillConfig{}); err == nil {
+		t.Fatal("accepted missing RNG/optimizer")
+	}
+}
+
+// Property: dequantize(quantize(w)) has column-wise max error ≤ scale/2 for
+// int schemes on arbitrary matrices.
+func TestInt8ErrorBoundProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rr := tensor.NewRNG(seed)
+		rows, cols := 1+rr.Intn(20), 1+rr.Intn(10)
+		w := tensor.Randn(rr, 1+rr.Float32()*3, rows, cols)
+		q, err := QuantizeMatrix(w, Int8)
+		if err != nil {
+			return false
+		}
+		d := q.Dequantize()
+		for j := 0; j < cols; j++ {
+			for i := 0; i < rows; i++ {
+				if math.Abs(float64(w.At2(i, j)-d.At2(i, j))) > float64(q.Scales[j])/2+1e-5 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

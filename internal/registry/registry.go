@@ -1,0 +1,366 @@
+// Package registry implements the model-version management of §III-A: a
+// content-addressed store of model artifacts, a lineage DAG from base
+// models to their derived variants (quantized, pruned, watermarked), an
+// optimization pipeline that regenerates every variant automatically when
+// a base model is retrained, and attachment of portable pre/post-processing
+// modules (procvm) to model versions.
+//
+// The paper's observation is that edge deployment multiplies the number of
+// artifacts a registry must track — one cloud model becomes a matrix of
+// (bit width × sparsity × target) variants whose relationships must be
+// recorded so retraining can trigger regeneration. The lineage DAG and
+// Pipeline type are that record.
+package registry
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+
+	"tinymlops/internal/nn"
+	"tinymlops/internal/procvm"
+	"tinymlops/internal/quant"
+)
+
+// Metrics summarizes a model version for deployment decisions.
+type Metrics struct {
+	// Accuracy on the registry's validation set, in [0,1].
+	Accuracy float64
+	// SizeBytes is the deployment footprint at the variant's precision
+	// (quantized variants are stored as float32 artifacts for exactness
+	// but ship at their packed size; this field is what transfer and
+	// flash accounting use).
+	SizeBytes int
+	// MACs per inference.
+	MACs int64
+	// PeakActivationBytes approximates the working-set memory of one
+	// inference: the largest adjacent input+output activation pair across
+	// layers, at 4 bytes per float.
+	PeakActivationBytes int64
+}
+
+// ModelVersion is one node of the lineage DAG.
+type ModelVersion struct {
+	// ID is the hex-truncated content digest of the artifact.
+	ID string
+	// Name is the logical model line ("wakeword", "defect-detector").
+	Name string
+	// Seq is the registration sequence number within the registry
+	// (a logical clock; the registry is deterministic and offline).
+	Seq uint64
+	// ParentID is empty for base models, otherwise the version this one
+	// was derived from.
+	ParentID string
+	// Scheme is the weight precision of this variant.
+	Scheme quant.Scheme
+	// PruneFraction is the magnitude-pruning level applied (0 for dense).
+	PruneFraction float64
+	// OpKinds lists the operator types the model uses (for target
+	// compatibility checks).
+	OpKinds []string
+	// Metrics summarizes quality and cost.
+	Metrics Metrics
+	// Tags carries free-form metadata (e.g. the watermark owner a variant
+	// was fingerprinted for).
+	Tags map[string]string
+	// Digest is the full SHA-256 of the artifact bytes.
+	Digest [32]byte
+}
+
+// Pipeline binds optional pre/post-processing modules to a model version.
+type Pipeline struct {
+	ModelID    string
+	PreDigest  string // hex digest of the procvm module, "" if none
+	PostDigest string
+}
+
+// Registry is an in-memory, concurrency-safe model and module store.
+type Registry struct {
+	mu        sync.RWMutex
+	seq       uint64
+	blobs     map[string][]byte        // model artifacts by version ID
+	models    map[string]*ModelVersion // version ID -> metadata
+	byName    map[string][]string      // logical name -> version IDs in order
+	children  map[string][]string      // parent ID -> child IDs
+	modules   map[string]*procvm.Module
+	pipelines map[string]Pipeline // model ID -> pipeline
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		blobs:     make(map[string][]byte),
+		models:    make(map[string]*ModelVersion),
+		byName:    make(map[string][]string),
+		children:  make(map[string][]string),
+		modules:   make(map[string]*procvm.Module),
+		pipelines: make(map[string]Pipeline),
+	}
+}
+
+// idFromDigest truncates a SHA-256 to the 16-hex-char version ID.
+func idFromDigest(d [32]byte) string { return hex.EncodeToString(d[:8]) }
+
+// RegisterModel stores net as a new base version of the named model line.
+func (r *Registry) RegisterModel(name string, net *nn.Network, accuracy float64) (*ModelVersion, error) {
+	return r.register(name, "", net, quant.Float32, 0, accuracy)
+}
+
+// RegisterVariant stores net as a variant derived from parentID.
+func (r *Registry) RegisterVariant(parentID string, net *nn.Network, scheme quant.Scheme, pruneFraction float64, accuracy float64) (*ModelVersion, error) {
+	r.mu.RLock()
+	_, ok := r.models[parentID]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("registry: unknown parent version %q", parentID)
+	}
+	parent := r.mustGet(parentID)
+	return r.register(parent.Name, parentID, net, scheme, pruneFraction, accuracy)
+}
+
+func (r *Registry) mustGet(id string) *ModelVersion {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.models[id]
+}
+
+func (r *Registry) register(name, parentID string, net *nn.Network, scheme quant.Scheme, prune float64, accuracy float64) (*ModelVersion, error) {
+	if name == "" {
+		return nil, fmt.Errorf("registry: model name must not be empty")
+	}
+	data, err := net.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("registry: serialize: %w", err)
+	}
+	summary, err := net.Summary()
+	if err != nil {
+		return nil, fmt.Errorf("registry: cost model: %w", err)
+	}
+	var macs int64
+	prevFloats := int64(1)
+	for _, d := range net.InputShape {
+		prevFloats *= int64(d)
+	}
+	var peakActBytes int64
+	for _, lc := range summary {
+		macs += lc.Info.MACs
+		if pair := 4 * (prevFloats + lc.Info.ActivationFloats); pair > peakActBytes {
+			peakActBytes = pair
+		}
+		prevFloats = lc.Info.ActivationFloats
+	}
+	digest := sha256.Sum256(data)
+	id := idFromDigest(digest)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if existing, ok := r.models[id]; ok {
+		// Content-addressed: identical bytes are the same version.
+		return existing, nil
+	}
+	r.seq++
+	v := &ModelVersion{
+		ID: id, Name: name, Seq: r.seq, ParentID: parentID,
+		Scheme: scheme, PruneFraction: prune,
+		OpKinds: net.OpKinds(),
+		Metrics: Metrics{
+			Accuracy:            accuracy,
+			SizeBytes:           quant.NetworkSizeBytes(net, scheme),
+			MACs:                macs,
+			PeakActivationBytes: peakActBytes,
+		},
+		Tags:   make(map[string]string),
+		Digest: digest,
+	}
+	r.blobs[id] = data
+	r.models[id] = v
+	r.byName[name] = append(r.byName[name], id)
+	if parentID != "" {
+		r.children[parentID] = append(r.children[parentID], id)
+	}
+	return v, nil
+}
+
+// Get returns the metadata of a version.
+func (r *Registry) Get(id string) (*ModelVersion, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	v, ok := r.models[id]
+	if !ok {
+		return nil, fmt.Errorf("registry: unknown version %q", id)
+	}
+	return v, nil
+}
+
+// Load deserializes the network stored under a version ID, verifying the
+// artifact digest first (integrity check on the registry's own storage).
+func (r *Registry) Load(id string) (*nn.Network, error) {
+	r.mu.RLock()
+	data, ok := r.blobs[id]
+	v := r.models[id]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("registry: unknown version %q", id)
+	}
+	if sha256.Sum256(data) != v.Digest {
+		return nil, fmt.Errorf("registry: artifact %q failed integrity check", id)
+	}
+	return nn.UnmarshalNetwork(data)
+}
+
+// Bytes returns the raw artifact (for transfer-size accounting and
+// encryption). The returned slice must not be modified.
+func (r *Registry) Bytes(id string) ([]byte, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	data, ok := r.blobs[id]
+	if !ok {
+		return nil, fmt.Errorf("registry: unknown version %q", id)
+	}
+	return data, nil
+}
+
+// Versions returns all versions of a model line in registration order.
+func (r *Registry) Versions(name string) []*ModelVersion {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ids := r.byName[name]
+	out := make([]*ModelVersion, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, r.models[id])
+	}
+	return out
+}
+
+// Latest returns the most recently registered *base* version of the line.
+func (r *Registry) Latest(name string) (*ModelVersion, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ids := r.byName[name]
+	for i := len(ids) - 1; i >= 0; i-- {
+		v := r.models[ids[i]]
+		if v.ParentID == "" {
+			return v, nil
+		}
+	}
+	return nil, fmt.Errorf("registry: no base version of %q", name)
+}
+
+// Variants returns the direct children of a version, ordered by sequence.
+func (r *Registry) Variants(parentID string) []*ModelVersion {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ids := r.children[parentID]
+	out := make([]*ModelVersion, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, r.models[id])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Lineage walks parent links from id to its base, returning
+// [id, parent, ..., base].
+func (r *Registry) Lineage(id string) ([]*ModelVersion, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []*ModelVersion
+	for id != "" {
+		v, ok := r.models[id]
+		if !ok {
+			return nil, fmt.Errorf("registry: broken lineage at %q", id)
+		}
+		out = append(out, v)
+		id = v.ParentID
+	}
+	return out, nil
+}
+
+// SetTag attaches free-form metadata to a version.
+func (r *Registry) SetTag(id, key, value string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.models[id]
+	if !ok {
+		return fmt.Errorf("registry: unknown version %q", id)
+	}
+	v.Tags[key] = value
+	return nil
+}
+
+// RegisterModule stores a procvm module by digest and returns its hex ID.
+func (r *Registry) RegisterModule(m *procvm.Module) string {
+	d := m.Digest()
+	id := hex.EncodeToString(d[:8])
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.modules[id] = m
+	return id
+}
+
+// GetModule returns a stored procvm module.
+func (r *Registry) GetModule(id string) (*procvm.Module, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m, ok := r.modules[id]
+	if !ok {
+		return nil, fmt.Errorf("registry: unknown module %q", id)
+	}
+	return m, nil
+}
+
+// AttachPipeline binds pre/post modules (by module ID, "" for none) to a
+// model version.
+func (r *Registry) AttachPipeline(modelID, preID, postID string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.models[modelID]; !ok {
+		return fmt.Errorf("registry: unknown version %q", modelID)
+	}
+	for _, mid := range []string{preID, postID} {
+		if mid != "" {
+			if _, ok := r.modules[mid]; !ok {
+				return fmt.Errorf("registry: unknown module %q", mid)
+			}
+		}
+	}
+	r.pipelines[modelID] = Pipeline{ModelID: modelID, PreDigest: preID, PostDigest: postID}
+	return nil
+}
+
+// GetPipeline returns the pipeline bound to a model version, if any.
+func (r *Registry) GetPipeline(modelID string) (Pipeline, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	p, ok := r.pipelines[modelID]
+	return p, ok
+}
+
+// Stats reports registry contents.
+type Stats struct {
+	Models    int
+	Bases     int
+	Variants  int
+	Modules   int
+	BlobBytes int
+}
+
+// Stats returns aggregate counts.
+func (r *Registry) Stats() Stats {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Stats{Models: len(r.models), Modules: len(r.modules)}
+	for _, v := range r.models {
+		if v.ParentID == "" {
+			s.Bases++
+		} else {
+			s.Variants++
+		}
+	}
+	for _, b := range r.blobs {
+		s.BlobBytes += len(b)
+	}
+	return s
+}

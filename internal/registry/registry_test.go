@@ -1,0 +1,255 @@
+package registry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"tinymlops/internal/dataset"
+	"tinymlops/internal/nn"
+	"tinymlops/internal/procvm"
+	"tinymlops/internal/quant"
+	"tinymlops/internal/tensor"
+)
+
+func newTestNet(seed uint64) *nn.Network {
+	rng := tensor.NewRNG(seed)
+	return nn.NewNetwork([]int{4}, nn.NewDense(4, 8, rng), nn.NewReLU(), nn.NewDense(8, 3, rng))
+}
+
+func TestRegisterAndLoadRoundTrip(t *testing.T) {
+	r := New()
+	net := newTestNet(1)
+	v, err := r.RegisterModel("demo", net, 0.93)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Name != "demo" || v.ParentID != "" || v.Scheme != quant.Float32 {
+		t.Fatalf("version = %+v", v)
+	}
+	if v.Metrics.Accuracy != 0.93 || v.Metrics.MACs == 0 || v.Metrics.SizeBytes == 0 {
+		t.Fatalf("metrics = %+v", v.Metrics)
+	}
+	loaded, err := r.Load(v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.Randn(tensor.NewRNG(2), 1, 3, 4)
+	if !tensor.ApproxEqual(net.Predict(x), loaded.Predict(x), 1e-6) {
+		t.Fatal("loaded model predicts differently")
+	}
+}
+
+func TestContentAddressingDeduplicates(t *testing.T) {
+	r := New()
+	net := newTestNet(1)
+	v1, _ := r.RegisterModel("demo", net, 0.9)
+	v2, _ := r.RegisterModel("demo", net, 0.9)
+	if v1.ID != v2.ID {
+		t.Fatal("identical artifacts got different IDs")
+	}
+	if r.Stats().Models != 1 {
+		t.Fatalf("registry holds %d models, want 1", r.Stats().Models)
+	}
+}
+
+func TestVariantLineage(t *testing.T) {
+	r := New()
+	base := newTestNet(3)
+	bv, _ := r.RegisterModel("kw", base, 0.95)
+	q8, _ := quant.FakeQuantizeNetwork(base, quant.Int8)
+	v8, err := r.RegisterVariant(bv.ID, q8, quant.Int8, 0, 0.94)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1, _ := quant.FakeQuantizeNetwork(base, quant.Binary)
+	v1, _ := r.RegisterVariant(bv.ID, q1, quant.Binary, 0, 0.80)
+
+	kids := r.Variants(bv.ID)
+	if len(kids) != 2 || kids[0].ID != v8.ID || kids[1].ID != v1.ID {
+		t.Fatalf("variants = %v", kids)
+	}
+	lin, err := r.Lineage(v8.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lin) != 2 || lin[0].ID != v8.ID || lin[1].ID != bv.ID {
+		t.Fatalf("lineage = %v", lin)
+	}
+	// int8 variant must be smaller than the base.
+	if v8.Metrics.SizeBytes >= bv.Metrics.SizeBytes {
+		t.Fatalf("int8 size %d not smaller than base %d", v8.Metrics.SizeBytes, bv.Metrics.SizeBytes)
+	}
+	if v1.Metrics.SizeBytes >= v8.Metrics.SizeBytes {
+		t.Fatalf("binary size %d not smaller than int8 %d", v1.Metrics.SizeBytes, v8.Metrics.SizeBytes)
+	}
+}
+
+func TestRegisterVariantUnknownParent(t *testing.T) {
+	r := New()
+	if _, err := r.RegisterVariant("nope", newTestNet(4), quant.Int8, 0, 0.5); err == nil {
+		t.Fatal("accepted unknown parent")
+	}
+}
+
+func TestLatestSkipsVariants(t *testing.T) {
+	r := New()
+	n1 := newTestNet(5)
+	v1, _ := r.RegisterModel("m", n1, 0.9)
+	q, _ := quant.FakeQuantizeNetwork(n1, quant.Int8)
+	r.RegisterVariant(v1.ID, q, quant.Int8, 0, 0.88) //nolint:errcheck
+	n2 := newTestNet(6)
+	v2, _ := r.RegisterModel("m", n2, 0.92)
+	latest, err := r.Latest("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latest.ID != v2.ID {
+		t.Fatalf("Latest = %s, want %s", latest.ID, v2.ID)
+	}
+	if _, err := r.Latest("missing"); err == nil {
+		t.Fatal("Latest of unknown line should error")
+	}
+}
+
+func TestRegisterWithVariantsGeneratesMatrix(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	ds := dataset.Blobs(rng, 400, 4, 3, 5)
+	net := nn.NewNetwork([]int{4}, nn.NewDense(4, 16, rng), nn.NewReLU(), nn.NewDense(16, 3, rng))
+	if _, err := nn.Train(net, ds.X, ds.Y, nn.TrainConfig{
+		Epochs: 8, BatchSize: 32, Optimizer: nn.NewSGD(0.1).WithMomentum(0.9), RNG: rng,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r := New()
+	eval := func(n *nn.Network) float64 { return nn.Evaluate(n, ds.X, ds.Y) }
+	spec := OptimizationSpec{
+		Schemes:        []quant.Scheme{quant.Int8, quant.Binary},
+		PruneFractions: []float64{0, 0.5},
+		Evaluate:       eval,
+	}
+	versions, err := r.RegisterWithVariants("blob-clf", net, eval(net), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// base + 2 schemes × 2 prune levels = 5
+	if len(versions) != 5 {
+		t.Fatalf("got %d versions, want 5", len(versions))
+	}
+	base := versions[0]
+	if len(r.Variants(base.ID)) != 4 {
+		t.Fatalf("base has %d variants", len(r.Variants(base.ID)))
+	}
+	// Every variant carries an accuracy measurement and the int8 dense
+	// variant should be close to the base.
+	for _, v := range versions[1:] {
+		if v.Metrics.Accuracy <= 0 {
+			t.Fatalf("variant %s has no accuracy", v.ID)
+		}
+		if v.ParentID != base.ID {
+			t.Fatalf("variant %s has parent %s", v.ID, v.ParentID)
+		}
+	}
+	if versions[1].Scheme != quant.Int8 || versions[1].Metrics.Accuracy < versions[0].Metrics.Accuracy-0.05 {
+		t.Fatalf("int8 dense variant degraded too much: %+v", versions[1].Metrics)
+	}
+}
+
+func TestRegisterWithVariantsRequiresEvaluate(t *testing.T) {
+	r := New()
+	if _, err := r.RegisterWithVariants("x", newTestNet(8), 0.9, OptimizationSpec{
+		Schemes: []quant.Scheme{quant.Int8},
+	}); err == nil {
+		t.Fatal("missing Evaluate accepted")
+	}
+}
+
+func TestModulesAndPipelines(t *testing.T) {
+	r := New()
+	net := newTestNet(9)
+	v, _ := r.RegisterModel("m", net, 0.9)
+	pre, err := procvm.NewBuilder("pre").Input().Clamp(-3, 3).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	post, err := procvm.NewBuilder("post").Input().Softmax().ArgMax().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	preID := r.RegisterModule(pre)
+	postID := r.RegisterModule(post)
+	if _, err := r.GetModule(preID); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AttachPipeline(v.ID, preID, postID); err != nil {
+		t.Fatal(err)
+	}
+	p, ok := r.GetPipeline(v.ID)
+	if !ok || p.PreDigest != preID || p.PostDigest != postID {
+		t.Fatalf("pipeline = %+v", p)
+	}
+	if err := r.AttachPipeline("bogus", preID, postID); err == nil {
+		t.Fatal("attached pipeline to unknown model")
+	}
+	if err := r.AttachPipeline(v.ID, "bogusmodule", ""); err == nil {
+		t.Fatal("attached unknown module")
+	}
+}
+
+func TestTags(t *testing.T) {
+	r := New()
+	v, _ := r.RegisterModel("m", newTestNet(10), 0.9)
+	if err := r.SetTag(v.ID, "watermark-owner", "customer-42"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := r.Get(v.ID)
+	if got.Tags["watermark-owner"] != "customer-42" {
+		t.Fatalf("tags = %v", got.Tags)
+	}
+	if err := r.SetTag("nope", "k", "v"); err == nil {
+		t.Fatal("tagged unknown version")
+	}
+}
+
+func TestGetAndLoadUnknown(t *testing.T) {
+	r := New()
+	if _, err := r.Get("missing"); err == nil || !strings.Contains(err.Error(), "unknown") {
+		t.Fatalf("Get error = %v", err)
+	}
+	if _, err := r.Load("missing"); err == nil {
+		t.Fatal("Load of unknown version succeeded")
+	}
+	if _, err := r.Bytes("missing"); err == nil {
+		t.Fatal("Bytes of unknown version succeeded")
+	}
+}
+
+func TestStats(t *testing.T) {
+	r := New()
+	v, _ := r.RegisterModel("a", newTestNet(11), 0.9)
+	q, _ := quant.FakeQuantizeNetwork(newTestNet(11), quant.Int8)
+	r.RegisterVariant(v.ID, q, quant.Int8, 0, 0.85) //nolint:errcheck
+	s := r.Stats()
+	if s.Models != 2 || s.Bases != 1 || s.Variants != 1 || s.BlobBytes == 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestConcurrentRegistration(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			net := newTestNet(seed)
+			if _, err := r.RegisterModel("parallel", net, 0.5); err != nil {
+				t.Errorf("register: %v", err)
+			}
+		}(uint64(i))
+	}
+	wg.Wait()
+	if got := len(r.Versions("parallel")); got != 16 {
+		t.Fatalf("registered %d versions, want 16", got)
+	}
+}

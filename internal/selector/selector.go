@@ -1,0 +1,218 @@
+// Package selector implements the per-device model-variant selection of
+// §III-A: given the variants the registry derived from a base model and a
+// device's current context (hardware capabilities, battery, charger,
+// network), pick the variant that maximizes a multi-objective utility of
+// accuracy, inference latency, download cost and energy — exactly the
+// trade-off the paper describes ("a smaller model to a device with limited
+// resources, a large model to a powerful device, a faster download on a
+// slow connection, a frugal model on a low battery").
+package selector
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"tinymlops/internal/device"
+	"tinymlops/internal/registry"
+)
+
+// Policy weights the selection objectives and sets hard constraints.
+type Policy struct {
+	// MinAccuracy rejects variants below this validation accuracy.
+	MinAccuracy float64
+	// MaxLatency rejects variants whose modeled inference latency exceeds
+	// this bound (0 = unbounded).
+	MaxLatency time.Duration
+
+	// LatencyRef and DownloadRef are the absolute budgets that make the
+	// latency and download penalties unit-free: a candidate at the
+	// reference costs its full weight, a candidate far below it costs
+	// almost nothing. Defaults: 100ms and 60s. Energy is normalized
+	// relative to the most expensive feasible candidate (what matters for
+	// battery life is the choice among alternatives).
+	LatencyRef  time.Duration
+	DownloadRef time.Duration
+
+	// Objective weights (≥0). A zero Policy gets DefaultPolicy weights.
+	WAccuracy float64
+	WLatency  float64
+	WDownload float64
+	WEnergy   float64
+
+	// BatteryAware boosts the energy weight ×4 when the device is below
+	// 30% battery and not charging.
+	BatteryAware bool
+}
+
+// DefaultPolicy returns the weights used across the experiments.
+func DefaultPolicy() Policy {
+	return Policy{
+		MinAccuracy:  0,
+		LatencyRef:   100 * time.Millisecond,
+		DownloadRef:  60 * time.Second,
+		WAccuracy:    1.0,
+		WLatency:     0.4,
+		WDownload:    0.15,
+		WEnergy:      0.15,
+		BatteryAware: true,
+	}
+}
+
+func (p Policy) normalized() Policy {
+	if p.WAccuracy == 0 && p.WLatency == 0 && p.WDownload == 0 && p.WEnergy == 0 {
+		d := DefaultPolicy()
+		d.MinAccuracy, d.MaxLatency, d.BatteryAware = p.MinAccuracy, p.MaxLatency, p.BatteryAware
+		p = d
+	}
+	if p.LatencyRef <= 0 {
+		p.LatencyRef = 100 * time.Millisecond
+	}
+	if p.DownloadRef <= 0 {
+		p.DownloadRef = 60 * time.Second
+	}
+	return p
+}
+
+// Evaluation is the per-candidate record of a selection decision.
+type Evaluation struct {
+	Version  *registry.ModelVersion
+	Feasible bool
+	// Reason explains infeasibility ("op conv2d unsupported", "flash", ...).
+	Reason string
+
+	Latency      time.Duration
+	DownloadTime time.Duration
+	EnergyJoule  float64
+	Score        float64
+}
+
+// Decision is the outcome of Select: the chosen variant plus the full
+// evaluation table (which experiment E2 prints).
+type Decision struct {
+	Chosen      *Evaluation
+	Evaluations []Evaluation
+}
+
+// Select evaluates all candidate versions against a device and returns the
+// best feasible one under the policy. It returns an error if no candidate
+// is feasible.
+func Select(dev *device.Device, candidates []*registry.ModelVersion, policy Policy) (Decision, error) {
+	if len(candidates) == 0 {
+		return Decision{}, fmt.Errorf("selector: no candidates")
+	}
+	policy = policy.normalized()
+	evals := make([]Evaluation, 0, len(candidates))
+	bw := dev.Net().Bandwidth()
+	for _, v := range candidates {
+		ev := Evaluation{Version: v}
+		if reason := feasibility(dev, v, policy); reason != "" {
+			ev.Reason = reason
+			evals = append(evals, ev)
+			continue
+		}
+		ev.Feasible = true
+		ev.Latency = dev.Caps.InferenceLatency(v.Metrics.MACs, v.Scheme.Bits())
+		ev.EnergyJoule = dev.Caps.InferenceEnergy(v.Metrics.MACs)
+		if bw > 0 {
+			ev.DownloadTime = time.Duration(float64(v.Metrics.SizeBytes) / bw * float64(time.Second))
+		} else {
+			// Offline: the variant must wait for connectivity; penalize
+			// with a large but finite stand-in so scoring still orders by size.
+			ev.DownloadTime = time.Duration(v.Metrics.SizeBytes) * time.Millisecond
+		}
+		if policy.MaxLatency > 0 && ev.Latency > policy.MaxLatency {
+			ev.Feasible = false
+			ev.Reason = fmt.Sprintf("latency %v exceeds bound %v", ev.Latency, policy.MaxLatency)
+		}
+		evals = append(evals, ev)
+	}
+
+	// Energy is normalized relative to the most expensive feasible
+	// candidate; latency and download against the absolute policy budgets.
+	var maxEn float64
+	feasibleCount := 0
+	for _, ev := range evals {
+		if !ev.Feasible {
+			continue
+		}
+		feasibleCount++
+		if ev.EnergyJoule > maxEn {
+			maxEn = ev.EnergyJoule
+		}
+	}
+	if feasibleCount == 0 {
+		return Decision{Evaluations: evals}, fmt.Errorf("selector: no feasible variant for device %s", dev.ID)
+	}
+	wEnergy := policy.WEnergy
+	if policy.BatteryAware {
+		switch {
+		case dev.Charging():
+			// Wall power or charger: energy is a non-issue (§III-A).
+			wEnergy = 0
+		case dev.BatteryLevel() < 0.3:
+			// Running low: energy dominates.
+			wEnergy *= 4
+		}
+	}
+	best := -1
+	for i := range evals {
+		ev := &evals[i]
+		if !ev.Feasible {
+			continue
+		}
+		score := policy.WAccuracy * ev.Version.Metrics.Accuracy
+		score -= policy.WLatency * capAt1(float64(ev.Latency)/float64(policy.LatencyRef))
+		score -= policy.WDownload * capAt1(float64(ev.DownloadTime)/float64(policy.DownloadRef))
+		if maxEn > 0 {
+			score -= wEnergy * ev.EnergyJoule / maxEn
+		}
+		ev.Score = score
+		if best < 0 || score > evals[best].Score {
+			best = i
+		}
+	}
+	return Decision{Chosen: &evals[best], Evaluations: evals}, nil
+}
+
+// capAt1 clamps a normalized cost to [0,1] so one blown budget cannot
+// dominate every other objective by an unbounded margin.
+func capAt1(v float64) float64 {
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func feasibility(dev *device.Device, v *registry.ModelVersion, policy Policy) string {
+	for _, op := range v.OpKinds {
+		if !dev.Caps.SupportsOp(op) {
+			return fmt.Sprintf("op %q unsupported", op)
+		}
+	}
+	if err := dev.CheckFit(int64(v.Metrics.SizeBytes), v.Metrics.PeakActivationBytes); err != nil {
+		return err.Error()
+	}
+	if v.Metrics.Accuracy < policy.MinAccuracy {
+		return fmt.Sprintf("accuracy %.3f below floor %.3f", v.Metrics.Accuracy, policy.MinAccuracy)
+	}
+	return ""
+}
+
+// SelectForFleet runs Select for every device and returns the decisions
+// keyed by device ID. Devices with no feasible variant map to a nil entry
+// in choices and are listed in failed.
+func SelectForFleet(fleet *device.Fleet, candidates []*registry.ModelVersion, policy Policy) (choices map[string]*Evaluation, failed []string) {
+	choices = make(map[string]*Evaluation)
+	for _, d := range fleet.Devices() {
+		dec, err := Select(d, candidates, policy)
+		if err != nil {
+			failed = append(failed, d.ID)
+			choices[d.ID] = nil
+			continue
+		}
+		choices[d.ID] = dec.Chosen
+	}
+	sort.Strings(failed)
+	return choices, failed
+}

@@ -1,0 +1,310 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Add returns a + b element-wise as a new tensor.
+func Add(a, b *Tensor) *Tensor {
+	return zipNew(a, b, "Add", func(x, y float32) float32 { return x + y })
+}
+
+// Sub returns a - b element-wise as a new tensor.
+func Sub(a, b *Tensor) *Tensor {
+	return zipNew(a, b, "Sub", func(x, y float32) float32 { return x - y })
+}
+
+// Mul returns a * b element-wise (Hadamard product) as a new tensor.
+func Mul(a, b *Tensor) *Tensor {
+	return zipNew(a, b, "Mul", func(x, y float32) float32 { return x * y })
+}
+
+// Div returns a / b element-wise as a new tensor.
+func Div(a, b *Tensor) *Tensor {
+	return zipNew(a, b, "Div", func(x, y float32) float32 { return x / y })
+}
+
+func zipNew(a, b *Tensor, op string, f func(x, y float32) float32) *Tensor {
+	if !SameShape(a, b) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, a.shape, b.shape))
+	}
+	out := New(a.shape...)
+	for i := range a.Data {
+		out.Data[i] = f(a.Data[i], b.Data[i])
+	}
+	return out
+}
+
+// AddInPlace adds b into a element-wise.
+func (t *Tensor) AddInPlace(b *Tensor) {
+	if !SameShape(t, b) {
+		panic(fmt.Sprintf("tensor: AddInPlace shape mismatch %v vs %v", t.shape, b.shape))
+	}
+	for i := range t.Data {
+		t.Data[i] += b.Data[i]
+	}
+}
+
+// SubInPlace subtracts b from a element-wise.
+func (t *Tensor) SubInPlace(b *Tensor) {
+	if !SameShape(t, b) {
+		panic(fmt.Sprintf("tensor: SubInPlace shape mismatch %v vs %v", t.shape, b.shape))
+	}
+	for i := range t.Data {
+		t.Data[i] -= b.Data[i]
+	}
+}
+
+// Scale multiplies every element by s in place and returns the receiver.
+func (t *Tensor) Scale(s float32) *Tensor {
+	for i := range t.Data {
+		t.Data[i] *= s
+	}
+	return t
+}
+
+// AddScalar adds s to every element in place and returns the receiver.
+func (t *Tensor) AddScalar(s float32) *Tensor {
+	for i := range t.Data {
+		t.Data[i] += s
+	}
+	return t
+}
+
+// Axpy computes t += alpha * x element-wise.
+func (t *Tensor) Axpy(alpha float32, x *Tensor) {
+	if !SameShape(t, x) {
+		panic(fmt.Sprintf("tensor: Axpy shape mismatch %v vs %v", t.shape, x.shape))
+	}
+	for i := range t.Data {
+		t.Data[i] += alpha * x.Data[i]
+	}
+}
+
+// Apply maps f over every element in place and returns the receiver.
+func (t *Tensor) Apply(f func(float32) float32) *Tensor {
+	for i, v := range t.Data {
+		t.Data[i] = f(v)
+	}
+	return t
+}
+
+// Map returns a new tensor with f applied to every element.
+func (t *Tensor) Map(f func(float32) float32) *Tensor {
+	out := New(t.shape...)
+	for i, v := range t.Data {
+		out.Data[i] = f(v)
+	}
+	return out
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Sum returns the sum of all elements (accumulated in float64 for accuracy).
+func (t *Tensor) Sum() float32 {
+	var s float64
+	for _, v := range t.Data {
+		s += float64(v)
+	}
+	return float32(s)
+}
+
+// Mean returns the arithmetic mean of all elements.
+func (t *Tensor) Mean() float32 {
+	if len(t.Data) == 0 {
+		return 0
+	}
+	return t.Sum() / float32(len(t.Data))
+}
+
+// Variance returns the population variance of all elements.
+func (t *Tensor) Variance() float32 {
+	n := len(t.Data)
+	if n == 0 {
+		return 0
+	}
+	m := float64(t.Mean())
+	var s float64
+	for _, v := range t.Data {
+		d := float64(v) - m
+		s += d * d
+	}
+	return float32(s / float64(n))
+}
+
+// Std returns the population standard deviation.
+func (t *Tensor) Std() float32 {
+	return float32(math.Sqrt(float64(t.Variance())))
+}
+
+// Min returns the smallest element; it panics on an empty tensor.
+func (t *Tensor) Min() float32 {
+	if len(t.Data) == 0 {
+		panic("tensor: Min of empty tensor")
+	}
+	m := t.Data[0]
+	for _, v := range t.Data[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest element; it panics on an empty tensor.
+func (t *Tensor) Max() float32 {
+	if len(t.Data) == 0 {
+		panic("tensor: Max of empty tensor")
+	}
+	m := t.Data[0]
+	for _, v := range t.Data[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// AbsMax returns the largest absolute value; 0 for an empty tensor.
+func (t *Tensor) AbsMax() float32 {
+	var m float32
+	for _, v := range t.Data {
+		if v < 0 {
+			v = -v
+		}
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// ArgMax returns the index of the largest element of a 1D tensor.
+func (t *Tensor) ArgMax() int {
+	if len(t.Data) == 0 {
+		panic("tensor: ArgMax of empty tensor")
+	}
+	best, bi := t.Data[0], 0
+	for i, v := range t.Data[1:] {
+		if v > best {
+			best, bi = v, i+1
+		}
+	}
+	return bi
+}
+
+// ArgMaxRows returns, for a 2D tensor, the column index of the maximum of
+// each row.
+func (t *Tensor) ArgMaxRows() []int {
+	t.must2D("ArgMaxRows")
+	r, c := t.shape[0], t.shape[1]
+	out := make([]int, r)
+	for i := 0; i < r; i++ {
+		row := t.Data[i*c : (i+1)*c]
+		best, bi := row[0], 0
+		for j, v := range row[1:] {
+			if v > best {
+				best, bi = v, j+1
+			}
+		}
+		out[i] = bi
+	}
+	return out
+}
+
+// SumRows returns a 1D tensor with the sum of each column (the result has
+// length Cols); i.e. it reduces over rows.
+func (t *Tensor) SumRows() *Tensor {
+	t.must2D("SumRows")
+	r, c := t.shape[0], t.shape[1]
+	out := New(c)
+	for i := 0; i < r; i++ {
+		row := t.Data[i*c : (i+1)*c]
+		for j, v := range row {
+			out.Data[j] += v
+		}
+	}
+	return out
+}
+
+// AddRowVector adds a length-Cols vector to every row of a 2D tensor in place.
+func (t *Tensor) AddRowVector(v *Tensor) {
+	t.must2D("AddRowVector")
+	if v.Size() != t.shape[1] {
+		panic(fmt.Sprintf("tensor: AddRowVector length %d does not match %d columns", v.Size(), t.shape[1]))
+	}
+	r, c := t.shape[0], t.shape[1]
+	for i := 0; i < r; i++ {
+		row := t.Data[i*c : (i+1)*c]
+		for j := range row {
+			row[j] += v.Data[j]
+		}
+	}
+}
+
+// Dot returns the inner product of two tensors of identical size
+// (accumulated in float64).
+func Dot(a, b *Tensor) float32 {
+	if len(a.Data) != len(b.Data) {
+		panic(fmt.Sprintf("tensor: Dot size mismatch %d vs %d", len(a.Data), len(b.Data)))
+	}
+	var s float64
+	for i := range a.Data {
+		s += float64(a.Data[i]) * float64(b.Data[i])
+	}
+	return float32(s)
+}
+
+// L2Norm returns the Euclidean norm of the tensor's elements.
+func (t *Tensor) L2Norm() float32 {
+	var s float64
+	for _, v := range t.Data {
+		s += float64(v) * float64(v)
+	}
+	return float32(math.Sqrt(s))
+}
+
+// L1Norm returns the sum of absolute values.
+func (t *Tensor) L1Norm() float32 {
+	var s float64
+	for _, v := range t.Data {
+		s += math.Abs(float64(v))
+	}
+	return float32(s)
+}
+
+// Clamp limits every element to [lo, hi] in place and returns the receiver.
+func (t *Tensor) Clamp(lo, hi float32) *Tensor {
+	for i, v := range t.Data {
+		if v < lo {
+			t.Data[i] = lo
+		} else if v > hi {
+			t.Data[i] = hi
+		}
+	}
+	return t
+}
+
+// CountNonZero returns the number of elements that are exactly non-zero.
+func (t *Tensor) CountNonZero() int {
+	n := 0
+	for _, v := range t.Data {
+		if v != 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,187 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the number of multiply-accumulate operations above
+// which MatMul fans out across goroutines. Below it, the goroutine overhead
+// outweighs the parallel speedup on typical hardware.
+const parallelThreshold = 1 << 17
+
+// MatMul returns a × b for 2D tensors ([m,k] × [k,n] → [m,n]).
+//
+// The inner kernel iterates the B matrix row-wise (ikj ordering), which keeps
+// both A and B accesses sequential, and splits the rows of A across a bounded
+// pool of goroutines when the problem is large enough to benefit.
+func MatMul(a, b *Tensor) *Tensor {
+	a.must2D("MatMul")
+	b.must2D("MatMul")
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch [%d,%d]×[%d,%d]", m, k, k2, n))
+	}
+	out := New(m, n)
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes dst = a × b, reusing dst's storage. dst must have
+// shape [a.Rows, b.Cols] and must not alias a or b.
+func MatMulInto(dst, a, b *Tensor) {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	if dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulInto dst shape %v, want [%d,%d]", dst.shape, m, n))
+	}
+	dst.Zero()
+	work := m * n * k
+	if work < parallelThreshold {
+		matmulRows(dst.Data, a.Data, b.Data, 0, m, k, n)
+		return
+	}
+	parallelRows(m, func(lo, hi int) {
+		matmulRows(dst.Data, a.Data, b.Data, lo, hi, k, n)
+	})
+}
+
+// matmulRows computes rows [lo,hi) of dst = A×B with the ikj kernel.
+// dst rows must be pre-zeroed.
+func matmulRows(dst, a, b []float32, lo, hi, k, n int) {
+	for i := lo; i < hi; i++ {
+		arow := a[i*k : (i+1)*k]
+		drow := dst[i*n : (i+1)*n]
+		for p, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b[p*n : (p+1)*n]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulT returns a × bᵀ ([m,k] × [n,k] → [m,n]). This is the layout used by
+// dense-layer backward passes and avoids materializing the transpose.
+func MatMulT(a, b *Tensor) *Tensor {
+	a.must2D("MatMulT")
+	b.must2D("MatMulT")
+	m, k := a.shape[0], a.shape[1]
+	n, k2 := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulT inner dimension mismatch [%d,%d]×[%d,%d]ᵀ", m, k, n, k2))
+	}
+	out := New(m, n)
+	kernel := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			orow := out.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				brow := b.Data[j*k : (j+1)*k]
+				var s float32
+				for p := range arow {
+					s += arow[p] * brow[p]
+				}
+				orow[j] = s
+			}
+		}
+	}
+	if m*n*k < parallelThreshold {
+		kernel(0, m)
+		return out
+	}
+	parallelRows(m, kernel)
+	return out
+}
+
+// TMatMul returns aᵀ × b ([k,m]ᵀ × [k,n] → [m,n]); used for weight gradients.
+func TMatMul(a, b *Tensor) *Tensor {
+	a.must2D("TMatMul")
+	b.must2D("TMatMul")
+	k, m := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: TMatMul inner dimension mismatch [%d,%d]ᵀ×[%d,%d]", k, m, k2, n))
+	}
+	out := New(m, n)
+	kernel := func(lo, hi int) {
+		// out[i,j] = sum_p a[p,i]*b[p,j]; iterate p outermost for sequential reads.
+		for p := 0; p < k; p++ {
+			arow := a.Data[p*m : (p+1)*m]
+			brow := b.Data[p*n : (p+1)*n]
+			for i := lo; i < hi; i++ {
+				av := arow[i]
+				if av == 0 {
+					continue
+				}
+				orow := out.Data[i*n : (i+1)*n]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	}
+	// The p-outer kernel writes disjoint row ranges per worker, so it is safe
+	// to parallelize over i.
+	if m*n*k < parallelThreshold {
+		kernel(0, m)
+		return out
+	}
+	parallelRows(m, kernel)
+	return out
+}
+
+// MatVec returns a × v for a 2D tensor a [m,k] and 1D v [k].
+func MatVec(a, v *Tensor) *Tensor {
+	a.must2D("MatVec")
+	m, k := a.shape[0], a.shape[1]
+	if v.Size() != k {
+		panic(fmt.Sprintf("tensor: MatVec dimension mismatch [%d,%d]×[%d]", m, k, v.Size()))
+	}
+	out := New(m)
+	for i := 0; i < m; i++ {
+		row := a.Data[i*k : (i+1)*k]
+		var s float32
+		for j := range row {
+			s += row[j] * v.Data[j]
+		}
+		out.Data[i] = s
+	}
+	return out
+}
+
+// parallelRows splits [0,m) into contiguous chunks and runs body on each
+// chunk in its own goroutine, bounded by GOMAXPROCS workers.
+func parallelRows(m int, body func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	if workers <= 1 {
+		body(0, m)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for lo := 0; lo < m; lo += chunk {
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Parallel exposes the bounded row-parallel helper for other packages that
+// need to fan work out over a dimension (e.g. fleet simulation).
+func Parallel(n int, body func(lo, hi int)) { parallelRows(n, body) }

@@ -1,0 +1,492 @@
+package tensor
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroFilled(t *testing.T) {
+	x := New(3, 4)
+	if x.Size() != 12 {
+		t.Fatalf("Size = %d, want 12", x.Size())
+	}
+	for i, v := range x.Data {
+		if v != 0 {
+			t.Fatalf("Data[%d] = %v, want 0", i, v)
+		}
+	}
+	if x.Rows() != 3 || x.Cols() != 4 {
+		t.Fatalf("Rows/Cols = %d,%d", x.Rows(), x.Cols())
+	}
+}
+
+func TestFromSliceSharesData(t *testing.T) {
+	d := []float32{1, 2, 3, 4}
+	x := FromSlice(d, 2, 2)
+	d[0] = 9
+	if x.At2(0, 0) != 9 {
+		t.Fatal("FromSlice must not copy the slice")
+	}
+}
+
+func TestFromSliceLengthMismatchPanics(t *testing.T) {
+	defer expectPanic(t, "FromSlice")
+	FromSlice([]float32{1, 2, 3}, 2, 2)
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	x := New(2, 3, 4)
+	x.Set(7.5, 1, 2, 3)
+	if got := x.At(1, 2, 3); got != 7.5 {
+		t.Fatalf("At = %v, want 7.5", got)
+	}
+	// Verify row-major offset: (1*3+2)*4+3 = 23.
+	if x.Data[23] != 7.5 {
+		t.Fatalf("row-major layout violated: Data[23]=%v", x.Data[23])
+	}
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	defer expectPanic(t, "At")
+	New(2, 2).At(2, 0)
+}
+
+func TestReshape(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	y := x.Reshape(3, 2)
+	if y.At2(2, 1) != 6 {
+		t.Fatalf("Reshape content wrong: %v", y.Data)
+	}
+	y.Set2(0, 0, 42)
+	if x.At2(0, 0) != 42 {
+		t.Fatal("Reshape must share data")
+	}
+	z := x.Reshape(-1, 2)
+	if z.Dim(0) != 3 {
+		t.Fatalf("inferred dim = %d, want 3", z.Dim(0))
+	}
+}
+
+func TestReshapeBadSizePanics(t *testing.T) {
+	defer expectPanic(t, "Reshape")
+	New(2, 3).Reshape(4, 2)
+}
+
+func TestRowAndRowSliceViews(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 3, 2)
+	r := x.Row(1)
+	if r.Size() != 2 || r.Data[0] != 3 || r.Data[1] != 4 {
+		t.Fatalf("Row(1) = %v", r.Data)
+	}
+	s := x.RowSlice(1, 3)
+	if s.Rows() != 2 || s.At2(1, 1) != 6 {
+		t.Fatalf("RowSlice = %v", s.Data)
+	}
+	s.Set2(0, 0, -1)
+	if x.At2(1, 0) != -1 {
+		t.Fatal("RowSlice must be a view")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	r := NewRNG(1)
+	x := Randn(r, 1, 37, 53)
+	y := x.Transpose()
+	for i := 0; i < 37; i++ {
+		for j := 0; j < 53; j++ {
+			if x.At2(i, j) != y.At2(j, i) {
+				t.Fatalf("transpose mismatch at %d,%d", i, j)
+			}
+		}
+	}
+	z := y.Transpose()
+	if !ApproxEqual(x, z, 0) {
+		t.Fatal("double transpose is not identity")
+	}
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	b := FromSlice([]float32{4, 3, 2, 1}, 2, 2)
+	if got := Add(a, b); got.Data[0] != 5 || got.Data[3] != 5 {
+		t.Fatalf("Add = %v", got.Data)
+	}
+	if got := Sub(a, b); got.Data[0] != -3 {
+		t.Fatalf("Sub = %v", got.Data)
+	}
+	if got := Mul(a, b); got.Data[1] != 6 {
+		t.Fatalf("Mul = %v", got.Data)
+	}
+	if got := Div(a, b); got.Data[3] != 4 {
+		t.Fatalf("Div = %v", got.Data)
+	}
+}
+
+func TestInPlaceOps(t *testing.T) {
+	a := FromSlice([]float32{1, 2}, 2)
+	b := FromSlice([]float32{10, 20}, 2)
+	a.AddInPlace(b)
+	if a.Data[1] != 22 {
+		t.Fatalf("AddInPlace = %v", a.Data)
+	}
+	a.SubInPlace(b)
+	if a.Data[1] != 2 {
+		t.Fatalf("SubInPlace = %v", a.Data)
+	}
+	a.Axpy(0.5, b)
+	if a.Data[0] != 6 {
+		t.Fatalf("Axpy = %v", a.Data)
+	}
+	a.Scale(2)
+	if a.Data[0] != 12 {
+		t.Fatalf("Scale = %v", a.Data)
+	}
+}
+
+func TestReductions(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3, 4}, 4)
+	if x.Sum() != 10 {
+		t.Fatalf("Sum = %v", x.Sum())
+	}
+	if x.Mean() != 2.5 {
+		t.Fatalf("Mean = %v", x.Mean())
+	}
+	if x.Min() != 1 || x.Max() != 4 {
+		t.Fatalf("Min/Max = %v/%v", x.Min(), x.Max())
+	}
+	if x.ArgMax() != 3 {
+		t.Fatalf("ArgMax = %d", x.ArgMax())
+	}
+	if math.Abs(float64(x.Variance())-1.25) > 1e-6 {
+		t.Fatalf("Variance = %v, want 1.25", x.Variance())
+	}
+	y := FromSlice([]float32{-5, 2}, 2)
+	if y.AbsMax() != 5 {
+		t.Fatalf("AbsMax = %v", y.AbsMax())
+	}
+}
+
+func TestArgMaxRows(t *testing.T) {
+	x := FromSlice([]float32{1, 5, 2, 9, 0, 3}, 2, 3)
+	got := x.ArgMaxRows()
+	if got[0] != 1 || got[1] != 0 {
+		t.Fatalf("ArgMaxRows = %v", got)
+	}
+}
+
+func TestSumRowsAndAddRowVector(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	s := x.SumRows()
+	if s.Data[0] != 4 || s.Data[1] != 6 {
+		t.Fatalf("SumRows = %v", s.Data)
+	}
+	x.AddRowVector(FromSlice([]float32{10, 20}, 2))
+	if x.At2(1, 1) != 24 {
+		t.Fatalf("AddRowVector = %v", x.Data)
+	}
+}
+
+func TestMatMulSmallKnown(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := FromSlice([]float32{7, 8, 9, 10, 11, 12}, 3, 2)
+	c := MatMul(a, b)
+	want := []float32{58, 64, 139, 154}
+	for i, w := range want {
+		if c.Data[i] != w {
+			t.Fatalf("MatMul[%d] = %v, want %v", i, c.Data[i], w)
+		}
+	}
+}
+
+func TestMatMulMismatchPanics(t *testing.T) {
+	defer expectPanic(t, "MatMul")
+	MatMul(New(2, 3), New(4, 2))
+}
+
+// matmulNaive is the O(mnk) reference used to validate the optimized kernels.
+func matmulNaive(a, b *Tensor) *Tensor {
+	m, k := a.Dim(0), a.Dim(1)
+	n := b.Dim(1)
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for p := 0; p < k; p++ {
+				s += float64(a.At2(i, p)) * float64(b.At2(p, j))
+			}
+			out.Set2(i, j, float32(s))
+		}
+	}
+	return out
+}
+
+func TestMatMulMatchesNaiveLarge(t *testing.T) {
+	r := NewRNG(7)
+	// Big enough to trigger the parallel path (m*n*k > parallelThreshold).
+	a := Randn(r, 1, 64, 96)
+	b := Randn(r, 1, 96, 80)
+	got := MatMul(a, b)
+	want := matmulNaive(a, b)
+	if !ApproxEqual(got, want, 1e-3) {
+		t.Fatal("parallel MatMul deviates from naive reference")
+	}
+}
+
+func TestMatMulTAndTMatMulAgreeWithTranspose(t *testing.T) {
+	r := NewRNG(11)
+	a := Randn(r, 1, 33, 47)
+	b := Randn(r, 1, 29, 47) // for MatMulT: a [33,47] × bᵀ [47,29]
+	got := MatMulT(a, b)
+	want := MatMul(a, b.Transpose())
+	if !ApproxEqual(got, want, 1e-3) {
+		t.Fatal("MatMulT != MatMul with explicit transpose")
+	}
+	c := Randn(r, 1, 47, 21) // for TMatMul: aᵀ [47,33]ᵀ... a is [33,47], need aᵀ×c with a [47,33]
+	a2 := Randn(r, 1, 47, 33)
+	got2 := TMatMul(a2, c)
+	want2 := MatMul(a2.Transpose(), c)
+	if !ApproxEqual(got2, want2, 1e-3) {
+		t.Fatal("TMatMul != transpose-then-MatMul")
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	v := FromSlice([]float32{1, -1}, 2)
+	got := MatVec(a, v)
+	if got.Data[0] != -1 || got.Data[1] != -1 {
+		t.Fatalf("MatVec = %v", got.Data)
+	}
+}
+
+func TestDotAndNorms(t *testing.T) {
+	a := FromSlice([]float32{3, 4}, 2)
+	if Dot(a, a) != 25 {
+		t.Fatalf("Dot = %v", Dot(a, a))
+	}
+	if a.L2Norm() != 5 {
+		t.Fatalf("L2Norm = %v", a.L2Norm())
+	}
+	if a.L1Norm() != 7 {
+		t.Fatalf("L1Norm = %v", a.L1Norm())
+	}
+}
+
+func TestClampAndCountNonZero(t *testing.T) {
+	x := FromSlice([]float32{-2, 0, 0.5, 3}, 4)
+	x.Clamp(-1, 1)
+	if x.Data[0] != -1 || x.Data[3] != 1 {
+		t.Fatalf("Clamp = %v", x.Data)
+	}
+	if x.CountNonZero() != 3 {
+		t.Fatalf("CountNonZero = %d", x.CountNonZero())
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	r := NewRNG(3)
+	x := Randn(r, 2.5, 4, 5, 6)
+	var buf bytes.Buffer
+	if _, err := x.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	var y Tensor
+	if _, err := y.ReadFrom(&buf); err != nil {
+		t.Fatalf("ReadFrom: %v", err)
+	}
+	if !ApproxEqual(x, &y, 0) {
+		t.Fatal("serialization round trip changed values")
+	}
+}
+
+func TestReadFromRejectsGarbage(t *testing.T) {
+	var y Tensor
+	if _, err := y.ReadFrom(bytes.NewReader([]byte("not a tensor stream"))); err == nil {
+		t.Fatal("ReadFrom accepted garbage")
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a2 := NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a2.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical streams")
+	}
+}
+
+func TestRNGUniformMoments(t *testing.T) {
+	r := NewRNG(5)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean = %v", mean)
+	}
+	variance := sumSq/n - mean*mean
+	if math.Abs(variance-1.0/12) > 0.01 {
+		t.Fatalf("uniform variance = %v", variance)
+	}
+}
+
+func TestRNGNormalMoments(t *testing.T) {
+	r := NewRNG(6)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean = %v", mean)
+	}
+	if math.Abs(sumSq/n-1) > 0.03 {
+		t.Fatalf("normal variance = %v", sumSq/n)
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	r := NewRNG(9)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRNGDirichletSumsToOne(t *testing.T) {
+	r := NewRNG(10)
+	for _, alpha := range []float64{0.1, 1, 10} {
+		d := r.Dirichlet(alpha, 8)
+		var s float64
+		for _, v := range d {
+			if v < 0 {
+				t.Fatalf("Dirichlet produced negative weight %v", v)
+			}
+			s += v
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("Dirichlet(alpha=%v) sums to %v", alpha, s)
+		}
+	}
+}
+
+func TestRNGGammaMean(t *testing.T) {
+	r := NewRNG(12)
+	for _, alpha := range []float64{0.5, 2, 7} {
+		var s float64
+		const n = 50000
+		for i := 0; i < n; i++ {
+			s += r.Gamma(alpha)
+		}
+		if math.Abs(s/n-alpha) > 0.08*alpha+0.05 {
+			t.Fatalf("Gamma(%v) sample mean = %v", alpha, s/n)
+		}
+	}
+}
+
+// Property: (A×B)ᵀ == Bᵀ×Aᵀ for random small matrices.
+func TestMatMulTransposeProperty(t *testing.T) {
+	r := NewRNG(20)
+	f := func(seed uint64) bool {
+		rr := NewRNG(seed)
+		m, k, n := 1+rr.Intn(12), 1+rr.Intn(12), 1+rr.Intn(12)
+		a := Randn(r, 1, m, k)
+		b := Randn(r, 1, k, n)
+		lhs := MatMul(a, b).Transpose()
+		rhs := MatMul(b.Transpose(), a.Transpose())
+		return ApproxEqual(lhs, rhs, 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: matmul distributes over addition: A×(B+C) == A×B + A×C.
+func TestMatMulDistributiveProperty(t *testing.T) {
+	r := NewRNG(21)
+	f := func(seed uint64) bool {
+		rr := NewRNG(seed)
+		m, k, n := 1+rr.Intn(10), 1+rr.Intn(10), 1+rr.Intn(10)
+		a := Randn(r, 1, m, k)
+		b := Randn(r, 1, k, n)
+		c := Randn(r, 1, k, n)
+		lhs := MatMul(a, Add(b, c))
+		rhs := Add(MatMul(a, b), MatMul(a, c))
+		return ApproxEqual(lhs, rhs, 1e-3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: serialization round-trips arbitrary shapes.
+func TestSerializationProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rr := NewRNG(seed)
+		shape := make([]int, 1+rr.Intn(4))
+		for i := range shape {
+			shape[i] = 1 + rr.Intn(6)
+		}
+		x := Randn(rr, 3, shape...)
+		var buf bytes.Buffer
+		if _, err := x.WriteTo(&buf); err != nil {
+			return false
+		}
+		var y Tensor
+		if _, err := y.ReadFrom(&buf); err != nil {
+			return false
+		}
+		return ApproxEqual(x, &y, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelCoversAllIndices(t *testing.T) {
+	hit := make([]int32, 1000)
+	Parallel(len(hit), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			hit[i]++
+		}
+	})
+	for i, h := range hit {
+		if h != 1 {
+			t.Fatalf("index %d visited %d times", i, h)
+		}
+	}
+}
+
+func expectPanic(t *testing.T, op string) {
+	t.Helper()
+	if recover() == nil {
+		t.Fatalf("%s: expected panic", op)
+	}
+}

@@ -1,0 +1,134 @@
+// Package verify implements the verifiable-execution layer of §VI: an
+// untrusted edge device produces, next to each inference result, a short
+// mathematical proof that the result came from the unmodified model; a
+// cheap verifier (the payment authorizer, the cloud) checks the proof
+// without re-executing the network.
+//
+// The construction follows SafetyNets/Thaler: the network's dense layers
+// are lifted to exact arithmetic over the Mersenne prime field
+// F_p (p = 2⁶¹−1) after int8 quantization, each matrix product is proven
+// with the sum-check protocol for matrix multiplication (logarithmic
+// rounds, O(m·k + k·n) verifier work versus O(m·n·k) re-execution),
+// Fiat-Shamir makes it non-interactive, and the (cheap, O(n)) nonlinear
+// layers are recomputed by the verifier directly — the same split Slalom
+// makes. Freivalds' check is included as the one-shot randomized baseline.
+package verify
+
+import "math/bits"
+
+// Elem is an element of F_p, p = 2⁶¹−1. Values are kept in [0, p).
+type Elem uint64
+
+// P is the field modulus, the Mersenne prime 2⁶¹−1.
+const P uint64 = (1 << 61) - 1
+
+// reduce maps an arbitrary uint64 into [0, p).
+func reduce(x uint64) Elem {
+	x = (x & P) + (x >> 61)
+	if x >= P {
+		x -= P
+	}
+	return Elem(x)
+}
+
+// NewElem maps a uint64 into the field.
+func NewElem(x uint64) Elem { return reduce(x) }
+
+// FromInt64 encodes a signed integer: negatives map to p−|v|.
+func FromInt64(v int64) Elem {
+	if v >= 0 {
+		return reduce(uint64(v))
+	}
+	m := reduce(uint64(-v))
+	if m == 0 {
+		return 0
+	}
+	return Elem(P) - m
+}
+
+// Int64 decodes an element to a signed integer, interpreting values above
+// p/2 as negative. It is exact as long as |v| < p/2.
+func (e Elem) Int64() int64 {
+	if uint64(e) > P/2 {
+		return -int64(P - uint64(e))
+	}
+	return int64(e)
+}
+
+// Add returns a + b mod p.
+func Add(a, b Elem) Elem {
+	s := uint64(a) + uint64(b)
+	if s >= P {
+		s -= P
+	}
+	return Elem(s)
+}
+
+// Sub returns a − b mod p.
+func Sub(a, b Elem) Elem {
+	if a >= b {
+		return a - b
+	}
+	return Elem(uint64(a) + P - uint64(b))
+}
+
+// Neg returns −a mod p.
+func Neg(a Elem) Elem {
+	if a == 0 {
+		return 0
+	}
+	return Elem(P - uint64(a))
+}
+
+// Mul returns a·b mod p using the Mersenne reduction
+// 2⁶⁴ ≡ 2³ (mod 2⁶¹−1).
+func Mul(a, b Elem) Elem {
+	hi, lo := bits.Mul64(uint64(a), uint64(b))
+	// lo + 8·hi fits: hi < 2⁵⁸ for a,b < 2⁶¹.
+	loRed := (lo & P) + (lo >> 61)
+	sum := loRed + hi<<3
+	return reduce(sum)
+}
+
+// Pow returns a^e mod p by square and multiply.
+func Pow(a Elem, e uint64) Elem {
+	result := Elem(1)
+	base := a
+	for e > 0 {
+		if e&1 == 1 {
+			result = Mul(result, base)
+		}
+		base = Mul(base, base)
+		e >>= 1
+	}
+	return result
+}
+
+// Inv returns the multiplicative inverse via Fermat (a^(p−2)); Inv(0) is 0.
+func Inv(a Elem) Elem {
+	if a == 0 {
+		return 0
+	}
+	return Pow(a, P-2)
+}
+
+// inv2 is the constant 2⁻¹ mod p, used in quadratic interpolation.
+var inv2 = Inv(2)
+
+// EncodeInt32s lifts a signed int32 slice into the field.
+func EncodeInt32s(v []int32) []Elem {
+	out := make([]Elem, len(v))
+	for i, x := range v {
+		out[i] = FromInt64(int64(x))
+	}
+	return out
+}
+
+// DecodeInt64s lowers field elements back to signed integers.
+func DecodeInt64s(v []Elem) []int64 {
+	out := make([]int64, len(v))
+	for i, e := range v {
+		out[i] = e.Int64()
+	}
+	return out
+}

@@ -1,0 +1,305 @@
+package verify
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+)
+
+// transcript implements the Fiat-Shamir heuristic: both parties absorb
+// the same public values and derive identical pseudo-random challenges,
+// turning the interactive sum-check into a stand-alone proof.
+type transcript struct {
+	state [32]byte
+}
+
+func newTranscript(label string) *transcript {
+	t := &transcript{}
+	t.state = sha256.Sum256([]byte("tinymlops/verify/" + label))
+	return t
+}
+
+func (t *transcript) absorbBytes(data []byte) {
+	h := sha256.New()
+	h.Write(t.state[:])
+	h.Write(data)
+	copy(t.state[:], h.Sum(nil))
+}
+
+func (t *transcript) absorbElems(es ...Elem) {
+	buf := make([]byte, 8*len(es))
+	for i, e := range es {
+		binary.LittleEndian.PutUint64(buf[8*i:], uint64(e))
+	}
+	t.absorbBytes(buf)
+}
+
+func (t *transcript) absorbInt(v int) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(v))
+	t.absorbBytes(b[:])
+}
+
+// challenge derives the next field element.
+func (t *transcript) challenge() Elem {
+	t.absorbBytes([]byte{0xC4})
+	return reduce(binary.LittleEndian.Uint64(t.state[:8]))
+}
+
+func (t *transcript) challenges(n int) []Elem {
+	out := make([]Elem, n)
+	for i := range out {
+		out[i] = t.challenge()
+	}
+	return out
+}
+
+// digestElems hashes a field vector (the "commitment" to a public matrix;
+// verifier and prover both possess the matrices, the hash just binds the
+// transcript to them).
+func digestElems(es []Elem) [32]byte {
+	h := sha256.New()
+	buf := make([]byte, 8)
+	for _, e := range es {
+		binary.LittleEndian.PutUint64(buf, uint64(e))
+		h.Write(buf)
+	}
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// RoundPoly is one sum-check round: the quadratic g evaluated at 0, 1, 2.
+type RoundPoly [3]Elem
+
+// Proof is a non-interactive sum-check proof for one matrix product.
+type Proof struct {
+	// M, K, N are the padded dimensions.
+	M, K, N int
+	// Rounds holds log₂(K) round polynomials.
+	Rounds []RoundPoly
+}
+
+// SizeBytes returns the wire size of the proof (3 field elements per
+// round plus the dimension header).
+func (p *Proof) SizeBytes() int { return 12 + 24*len(p.Rounds) }
+
+// Stats counts field multiplications on each side — the cost model E10
+// reports. DirectMuls is what re-executing the product would cost.
+type Stats struct {
+	ProverMuls   int64
+	VerifierMuls int64
+	DirectMuls   int64
+	ProofBytes   int
+}
+
+// ProveMatMul computes C = A×B over the field and produces a sum-check
+// proof that C is correct. a is m×k and b is k×n (int32, row-major,
+// arbitrary dimensions — padding is internal). It returns the unpadded
+// product as int64s, the proof and the prover-side stats.
+func ProveMatMul(a []int32, m, k int, b []int32, n int) ([]int64, *Proof, Stats, error) {
+	if len(a) != m*k || len(b) != k*n {
+		return nil, nil, Stats{}, fmt.Errorf("verify: matrix sizes %d,%d do not match dims (%d×%d)×(%d×%d)", len(a), len(b), m, k, k, n)
+	}
+	af, mp, kp := padMatrix(a, m, k)
+	bf, kp2, np := padMatrix(b, k, n)
+	_ = kp2
+	cf := matMulField(af, bf, mp, kp, np)
+	stats := Stats{ProverMuls: int64(mp) * int64(kp) * int64(np), DirectMuls: int64(mp) * int64(kp) * int64(np)}
+
+	tr := newTranscript("matmul")
+	tr.absorbInt(mp)
+	tr.absorbInt(kp)
+	tr.absorbInt(np)
+	da, db, dc := digestElems(af), digestElems(bf), digestElems(cf)
+	tr.absorbBytes(da[:])
+	tr.absorbBytes(db[:])
+	tr.absorbBytes(dc[:])
+
+	r1 := tr.challenges(log2(mp))
+	r2 := tr.challenges(log2(np))
+
+	u, err := foldRows(af, mp, kp, r1) // Ã(r1, ·), length kp
+	if err != nil {
+		return nil, nil, stats, err
+	}
+	v, err := foldCols(bf, kp, np, r2) // B̃(·, r2), length kp
+	if err != nil {
+		return nil, nil, stats, err
+	}
+	stats.ProverMuls += int64(mp)*int64(kp) + int64(kp)*int64(np)
+
+	proof := &Proof{M: mp, K: kp, N: np}
+	rounds := log2(kp)
+	for round := 0; round < rounds; round++ {
+		half := len(u) / 2
+		var g0, g1, g2 Elem
+		for j := 0; j < half; j++ {
+			u0, u1 := u[j], u[j+half]
+			v0, v1 := v[j], v[j+half]
+			g0 = Add(g0, Mul(u0, v0))
+			g1 = Add(g1, Mul(u1, v1))
+			// g(2) = (2u1−u0)(2v1−v0)
+			u2 := Sub(Add(u1, u1), u0)
+			v2 := Sub(Add(v1, v1), v0)
+			g2 = Add(g2, Mul(u2, v2))
+		}
+		stats.ProverMuls += int64(3 * half)
+		rp := RoundPoly{g0, g1, g2}
+		proof.Rounds = append(proof.Rounds, rp)
+		tr.absorbElems(rp[0], rp[1], rp[2])
+		rho := tr.challenge()
+		// Fold u and v with the challenge.
+		nu := make([]Elem, half)
+		nv := make([]Elem, half)
+		for j := 0; j < half; j++ {
+			nu[j] = Add(u[j], Mul(rho, Sub(u[j+half], u[j])))
+			nv[j] = Add(v[j], Mul(rho, Sub(v[j+half], v[j])))
+		}
+		stats.ProverMuls += int64(2 * half)
+		u, v = nu, nv
+	}
+	stats.ProofBytes = proof.SizeBytes()
+
+	// Unpad the result.
+	out := make([]int64, m*n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out[i*n+j] = cf[i*np+j].Int64()
+		}
+	}
+	return out, proof, stats, nil
+}
+
+// evalQuadratic interpolates g from its values at 0, 1, 2 and evaluates
+// at t: g(t) = g0·(t−1)(t−2)/2 − g1·t(t−2) + g2·t(t−1)/2.
+func evalQuadratic(g RoundPoly, t Elem) Elem {
+	t1 := Sub(t, 1)
+	t2 := Sub(t, 2)
+	term0 := Mul(Mul(g[0], Mul(t1, t2)), inv2)
+	term1 := Neg(Mul(g[1], Mul(t, t2)))
+	term2 := Mul(Mul(g[2], Mul(t, t1)), inv2)
+	return Add(Add(term0, term1), term2)
+}
+
+// VerifyMatMul checks a proof that c = a×b. The verifier holds a, b and
+// the claimed c (as the application does: a is its input, b its model,
+// c the device's answer); its work is O(m·k + k·n + m·n) instead of
+// O(m·n·k).
+func VerifyMatMul(a []int32, m, k int, b []int32, n int, c []int64, proof *Proof) (bool, Stats, error) {
+	if len(c) != m*n {
+		return false, Stats{}, fmt.Errorf("verify: result size %d, want %d", len(c), m*n)
+	}
+	af, mp, kp := padMatrix(a, m, k)
+	bf, _, np := padMatrix(b, k, n)
+	if proof.M != mp || proof.K != kp || proof.N != np {
+		return false, Stats{}, fmt.Errorf("verify: proof dims %dx%dx%d do not match %dx%dx%d", proof.M, proof.K, proof.N, mp, kp, np)
+	}
+	if len(proof.Rounds) != log2(kp) {
+		return false, Stats{}, fmt.Errorf("verify: proof has %d rounds, want %d", len(proof.Rounds), log2(kp))
+	}
+	// Rebuild the padded C from the claimed result.
+	cf := make([]Elem, mp*np)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			cf[i*np+j] = FromInt64(c[i*n+j])
+		}
+	}
+	stats := Stats{DirectMuls: int64(mp) * int64(kp) * int64(np), ProofBytes: proof.SizeBytes()}
+
+	tr := newTranscript("matmul")
+	tr.absorbInt(mp)
+	tr.absorbInt(kp)
+	tr.absorbInt(np)
+	da, db, dc := digestElems(af), digestElems(bf), digestElems(cf)
+	tr.absorbBytes(da[:])
+	tr.absorbBytes(db[:])
+	tr.absorbBytes(dc[:])
+
+	r1 := tr.challenges(log2(mp))
+	r2 := tr.challenges(log2(np))
+
+	// Claim: C̃(r1, r2) — the verifier evaluates it from the claimed C.
+	claim, err := evalMLE(cf, mp, np, r1, r2)
+	if err != nil {
+		return false, stats, err
+	}
+	stats.VerifierMuls += int64(mp)*int64(np) + int64(np)
+
+	var rho []Elem
+	for _, g := range proof.Rounds {
+		if Add(g[0], g[1]) != claim {
+			return false, stats, nil
+		}
+		tr.absorbElems(g[0], g[1], g[2])
+		ri := tr.challenge()
+		rho = append(rho, ri)
+		claim = evalQuadratic(g, ri)
+		stats.VerifierMuls += 6
+	}
+	// Final check: claim must equal Ã(r1, ρ)·B̃(ρ, r2), which the
+	// verifier evaluates itself in O(m·k + k·n).
+	ua, err := evalMLE(af, mp, kp, r1, rho)
+	if err != nil {
+		return false, stats, err
+	}
+	vb, err := foldCols(bf, kp, np, r2)
+	if err != nil {
+		return false, stats, err
+	}
+	vbAt, err := foldCols(vb, 1, kp, rho)
+	if err != nil {
+		return false, stats, err
+	}
+	stats.VerifierMuls += int64(mp)*int64(kp) + int64(kp)*int64(np) + int64(kp) + 1
+	return claim == Mul(ua, vbAt[0]), stats, nil
+}
+
+// FreivaldsCheck probabilistically verifies c = a×b with `rounds` random
+// projections over the field; each round costs O(m·k + k·n + m·n) and a
+// wrong product survives a round with probability ≤ 1/p. The seed
+// parameterizes the randomness (use a fresh one per check).
+func FreivaldsCheck(a []int32, m, k int, b []int32, n int, c []int64, rounds int, seed uint64) bool {
+	if rounds < 1 {
+		rounds = 1
+	}
+	af, mp, kp := padMatrix(a, m, k)
+	bf, _, np := padMatrix(b, k, n)
+	cf := make([]Elem, mp*np)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			cf[i*np+j] = FromInt64(c[i*n+j])
+		}
+	}
+	tr := newTranscript("freivalds")
+	tr.absorbInt(int(seed))
+	for round := 0; round < rounds; round++ {
+		r := tr.challenges(np)
+		// br = B×r ; abr = A×br ; cr = C×r ; check abr == cr.
+		br := make([]Elem, kp)
+		for i := 0; i < kp; i++ {
+			var s Elem
+			row := bf[i*np : (i+1)*np]
+			for j, v := range row {
+				s = Add(s, Mul(v, r[j]))
+			}
+			br[i] = s
+		}
+		for i := 0; i < mp; i++ {
+			var abr Elem
+			arow := af[i*kp : (i+1)*kp]
+			for j, v := range arow {
+				abr = Add(abr, Mul(v, br[j]))
+			}
+			var cr Elem
+			crow := cf[i*np : (i+1)*np]
+			for j, v := range crow {
+				cr = Add(cr, Mul(v, r[j]))
+			}
+			if abr != cr {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,128 @@
+package tinymlops
+
+import (
+	"tinymlops/internal/nn"
+	"tinymlops/internal/quant"
+	"tinymlops/internal/tensor"
+)
+
+// Numeric substrate.
+
+// Tensor is a dense, row-major float32 tensor.
+type Tensor = tensor.Tensor
+
+// RNG is the deterministic generator every stochastic component draws
+// from.
+type RNG = tensor.RNG
+
+// NewRNG returns a generator seeded from seed.
+func NewRNG(seed uint64) *RNG { return tensor.NewRNG(seed) }
+
+// NewTensor returns a zero-filled tensor with the given shape.
+func NewTensor(shape ...int) *Tensor { return tensor.New(shape...) }
+
+// FromSlice wraps data in a tensor of the given shape without copying.
+func FromSlice(data []float32, shape ...int) *Tensor { return tensor.FromSlice(data, shape...) }
+
+// Neural-network engine.
+
+// Network is a sequential neural network — the model artifact the whole
+// platform manipulates.
+type Network = nn.Network
+
+// Layer is one differentiable stage of a Network.
+type Layer = nn.Layer
+
+// TrainConfig controls the mini-batch training loop.
+type TrainConfig = nn.TrainConfig
+
+// Optimizer updates parameters from gradients.
+type Optimizer = nn.Optimizer
+
+// NewNetwork returns a network over the given per-example input shape.
+func NewNetwork(inputShape []int, layers ...Layer) *Network {
+	return nn.NewNetwork(inputShape, layers...)
+}
+
+// Dense returns a fully connected layer with He initialization.
+func Dense(in, out int, rng *RNG) Layer { return nn.NewDense(in, out, rng) }
+
+// Conv2D returns a 2D convolution layer over [batch, c, h, w] inputs.
+func Conv2D(inC, outC, kh, kw, stride, pad int, rng *RNG) Layer {
+	return nn.NewConv2D(inC, outC, kh, kw, stride, pad, rng)
+}
+
+// MaxPool2D returns a max pooling layer.
+func MaxPool2D(k, stride int) Layer { return nn.NewMaxPool2D(k, stride) }
+
+// ReLU returns a rectified linear activation layer.
+func ReLU() Layer { return nn.NewReLU() }
+
+// Tanh returns a hyperbolic tangent activation layer.
+func Tanh() Layer { return nn.NewTanh() }
+
+// Sigmoid returns a logistic activation layer.
+func Sigmoid() Layer { return nn.NewSigmoid() }
+
+// Softmax returns an explicit softmax layer (training stacks usually end
+// with raw logits instead).
+func Softmax() Layer { return nn.NewSoftmax() }
+
+// Flatten returns a layer reshaping [batch, ...] to [batch, features].
+func Flatten() Layer { return nn.NewFlatten() }
+
+// BatchNorm1D returns a batch normalization layer over f features.
+func BatchNorm1D(f int) Layer { return nn.NewBatchNorm1D(f) }
+
+// Dropout returns an inverted-dropout layer with drop probability p.
+func Dropout(p float32, rng *RNG) Layer { return nn.NewDropout(p, rng) }
+
+// SGD returns a stochastic gradient descent optimizer.
+func SGD(lr float32) *nn.SGD { return nn.NewSGD(lr) }
+
+// Adam returns an Adam optimizer with standard defaults.
+func Adam(lr float32) *nn.Adam { return nn.NewAdam(lr) }
+
+// Train runs mini-batch classification training with softmax
+// cross-entropy.
+func Train(net *Network, x *Tensor, labels []int, cfg TrainConfig) (float32, error) {
+	return nn.Train(net, x, labels, cfg)
+}
+
+// Evaluate returns classification accuracy of net on (x, labels).
+func Evaluate(net *Network, x *Tensor, labels []int) float64 {
+	return nn.Evaluate(net, x, labels)
+}
+
+// Quantization pipeline.
+
+// Scheme selects a weight precision (Float32, Int8, Int4, Ternary,
+// Binary).
+type Scheme = quant.Scheme
+
+// Quantization schemes.
+const (
+	Float32 = quant.Float32
+	Int8    = quant.Int8
+	Int4    = quant.Int4
+	Ternary = quant.Ternary
+	Binary  = quant.Binary
+)
+
+// QModel is an integer-kernel executable derived from a Network.
+type QModel = quant.QModel
+
+// Quantize derives an integer-kernel executable from a network.
+func Quantize(net *Network, scheme Scheme) (*QModel, error) { return quant.NewQModel(net, scheme) }
+
+// FakeQuantize returns a float-engine copy of net with quantize-dequantize
+// weights, for accuracy evaluation of low-bit variants.
+func FakeQuantize(net *Network, scheme Scheme) (*Network, error) {
+	return quant.FakeQuantizeNetwork(net, scheme)
+}
+
+// Prune zeroes the smallest-magnitude fraction of weights globally and
+// returns the achieved sparsity.
+func Prune(net *Network, fraction float64) (float64, error) {
+	return quant.MagnitudePrune(net, fraction)
+}

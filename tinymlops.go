@@ -1,0 +1,179 @@
+// Package tinymlops is the public API of the TinyMLOps platform — a Go
+// reproduction of "TinyMLOps: Operational Challenges for Widespread Edge
+// AI Adoption" (Leroux et al., 2022).
+//
+// The package re-exports the platform facade and the subsystems a
+// downstream user composes:
+//
+//   - model training and serialization (the nn engine),
+//   - the registry with its automatic optimization pipeline (§III-A),
+//   - per-device variant selection and deployment over a simulated
+//     heterogeneous fleet (§III-A, §IV),
+//   - on-device observability and store-and-forward telemetry (§III-B),
+//   - offline pay-per-query metering with tamper-evident settlement
+//     (§III-C),
+//   - federated learning with update compression and personalization
+//     (§III-D),
+//   - model IP protection: encryption, watermarking, extraction defenses
+//     (§V),
+//   - verifiable execution via sum-check proofs (§VI).
+//
+// See examples/quickstart for the end-to-end flow.
+package tinymlops
+
+import (
+	"tinymlops/internal/core"
+	"tinymlops/internal/dataset"
+	"tinymlops/internal/device"
+	"tinymlops/internal/registry"
+	"tinymlops/internal/selector"
+)
+
+// Platform is the TinyMLOps control plane over a simulated device fleet.
+type Platform = core.Platform
+
+// PlatformConfig provisions a Platform (vendor key, seed, telemetry
+// anonymity floor).
+type PlatformConfig = core.Config
+
+// Deployment is one model live on one device: metering gate, drift
+// monitor, telemetry buffer and pipeline modules included.
+type Deployment = core.Deployment
+
+// DeployConfig controls selection policy, prepaid quota, drift
+// calibration, watermarking and pipeline modules for one deployment.
+type DeployConfig = core.DeployConfig
+
+// InferenceResult is one query's outcome on a deployment.
+type InferenceResult = core.InferenceResult
+
+// ErrQueryDenied is returned by Deployment.Infer when the prepaid meter is
+// exhausted.
+var ErrQueryDenied = core.ErrQueryDenied
+
+// NewPlatform creates a platform over a device fleet.
+func NewPlatform(fleet *Fleet, cfg PlatformConfig) (*Platform, error) {
+	return core.New(fleet, cfg)
+}
+
+// DefaultOptimizationSpec derives int8/int4/ternary/binary variants
+// evaluated on eval — the standard §III-A optimization pipeline.
+func DefaultOptimizationSpec(eval *Dataset) OptimizationSpec {
+	return core.DefaultOptimizationSpec(eval)
+}
+
+// Registry types.
+
+// Registry is the content-addressed model store with lineage tracking.
+type Registry = registry.Registry
+
+// ModelVersion is one node of the registry's lineage DAG.
+type ModelVersion = registry.ModelVersion
+
+// OptimizationSpec configures automatic variant generation on publish.
+type OptimizationSpec = registry.OptimizationSpec
+
+// Selection types.
+
+// SelectionPolicy weighs accuracy, latency, download and energy when
+// choosing a variant for a device context.
+type SelectionPolicy = selector.Policy
+
+// DefaultSelectionPolicy returns the weights used across the experiments.
+func DefaultSelectionPolicy() SelectionPolicy { return selector.DefaultPolicy() }
+
+// Select picks the best feasible model variant for one device.
+func Select(dev *Device, candidates []*ModelVersion, policy SelectionPolicy) (selector.Decision, error) {
+	return selector.Select(dev, candidates, policy)
+}
+
+// Fleet types.
+
+// Device is one simulated edge node (capabilities, battery, connectivity,
+// usage counters).
+type Device = device.Device
+
+// Fleet is a collection of simulated devices.
+type Fleet = device.Fleet
+
+// DeviceCapabilities describes a hardware profile.
+type DeviceCapabilities = device.Capabilities
+
+// FleetSpec configures NewStandardFleet.
+type FleetSpec = device.FleetSpec
+
+// NewStandardFleet builds a heterogeneous fleet with CountPerProfile
+// devices of each of the six standard profiles.
+func NewStandardFleet(spec FleetSpec) (*Fleet, error) { return device.NewStandardFleet(spec) }
+
+// StandardProfiles returns the six reference device profiles.
+func StandardProfiles() []DeviceCapabilities { return device.StandardProfiles() }
+
+// ProfileByName returns a standard profile by name
+// ("m0-sensor", "m4-wearable", "m7-camera", "npu-board", "phone",
+// "edge-gateway").
+func ProfileByName(name string) (DeviceCapabilities, error) { return device.ProfileByName(name) }
+
+// Dataset types.
+
+// Dataset is a labeled collection of fixed-shape examples.
+type Dataset = dataset.Dataset
+
+// Blobs generates the linearly separable Gaussian-cluster task.
+func Blobs(rng *RNG, n, features, classes int, sep float32) *Dataset {
+	return dataset.Blobs(rng, n, features, classes, sep)
+}
+
+// Rings generates the concentric-ring task (not linearly separable).
+func Rings(rng *RNG, n, classes int, noise float32) *Dataset {
+	return dataset.Rings(rng, n, classes, noise)
+}
+
+// ShapeImages generates single-channel images of four shape classes for
+// convolutional models.
+func ShapeImages(rng *RNG, n, size int, noise float32) *Dataset {
+	return dataset.ShapeImages(rng, n, size, noise)
+}
+
+// KeywordSeq generates keyword-spotting-like waveforms; pitchShift
+// emulates speaker variability for personalization studies.
+func KeywordSeq(rng *RNG, n, seqLen, classes int, noise, pitchShift float32) *Dataset {
+	return dataset.KeywordSeq(rng, n, seqLen, classes, noise, pitchShift)
+}
+
+// VibrationAnomaly generates machine-vibration windows for predictive
+// maintenance; machineID gives each machine its own signature.
+func VibrationAnomaly(rng *RNG, n, window int, anomalyFrac float64, machineID int) *Dataset {
+	return dataset.VibrationAnomaly(rng, n, window, anomalyFrac, machineID)
+}
+
+// PartitionDirichlet shards a dataset with label skew controlled by alpha
+// (small alpha = pathological non-IID).
+func PartitionDirichlet(rng *RNG, ds *Dataset, k int, alpha float64) [][]int {
+	return dataset.PartitionDirichlet(rng, ds, k, alpha)
+}
+
+// PartitionIID shards a dataset uniformly.
+func PartitionIID(rng *RNG, ds *Dataset, k int) [][]int {
+	return dataset.PartitionIID(rng, ds, k)
+}
+
+// DriftStream draws from a base dataset and injects a distribution change
+// at a fixed onset.
+type DriftStream = dataset.DriftStream
+
+// DriftKind names a drift injection mode.
+type DriftKind = dataset.DriftKind
+
+// Drift kinds for NewDriftStream.
+const (
+	DriftNone      = dataset.DriftNone
+	DriftMeanShift = dataset.DriftMeanShift
+	DriftRotate    = dataset.DriftRotate
+	DriftScale     = dataset.DriftScale
+)
+
+// NewDriftStream returns a stream over base with the given drift schedule.
+func NewDriftStream(rng *RNG, base *Dataset, onset int, kind DriftKind, magnitude float64) *DriftStream {
+	return dataset.NewDriftStream(rng, base, onset, kind, magnitude)
+}
