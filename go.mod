@@ -1,0 +1,3 @@
+module tinymlops
+
+go 1.22
