@@ -12,6 +12,7 @@ import (
 	"tinymlops/internal/core"
 	"tinymlops/internal/dataset"
 	"tinymlops/internal/device"
+	"tinymlops/internal/engine"
 	"tinymlops/internal/experiments"
 	"tinymlops/internal/fed"
 	"tinymlops/internal/ipprot"
@@ -403,6 +404,102 @@ func BenchmarkE11DecryptModel(b *testing.B) {
 		if _, err := ipprot.DecryptModel(key, em); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- engine: parallel fleet execution + batched forward ----------------------
+
+// deviceState is the per-device reusable buffers of the fleet-round
+// benchmarks: a steady-state fleet allocates per round only what the
+// harness itself needs.
+type deviceState struct {
+	in      *tensor.Tensor
+	scratch *nn.Scratch
+}
+
+// fleetRoundWork is the per-device work both fleet-round benchmarks run: a
+// batch-16 inference burst on a shared model plus cost-model accounting.
+// The serial and parallel benchmarks execute exactly this, so their ratio
+// is the engine's scheduling speedup (≈1 on one core; the gain appears at
+// GOMAXPROCS ≥ 2 because per-device work is independent by construction).
+func fleetRoundWork(net *nn.Network, d *device.Device, rng *tensor.RNG, st *deviceState) uint64 {
+	for i := range st.in.Data {
+		st.in.Data[i] = -1 + 2*rng.Float32()
+	}
+	out := net.ForwardBatch(st.in, st.scratch)
+	if _, err := d.RunInference(27000, 32); err != nil {
+		return 0
+	}
+	return uint64(out.ArgMaxRows()[0])
+}
+
+func fleetBenchSetup(b *testing.B) (*nn.Network, *device.Fleet, map[string]*deviceState) {
+	rng := tensor.NewRNG(30)
+	net := nn.NewNetwork([]int{16},
+		nn.NewDense(16, 64, rng), nn.NewReLU(), nn.NewDense(64, 10, rng))
+	fleet, err := device.NewStandardFleet(device.FleetSpec{CountPerProfile: 167, Seed: 1}) // 1002 devices
+	if err != nil {
+		b.Fatal(err)
+	}
+	states := make(map[string]*deviceState, fleet.Size())
+	for _, d := range fleet.Devices() {
+		states[d.ID] = &deviceState{in: tensor.New(16, 16), scratch: nn.NewScratch()}
+	}
+	return net, fleet, states
+}
+
+func BenchmarkFleetRoundSerial(b *testing.B) {
+	net, fleet, states := fleetBenchSetup(b)
+	devs := fleet.Devices()
+	b.ResetTimer()
+	for it := 0; it < b.N; it++ {
+		for i, d := range devs {
+			fleetRoundWork(net, d, engine.RNGFor(1, uint64(it+1), i), states[d.ID])
+		}
+	}
+}
+
+func BenchmarkFleetRoundParallel(b *testing.B) {
+	net, fleet, states := fleetBenchSetup(b)
+	runner := engine.NewFleetRunner(engine.Default(), fleet, 1)
+	b.ResetTimer()
+	for it := 0; it < b.N; it++ {
+		engine.RunRound(runner, func(d *device.Device, rng *tensor.RNG) (uint64, error) {
+			return fleetRoundWork(net, d, rng, states[d.ID]), nil
+		})
+	}
+}
+
+func batchBenchNet() (*nn.Network, *tensor.Tensor) {
+	rng := tensor.NewRNG(31)
+	net := nn.NewNetwork([]int{64},
+		nn.NewDense(64, 128, rng), nn.NewReLU(), nn.NewDense(128, 10, rng))
+	return net, tensor.Randn(rng, 1, 16, 64)
+}
+
+// BenchmarkForwardSingle16 is the per-sample baseline: 16 examples, 16
+// Forward calls per iteration.
+func BenchmarkForwardSingle16(b *testing.B) {
+	net, in := batchBenchNet()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for r := 0; r < 16; r++ {
+			net.Forward(in.RowSlice(r, r+1), false)
+		}
+	}
+}
+
+// BenchmarkForwardBatch16 runs the same 16 examples as one ForwardBatch
+// call with reused scratch buffers (bit-identical outputs, see
+// internal/nn batch tests).
+func BenchmarkForwardBatch16(b *testing.B) {
+	net, in := batchBenchNet()
+	scratch := nn.NewScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ForwardBatch(in, scratch)
 	}
 }
 

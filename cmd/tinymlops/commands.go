@@ -192,7 +192,11 @@ func cmdSimulate(args []string) error {
 	queries := fs.Int("queries", 150, "queries per device")
 	quota := fs.Uint64("quota", 100, "prepaid queries per deployment")
 	seed := fs.Uint64("seed", 42, "random seed")
+	workers := fs.Int("workers", 0, "fleet worker pool size (0 = all cores)")
 	fs.Parse(args) //nolint:errcheck
+	if *queries < 0 {
+		*queries = 0
+	}
 
 	rng := tinymlops.NewRNG(*seed)
 	ds := tinymlops.Blobs(rng, 1500, 4, 3, 5)
@@ -214,6 +218,7 @@ func cmdSimulate(args []string) error {
 	fleet.Tick()
 	platform, err := tinymlops.NewPlatform(fleet, tinymlops.PlatformConfig{
 		VendorKey: []byte("cli-vendor-key-0123456789abcdef0"), Seed: *seed, MinCohort: 1,
+		Workers: *workers,
 	})
 	if err != nil {
 		return err
@@ -221,30 +226,62 @@ func cmdSimulate(args []string) error {
 	if _, err := platform.Publish("sim", net, test, tinymlops.DefaultOptimizationSpec(test)); err != nil {
 		return err
 	}
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "device\tvariant\tserved\tdenied\tbattery")
-	x := make([]float32, 4)
-	for _, d := range fleet.Devices() {
-		dep, err := platform.Deploy(d.ID, "sim", tinymlops.DeployConfig{
+
+	// Deploy to every device across the platform's worker pool, then run
+	// each device's whole query load as one batched burst, devices in
+	// parallel. The table is identical to the old serial loop — per-device
+	// metering and results are order-independent by construction.
+	devs := fleet.Devices()
+	eng := platform.Engine()
+	type depState struct {
+		dep *tinymlops.Deployment
+		err error
+	}
+	states := make([]depState, len(devs))
+	_ = eng.ForEach(len(devs), func(i int) error {
+		d, derr := platform.Deploy(devs[i].ID, "sim", tinymlops.DeployConfig{
 			PrepaidQueries: *quota, Calibration: train,
 		})
-		if err != nil {
-			fmt.Fprintf(tw, "%s\t(deploy failed: %v)\t\t\t\n", d.ID, err)
+		states[i] = depState{dep: d, err: derr}
+		return nil
+	})
+
+	rows := make([][]float32, *queries)
+	for i := range rows {
+		row := make([]float32, 4)
+		for f := 0; f < 4; f++ {
+			row[f] = test.X.At2(i%test.Len(), f)
+		}
+		rows[i] = row
+	}
+	type qStat struct{ served, denied int }
+	stats := make([]qStat, len(devs))
+	_ = eng.ForEach(len(devs), func(i int) error {
+		if states[i].err != nil || states[i].dep == nil {
+			return nil
+		}
+		for _, o := range states[i].dep.InferBatch(rows) {
+			if o.Err != nil {
+				stats[i].denied++
+			} else {
+				stats[i].served++
+			}
+		}
+		return nil
+	})
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "device\tvariant\tserved\tdenied\tbattery")
+	for i, d := range devs {
+		// A nil dep with a nil err means the deploy task died before
+		// recording a result (the engine contains panics per task).
+		if states[i].err != nil || states[i].dep == nil {
+			fmt.Fprintf(tw, "%s\t(deploy failed: %v)\t\t\t\n", d.ID, states[i].err)
 			continue
 		}
-		served, denied := 0, 0
-		for i := 0; i < *queries; i++ {
-			for f := 0; f < 4; f++ {
-				x[f] = test.X.At2(i%test.Len(), f)
-			}
-			if _, err := dep.Infer(x); err != nil {
-				denied++
-			} else {
-				served++
-			}
-		}
+		dep := states[i].dep
 		fmt.Fprintf(tw, "%s\t%s/%s\t%d\t%d\t%.0f%%\n",
-			d.ID, dep.Version.ID[:8], dep.Version.Scheme, served, denied, 100*d.BatteryLevel())
+			d.ID, dep.Version.ID[:8], dep.Version.Scheme, stats[i].served, stats[i].denied, 100*d.BatteryLevel())
 	}
 	if err := tw.Flush(); err != nil {
 		return err

@@ -9,7 +9,7 @@
 //	tinymlops variants -model model.tmln
 //	tinymlops export   -model model.tmln -out model.json
 //	tinymlops import   -graph model.json -out model.tmln
-//	tinymlops simulate -devices 2 -queries 150 -quota 100
+//	tinymlops simulate -devices 2 -queries 150 -quota 100 -workers 8
 package main
 
 import (

@@ -250,7 +250,7 @@ func TestDeployWithWatermarkTagsRegistry(t *testing.T) {
 		t.Fatal(err)
 	}
 	v, _ := p.Registry.Get(dep.Version.ID)
-	if v.Tags["watermark"] != "customer-42" {
+	if v.Tags["watermark:phone-00"] != "customer-42" {
 		t.Fatalf("registry tags = %v", v.Tags)
 	}
 	// The mark extracts from the deployed copy. Capacity is scaled to the

@@ -40,6 +40,7 @@ type Deployment struct {
 	winLatency  observe.Welford
 	winEnergyMJ float64
 	featStats   []observe.Welford
+	scratch     *nn.Scratch // reusable ForwardBatch buffers, guarded by mu
 }
 
 // ErrQueryDenied wraps metering denial at the inference entry point.
@@ -123,6 +124,120 @@ func (d *Deployment) Infer(x []float32) (InferenceResult, error) {
 
 	drift := d.Monitor != nil && d.Monitor.Drifted()
 	return InferenceResult{Label: label, Latency: lat, DriftAlarm: drift}, nil
+}
+
+// BatchOutcome is one query's outcome within InferBatch.
+type BatchOutcome struct {
+	Result InferenceResult
+	Err    error
+}
+
+// InferBatch runs a burst of queries through the deployed pipeline with a
+// single batched forward pass over the rows that clear the metering and
+// device gates. Per-query metering, drift observation, device energy and
+// telemetry accounting are identical to calling Infer row by row, and the
+// predicted labels are bit-identical (ForwardBatch preserves accumulation
+// order); the one visible difference is that DriftAlarm reflects the
+// monitor state at the end of the burst, since all rows are observed
+// before the shared compute. Reusable scratch buffers make the steady
+// state allocate O(batch) instead of O(batch × layers).
+func (d *Deployment) InferBatch(rows [][]float32) []BatchOutcome {
+	out := make([]BatchOutcome, len(rows))
+	if len(rows) == 0 {
+		return out
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	type admitted struct {
+		idx int
+		lat time.Duration
+	}
+	var adm []admitted
+	var feats []float32
+	fdim := -1
+	for qi, x := range rows {
+		d.tick++
+		if err := d.Meter.Charge(d.tick); err != nil {
+			d.device.DenyQuery()
+			d.winDenied++
+			out[qi].Err = fmt.Errorf("%w: %v", ErrQueryDenied, err)
+			continue
+		}
+		features := x
+		if d.pre != nil {
+			res, err := d.runtime.Run(d.pre, x)
+			if err != nil {
+				out[qi].Err = fmt.Errorf("core: preprocess: %w", err)
+				continue
+			}
+			if !res.Output.IsVec {
+				out[qi].Err = fmt.Errorf("core: preprocess must produce a vector")
+				continue
+			}
+			features = res.Output.Vec
+		}
+		if fdim < 0 {
+			fdim = len(features)
+		}
+		if len(features) != fdim {
+			out[qi].Err = fmt.Errorf("core: feature width %d differs from batch width %d", len(features), fdim)
+			continue
+		}
+		if d.Monitor != nil {
+			d.Monitor.Observe(features)
+		}
+		lat, err := d.device.RunInference(d.Version.Metrics.MACs, d.Version.Scheme.Bits())
+		if err != nil {
+			out[qi].Err = fmt.Errorf("core: device: %w", err)
+			continue
+		}
+		feats = append(feats, features...)
+		adm = append(adm, admitted{idx: qi, lat: lat})
+	}
+	if len(adm) == 0 {
+		return out
+	}
+
+	if d.scratch == nil {
+		d.scratch = nn.NewScratch()
+	}
+	logits := d.model.ForwardBatch(tensor.FromSlice(feats, len(adm), fdim), d.scratch)
+	labels := logits.ArgMaxRows()
+	cols := logits.Dim(1)
+	drift := d.Monitor != nil && d.Monitor.Drifted()
+	for bi, a := range adm {
+		label := labels[bi]
+		if d.post != nil {
+			res, err := d.runtime.Run(d.post, append([]float32(nil), logits.Data[bi*cols:(bi+1)*cols]...))
+			if err != nil {
+				out[a.idx].Err = fmt.Errorf("core: postprocess: %w", err)
+				continue
+			}
+			if res.Output.IsVec {
+				out[a.idx].Err = fmt.Errorf("core: postprocess must reduce to a scalar label")
+				continue
+			}
+			label = int(res.Output.Scalar)
+		}
+		// Telemetry accounting, like Infer's, covers only queries the full
+		// pipeline served; row order keeps the Welford states identical to
+		// the serial path's.
+		row := feats[bi*fdim : (bi+1)*fdim]
+		d.winCount++
+		d.winLatency.Add(float64(a.lat.Nanoseconds()) / 1e3)
+		d.winEnergyMJ += d.device.Caps.InferenceEnergy(d.Version.Metrics.MACs) * 1e3
+		if d.featStats == nil {
+			d.featStats = make([]observe.Welford, len(row))
+		}
+		for i := range row {
+			if i < len(d.featStats) {
+				d.featStats[i].Add(float64(row[i]))
+			}
+		}
+		out[a.idx].Result = InferenceResult{Label: label, Latency: a.lat, DriftAlarm: drift}
+	}
+	return out
 }
 
 // rollWindow closes the current telemetry window into the buffer.

@@ -1,19 +1,13 @@
-// Package core assembles the TinyMLOps platform of Figure 1: one facade
-// that owns the model registry and optimization pipeline (§III-A), deploys
-// per-device variants with encrypted artifacts and metered query packages
-// (§III-A/C, §V), runs the on-device pipeline (procvm preprocessing →
-// metering gate → inference on the device cost model → drift monitoring →
-// postprocessing), ships anonymized telemetry when devices reach WiFi
-// (§III-B), settles usage with the vendor (§III-C), and retrains the
-// global model federatedly before re-deriving every variant (§III-D).
 package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"tinymlops/internal/dataset"
 	"tinymlops/internal/device"
+	"tinymlops/internal/engine"
 	"tinymlops/internal/fed"
 	"tinymlops/internal/ipprot"
 	"tinymlops/internal/metering"
@@ -34,6 +28,9 @@ type Config struct {
 	Seed uint64
 	// MinCohort is the telemetry k-anonymity floor.
 	MinCohort int
+	// Workers bounds the platform's parallel fleet operations (deployment
+	// fan-out, telemetry sync, settlement); values ≤ 0 mean GOMAXPROCS.
+	Workers int
 }
 
 // Platform is the TinyMLOps control plane plus the simulated data plane.
@@ -46,10 +43,15 @@ type Platform struct {
 
 	vendorKey []byte
 	rng       *tensor.RNG
+	eng       *engine.Engine
 
 	mu          sync.Mutex
 	deployments map[string]*Deployment
 }
+
+// Engine returns the worker pool behind the platform's fleet-wide
+// operations, so callers can reuse it for their own fan-out.
+func (p *Platform) Engine() *engine.Engine { return p.eng }
 
 // New creates a platform over a device fleet.
 func New(fleet *device.Fleet, cfg Config) (*Platform, error) {
@@ -72,6 +74,7 @@ func New(fleet *device.Fleet, cfg Config) (*Platform, error) {
 		Aggregator:  observe.NewAggregator(minCohort),
 		vendorKey:   append([]byte(nil), cfg.VendorKey...),
 		rng:         tensor.NewRNG(cfg.Seed),
+		eng:         engine.New(engine.Config{Workers: cfg.Workers}),
 		deployments: make(map[string]*Deployment),
 	}, nil
 }
@@ -151,7 +154,12 @@ func (p *Platform) Deploy(deviceID, modelName string, cfg DeployConfig) (*Deploy
 		if err := ipprot.EmbedStatic(model, cfg.Watermark, bits, ipprot.DefaultStaticWMConfig()); err != nil {
 			return nil, fmt.Errorf("core: watermark: %w", err)
 		}
-		if err := p.Registry.SetTag(version.ID, "watermark", cfg.Watermark); err != nil {
+		// One version serves many devices, so the dispute-evidence tag is
+		// keyed per device: each deploy writes its own key, which keeps
+		// every customer's mark on record and keeps parallel deploys
+		// deterministic (a single shared key would be last-writer-wins in
+		// scheduling order).
+		if err := p.Registry.SetTag(version.ID, "watermark:"+deviceID, cfg.Watermark); err != nil {
 			return nil, err
 		}
 	}
@@ -202,7 +210,8 @@ func (p *Platform) Deployment(deviceID string) (*Deployment, bool) {
 	return d, ok
 }
 
-// Deployments returns all live deployments.
+// Deployments returns all live deployments, sorted by device ID so
+// fleet-wide fan-outs are deterministic.
 func (p *Platform) Deployments() []*Deployment {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -210,7 +219,18 @@ func (p *Platform) Deployments() []*Deployment {
 	for _, d := range p.deployments {
 		out = append(out, d)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].DeviceID < out[j].DeviceID })
 	return out
+}
+
+// DeployMany deploys the named model line to every listed device across
+// the platform's worker pool, returning the deployments in input order.
+// Per-device failures are joined into the returned error; successful
+// deployments keep their slots, failed ones are nil.
+func (p *Platform) DeployMany(deviceIDs []string, modelName string, cfg DeployConfig) ([]*Deployment, error) {
+	return engine.Map(p.eng, len(deviceIDs), func(i int) (*Deployment, error) {
+		return p.Deploy(deviceIDs[i], modelName, cfg)
+	})
 }
 
 // buildMonitor calibrates per-feature CUSUM detectors from a reference
@@ -268,30 +288,49 @@ func watermarkCapacity(model *nn.Network) int {
 }
 
 // SyncTelemetry flushes every deployment's buffered records for devices
-// currently on WiFi into the aggregator (cohort = device class). It
-// returns the number of records ingested and bytes uplinked.
+// currently on WiFi into the aggregator (cohort = device class). The
+// per-deployment window rolls and radio transfers fan out over the worker
+// pool; ingestion stays serial in device-ID order so cohort aggregates are
+// reproducible. It returns the number of records ingested and bytes
+// uplinked.
 func (p *Platform) SyncTelemetry() (records, bytes int, err error) {
-	for _, d := range p.Deployments() {
+	deps := p.Deployments()
+	type flushed struct {
+		recs  []observe.Record
+		bytes int
+		class string
+	}
+	flushes, err := engine.Map(p.eng, len(deps), func(i int) (flushed, error) {
+		d := deps[i]
 		d.rollWindow()
 		recs, n, ferr := d.Buffer.FlushIfWiFi(d.device)
 		if ferr != nil {
-			return records, bytes, ferr
+			return flushed{}, ferr
 		}
-		for _, r := range recs {
-			p.Aggregator.Ingest(d.device.Caps.Class.String(), r)
+		return flushed{recs: recs, bytes: n, class: d.device.Caps.Class.String()}, nil
+	})
+	for _, f := range flushes {
+		for _, r := range f.recs {
+			p.Aggregator.Ingest(f.class, r)
 		}
-		records += len(recs)
-		bytes += n
+		records += len(f.recs)
+		bytes += f.bytes
 	}
-	return records, bytes, nil
+	return records, bytes, err
 }
 
 // SettleAll settles every deployment's meter against a settlement server
-// address, returning per-device errors keyed by device ID.
+// address concurrently, returning per-device errors keyed by device ID.
 func (p *Platform) SettleAll(addr string) map[string]error {
-	out := make(map[string]error)
-	for _, d := range p.Deployments() {
-		out[d.DeviceID] = metering.MustSettle(addr, d.Meter)
+	deps := p.Deployments()
+	errs := make([]error, len(deps))
+	_ = p.eng.ForEach(len(deps), func(i int) error {
+		errs[i] = metering.MustSettle(addr, deps[i].Meter)
+		return nil
+	})
+	out := make(map[string]error, len(deps))
+	for i, d := range deps {
+		out[d.DeviceID] = errs[i]
 	}
 	return out
 }

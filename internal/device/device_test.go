@@ -316,3 +316,54 @@ func TestInferenceLatencyPositiveAndScales(t *testing.T) {
 		t.Fatalf("1M MACs on an M4 should take milliseconds, got %v", l1)
 	}
 }
+
+// TestFleetShardedConcurrentAccess hammers the sharded fleet index from
+// concurrent adders, readers and tickers; the race detector plus the final
+// insertion-order check guard the sharding refactor.
+func TestFleetShardedConcurrentAccess(t *testing.T) {
+	f := NewFleet()
+	caps, _ := ProfileByName("phone")
+	const n = 200
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = "phone-" + string(rune('a'+i/26%26)) + string(rune('a'+i%26)) + string(rune('0'+i/676))
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := f.Add(NewDevice(ids[i], caps, tensor.NewRNG(uint64(i)))); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := 0; k < 200; k++ {
+				f.Get(ids[k%n])
+				if g == 0 {
+					f.Size()
+					f.Devices()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if f.Size() != n {
+		t.Fatalf("size %d after concurrent adds", f.Size())
+	}
+	for _, id := range ids {
+		if _, ok := f.Get(id); !ok {
+			t.Fatalf("device %s lost", id)
+		}
+	}
+	if err := f.Add(NewDevice(ids[0], caps, tensor.NewRNG(1))); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+	if len(f.Devices()) != n {
+		t.Fatalf("Devices() returned %d entries", len(f.Devices()))
+	}
+}

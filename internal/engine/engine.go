@@ -1,0 +1,151 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"tinymlops/internal/tensor"
+)
+
+// Config sizes an Engine.
+type Config struct {
+	// Workers bounds concurrent task execution; values ≤ 0 mean
+	// runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+// Engine is a bounded worker pool for indexed task sets. The zero-cost
+// contract is determinism: an Engine never exposes scheduling order to the
+// tasks it runs, so any computation that derives its randomness from the
+// task index (see SeedFor) produces identical results at any worker count.
+type Engine struct {
+	workers int
+}
+
+// New returns an engine with cfg.Workers workers.
+func New(cfg Config) *Engine {
+	w := cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{workers: w}
+}
+
+// Default returns an engine sized to the machine (GOMAXPROCS workers).
+func Default() *Engine { return New(Config{}) }
+
+// Workers returns the pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// ForEach runs fn(i) for every i in [0,n) across the worker pool and
+// returns the non-nil errors joined in index order. Workers claim small
+// contiguous index blocks from an atomic cursor, so execution order is
+// unspecified; tasks must take all order-sensitive inputs (RNG streams,
+// result slots) from the index alone. A panicking task is recovered into
+// its error slot rather than tearing down the whole round — in a fleet of
+// thousands one corrupt device must not abort the simulation.
+func (e *Engine) ForEach(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	if workers <= 1 {
+		// Suppress nested tensor parallelism here too, so Workers:1 never
+		// uses more CPU than Workers:2 would.
+		defer tensor.EnterPool()()
+		for i := 0; i < n; i++ {
+			errs[i] = call(fn, i)
+		}
+		return errors.Join(errs...)
+	}
+	// Grain trades scheduling overhead against load balance: 8 blocks per
+	// worker keeps stragglers short without hammering the cursor.
+	grain := n / (workers * 8)
+	if grain < 1 {
+		grain = 1
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Tasks run with nested tensor parallelism suppressed: the pool
+			// is the coarse-grained fan-out, so an inner matmul spawning
+			// another GOMAXPROCS goroutines per worker would only thrash
+			// the scheduler.
+			defer tensor.EnterPool()()
+			for {
+				hi := int(cursor.Add(int64(grain)))
+				lo := hi - grain
+				if lo >= n {
+					return
+				}
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					errs[i] = call(fn, i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// call invokes fn(i), converting a panic into an error.
+func call(fn func(i int) error, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("engine: task %d panicked: %v", i, r)
+		}
+	}()
+	return fn(i)
+}
+
+// Map runs fn for every index in [0,n) on the pool and returns the results
+// in index order regardless of scheduling. Failed tasks leave their zero
+// value in the slice and contribute to the joined error.
+func Map[T any](e *Engine, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := e.ForEach(n, func(i int) error {
+		v, ferr := fn(i)
+		if ferr != nil {
+			return ferr
+		}
+		out[i] = v
+		return nil
+	})
+	return out, err
+}
+
+// SeedFor derives an independent 64-bit seed for task index i of round r
+// under a root seed. The derivation is a pure splitmix64-style mix of
+// (root, round, index), so the stream a task sees depends only on its
+// coordinates — never on which worker ran it or when — which is what makes
+// parallel fleet rounds reproducible.
+func SeedFor(root, round uint64, index int) uint64 {
+	z := mix64(root + 0x9E3779B97F4A7C15*round)
+	return mix64(z + 0x9E3779B97F4A7C15*uint64(index+1))
+}
+
+// RNGFor returns a generator seeded with SeedFor(root, round, index).
+func RNGFor(root, round uint64, index int) *tensor.RNG {
+	return tensor.NewRNG(SeedFor(root, round, index))
+}
+
+// mix64 is the splitmix64 finalizer: a bijective avalanche so related
+// inputs (consecutive rounds, consecutive indices) give unrelated streams.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,181 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"tinymlops/internal/device"
+	"tinymlops/internal/tensor"
+)
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		e := New(Config{Workers: workers})
+		const n = 1000
+		var hits [n]atomic.Int32
+		if err := e.ForEach(n, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachJoinsErrorsInIndexOrder(t *testing.T) {
+	e := New(Config{Workers: 4})
+	err := e.ForEach(10, func(i int) error {
+		if i%3 == 0 {
+			return fmt.Errorf("task %d failed", i)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	msg := err.Error()
+	// errors.Join preserves slice order, which is index order.
+	if !strings.Contains(msg, "task 0 failed") || !strings.Contains(msg, "task 9 failed") {
+		t.Fatalf("unexpected joined error: %v", msg)
+	}
+	if strings.Index(msg, "task 0") > strings.Index(msg, "task 9") {
+		t.Fatalf("errors not in index order: %v", msg)
+	}
+}
+
+func TestForEachRecoversPanics(t *testing.T) {
+	e := New(Config{Workers: 3})
+	err := e.ForEach(8, func(i int) error {
+		if i == 5 {
+			panic("kaboom")
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "task 5 panicked: kaboom") {
+		t.Fatalf("panic not converted to error: %v", err)
+	}
+}
+
+func TestMapCollectsInIndexOrder(t *testing.T) {
+	e := New(Config{Workers: 8})
+	out, err := Map(e, 100, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestSeedForDependsOnlyOnCoordinates(t *testing.T) {
+	if SeedFor(1, 2, 3) != SeedFor(1, 2, 3) {
+		t.Fatal("SeedFor is not a pure function")
+	}
+	seen := make(map[uint64]bool)
+	for r := uint64(0); r < 10; r++ {
+		for i := 0; i < 10; i++ {
+			s := SeedFor(42, r, i)
+			if seen[s] {
+				t.Fatalf("seed collision at round %d index %d", r, i)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+// roundFingerprint runs rounds of per-device work (RNG draws + simulated
+// inference) and folds every outcome into a deterministic fingerprint.
+func roundFingerprint(t *testing.T, workers, rounds int) uint64 {
+	t.Helper()
+	fleet, err := device.NewStandardFleet(device.FleetSpec{CountPerProfile: 20, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewFleetRunner(New(Config{Workers: workers}), fleet, 7)
+	var fp uint64
+	for round := 0; round < rounds; round++ {
+		r.Tick()
+		results := RunRound(r, func(d *device.Device, rng *tensor.RNG) (uint64, error) {
+			v := rng.Uint64()
+			lat, err := d.RunInference(1000+int64(rng.Intn(1000)), 8)
+			if err != nil {
+				return v, err
+			}
+			return v ^ uint64(lat), nil
+		})
+		for _, res := range results {
+			fp = fp*1099511628211 ^ res.Value
+			for _, c := range res.DeviceID {
+				fp = fp*1099511628211 ^ uint64(c)
+			}
+			if res.Err != nil {
+				fp ^= 0xDEAD
+			}
+		}
+	}
+	return fp
+}
+
+// TestFleetRoundsDeterministicAcrossWorkerCounts is the engine's core
+// contract: same seed ⇒ identical fleet results at any worker count.
+func TestFleetRoundsDeterministicAcrossWorkerCounts(t *testing.T) {
+	want := roundFingerprint(t, 1, 3)
+	for _, workers := range []int{2, 4, 16} {
+		if got := roundFingerprint(t, workers, 3); got != want {
+			t.Fatalf("workers=%d: fingerprint %x, want %x", workers, got, want)
+		}
+	}
+}
+
+func TestRunRoundKeepsInsertionOrderAndPanics(t *testing.T) {
+	fleet := device.NewFleet()
+	for i := 0; i < 10; i++ {
+		caps, _ := device.ProfileByName("phone")
+		if err := fleet.Add(device.NewDevice(fmt.Sprintf("p-%02d", i), caps, tensor.NewRNG(uint64(i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewFleetRunner(New(Config{Workers: 4}), fleet, 1)
+	results := RunRound(r, func(d *device.Device, rng *tensor.RNG) (string, error) {
+		if d.ID == "p-03" {
+			panic("bad device")
+		}
+		if d.ID == "p-04" {
+			return "", errors.New("flaky")
+		}
+		return d.ID, nil
+	})
+	if len(results) != 10 {
+		t.Fatalf("%d results", len(results))
+	}
+	for i, res := range results {
+		wantID := fmt.Sprintf("p-%02d", i)
+		if res.DeviceID != wantID {
+			t.Fatalf("result %d is %q, want %q (insertion order)", i, res.DeviceID, wantID)
+		}
+		switch wantID {
+		case "p-03":
+			if res.Err == nil || !strings.Contains(res.Err.Error(), "panicked") {
+				t.Fatalf("panicking device error = %v", res.Err)
+			}
+		case "p-04":
+			if res.Err == nil {
+				t.Fatal("flaky device error lost")
+			}
+		default:
+			if res.Err != nil || res.Value != wantID {
+				t.Fatalf("device %s: value %q err %v", wantID, res.Value, res.Err)
+			}
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package engine
+
+import (
+	"fmt"
+
+	"tinymlops/internal/device"
+	"tinymlops/internal/tensor"
+)
+
+// FleetRunner drives a device.Fleet through deterministic, parallel
+// simulation rounds. Every round hands each device a private RNG derived
+// from (fleet seed, round number, device index), so the outcome of a round
+// is a pure function of the seed and the fleet — independent of the
+// engine's worker count and of goroutine interleaving.
+type FleetRunner struct {
+	eng   *Engine
+	fleet *device.Fleet
+	seed  uint64
+	round uint64
+}
+
+// NewFleetRunner returns a runner over fleet on eng, seeded with seed.
+// A nil eng uses Default().
+func NewFleetRunner(eng *Engine, fleet *device.Fleet, seed uint64) *FleetRunner {
+	if eng == nil {
+		eng = Default()
+	}
+	return &FleetRunner{eng: eng, fleet: fleet, seed: seed}
+}
+
+// Engine returns the underlying worker pool.
+func (r *FleetRunner) Engine() *Engine { return r.eng }
+
+// Round returns the number of completed rounds.
+func (r *FleetRunner) Round() uint64 { return r.round }
+
+// Tick advances every device's behavioral state in parallel. Each device
+// owns its behavioral RNG, so tick order does not affect the outcome.
+func (r *FleetRunner) Tick() {
+	devs := r.fleet.Devices()
+	_ = r.eng.ForEach(len(devs), func(i int) error {
+		devs[i].Tick()
+		return nil
+	})
+}
+
+// DeviceWork is one device's slice of a fleet round: an inference burst, a
+// federated client update, a drift check. The rng argument must be the
+// work's only source of randomness; it is derived from the device index so
+// results cannot depend on scheduling.
+type DeviceWork[T any] func(d *device.Device, rng *tensor.RNG) (T, error)
+
+// Result pairs a device with its outcome for one round.
+type Result[T any] struct {
+	DeviceID string
+	Value    T
+	Err      error
+}
+
+// RunRound executes work once per device across the pool and returns the
+// results in fleet insertion order. Errors are collected per device rather
+// than short-circuiting: one depleted battery must not abort a
+// thousand-device round. (A top-level function because Go methods cannot
+// be generic.)
+func RunRound[T any](r *FleetRunner, work DeviceWork[T]) []Result[T] {
+	devs := r.fleet.Devices()
+	r.round++
+	round := r.round
+	out := make([]Result[T], len(devs))
+	_ = r.eng.ForEach(len(devs), func(i int) error {
+		d := devs[i]
+		res := Result[T]{DeviceID: d.ID}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					res.Err = fmt.Errorf("engine: device %s panicked: %v", d.ID, p)
+				}
+			}()
+			res.Value, res.Err = work(d, RNGFor(r.seed, round, i))
+		}()
+		out[i] = res
+		return nil
+	})
+	return out
+}

@@ -9,6 +9,7 @@ import (
 	"tinymlops/internal/core"
 	"tinymlops/internal/dataset"
 	"tinymlops/internal/device"
+	"tinymlops/internal/engine"
 	"tinymlops/internal/fed"
 	"tinymlops/internal/metering"
 	"tinymlops/internal/nn"
@@ -55,26 +56,49 @@ func RunE1(w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	// Deployment fans out over the platform's worker pool; per-device
+	// failures (a model that does not fit a profile) are expected and are
+	// counted rather than propagated, as before.
 	deployed := 0
+	ids := make([]string, 0, fleet.Size())
 	for _, d := range fleet.Devices() {
-		if _, err := p.Deploy(d.ID, "e1", core.DeployConfig{PrepaidQueries: 200, Calibration: train, Watermark: "cust-" + d.ID}); err == nil {
+		ids = append(ids, d.ID)
+	}
+	deps, _ := engine.Map(p.Engine(), len(ids), func(i int) (*core.Deployment, error) {
+		return p.Deploy(ids[i], "e1", core.DeployConfig{PrepaidQueries: 200, Calibration: train, Watermark: "cust-" + ids[i]})
+	})
+	for _, d := range deps {
+		if d != nil {
 			deployed++
 		}
 	}
-	// Metered inference everywhere.
-	queries, denials := 0, 0
-	x := make([]float32, 4)
-	for _, dep := range p.Deployments() {
-		for i := 0; i < 250; i++ { // 50 beyond quota
-			for f := 0; f < 4; f++ {
-				x[f] = test.X.At2(i%test.Len(), f)
-			}
-			if _, err := dep.Infer(x); err != nil {
-				denials++
+	// Metered inference everywhere: one batched burst per deployment, all
+	// deployments in parallel (50 queries beyond quota to exercise denial).
+	rows := make([][]float32, 250)
+	for i := range rows {
+		row := make([]float32, 4)
+		for f := 0; f < 4; f++ {
+			row[f] = test.X.At2(i%test.Len(), f)
+		}
+		rows[i] = row
+	}
+	live := p.Deployments()
+	served := make([]int, len(live))
+	refused := make([]int, len(live))
+	_ = p.Engine().ForEach(len(live), func(i int) error {
+		for _, o := range live[i].InferBatch(rows) {
+			if o.Err != nil {
+				refused[i]++
 			} else {
-				queries++
+				served[i]++
 			}
 		}
+		return nil
+	})
+	queries, denials := 0, 0
+	for i := range live {
+		queries += served[i]
+		denials += refused[i]
 	}
 	records, bytes, err := p.SyncTelemetry()
 	if err != nil {

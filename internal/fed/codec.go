@@ -1,9 +1,3 @@
-// Package fed implements the federated learning stack of §III-D: a FedAvg/
-// FedProx coordinator over simulated fleet clients with non-IID shards,
-// update compression codecs (int8, ternary/TernGrad-style, top-k
-// sparsification) with honest byte accounting, pairwise-mask secure
-// aggregation, confidence-thresholded pseudo-labeling for unlabeled
-// clients, and local personalization with layer freezing.
 package fed
 
 import (

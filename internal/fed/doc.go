@@ -1,0 +1,13 @@
+// Package fed implements the federated learning stack of §III-D: a FedAvg/
+// FedProx coordinator over simulated fleet clients with non-IID shards,
+// update compression codecs (int8, ternary/TernGrad-style, top-k
+// sparsification) with honest byte accounting, pairwise-mask secure
+// aggregation, confidence-thresholded pseudo-labeling for unlabeled
+// clients, and local personalization with layer freezing.
+//
+// Each round's local trainings fan out over an internal/engine worker pool
+// (Config.Engine) rather than one goroutine per client, so a round over
+// thousands of sampled clients runs at full hardware utilization without
+// thrashing the scheduler; per-client RNGs are split up front, so the
+// round's result is independent of the pool size.
+package fed

@@ -2,10 +2,10 @@ package fed
 
 import (
 	"fmt"
-	"sync"
 
 	"tinymlops/internal/dataset"
 	"tinymlops/internal/device"
+	"tinymlops/internal/engine"
 	"tinymlops/internal/nn"
 	"tinymlops/internal/tensor"
 )
@@ -49,6 +49,11 @@ type Config struct {
 	Codec Codec
 	// Seed derives all stochasticity (client sampling, local shuffling).
 	Seed uint64
+	// Engine bounds the per-round client-training fan-out (nil = a
+	// GOMAXPROCS-wide pool). Rounds previously spawned one goroutine per
+	// sampled client, which at fleet scale meant thousands of concurrent
+	// local trainings thrashing the scheduler.
+	Engine *engine.Engine
 }
 
 // RoundStats records one round's outcome.
@@ -95,6 +100,9 @@ func NewCoordinator(global *nn.Network, clients []*Client, testX *tensor.Tensor,
 	}
 	if cfg.Codec == nil {
 		cfg.Codec = NoneCodec{}
+	}
+	if cfg.Engine == nil {
+		cfg.Engine = engine.Default()
 	}
 	root := tensor.NewRNG(cfg.Seed)
 	for _, c := range clients {
@@ -147,21 +155,16 @@ func (co *Coordinator) RunRound() (RoundStats, error) {
 	modelBytes := int64(4 * len(globalFlat))
 	stats.DownlinkBytes = modelBytes * int64(len(sampled))
 
+	// Local trainings fan out over the bounded engine pool; each client's
+	// stochasticity comes from its own pre-split RNG, so the round result
+	// does not depend on the worker count.
 	updates := make([]clientUpdate, len(sampled))
-	errs := make([]error, len(sampled))
-	var wg sync.WaitGroup
-	for i := range sampled {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			updates[i], errs[i] = co.localRound(sampled[i], globalFlat)
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return stats, err
-		}
+	if err := co.cfg.Engine.ForEach(len(sampled), func(i int) error {
+		var err error
+		updates[i], err = co.localRound(sampled[i], globalFlat)
+		return err
+	}); err != nil {
+		return stats, err
 	}
 
 	// Weighted average of decoded deltas.

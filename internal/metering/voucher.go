@@ -18,6 +18,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Voucher is a prepaid query package, bound to one device and one model so
@@ -30,16 +31,22 @@ type Voucher struct {
 	ModelID  string
 	// Queries is the prepaid quota.
 	Queries uint64
-	// Seq is the issuer's logical issue time.
+	// Seq is the issuer's per-device issue counter. Keeping the counter
+	// per device (rather than one global sequence) makes voucher identity
+	// a pure function of the deploy plan, independent of the order a
+	// worker pool happens to provision devices in.
 	Seq uint64
 	// Sig is the issuer's HMAC over all fields above.
 	Sig []byte
 }
 
-// Issuer mints and verifies vouchers with a vendor key.
+// Issuer mints and verifies vouchers with a vendor key. Issue is safe for
+// concurrent use: the platform provisions whole fleets from a worker pool.
 type Issuer struct {
 	key []byte
-	seq uint64
+
+	mu  sync.Mutex
+	seq map[string]uint64 // per-device issue counters
 }
 
 // NewIssuer returns an issuer signing with the given vendor key.
@@ -47,7 +54,7 @@ func NewIssuer(key []byte) (*Issuer, error) {
 	if len(key) < 16 {
 		return nil, errors.New("metering: issuer key must be at least 16 bytes")
 	}
-	return &Issuer{key: append([]byte(nil), key...)}, nil
+	return &Issuer{key: append([]byte(nil), key...), seq: make(map[string]uint64)}, nil
 }
 
 // Issue mints a voucher for queries prepaid queries of modelID on deviceID.
@@ -58,13 +65,16 @@ func (is *Issuer) Issue(deviceID, modelID string, queries uint64) (Voucher, erro
 	if deviceID == "" || modelID == "" {
 		return Voucher{}, errors.New("metering: voucher requires device and model IDs")
 	}
-	is.seq++
+	is.mu.Lock()
+	is.seq[deviceID]++
+	seq := is.seq[deviceID]
+	is.mu.Unlock()
 	v := Voucher{
-		ID:       fmt.Sprintf("v-%s-%d", deviceID, is.seq),
+		ID:       fmt.Sprintf("v-%s-%d", deviceID, seq),
 		DeviceID: deviceID,
 		ModelID:  modelID,
 		Queries:  queries,
-		Seq:      is.seq,
+		Seq:      seq,
 	}
 	v.Sig = voucherMAC(is.key, &v)
 	return v, nil

@@ -21,12 +21,19 @@ func (r *ReLU) Kind() string { return "relu" }
 func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	r.lastInput = x
 	out := tensor.New(x.Shape()...)
+	r.InferInto(out, x)
+	return out
+}
+
+// InferInto implements the ForwardBatch fast path.
+func (r *ReLU) InferInto(dst, x *tensor.Tensor) {
 	for i, v := range x.Data {
 		if v > 0 {
-			out.Data[i] = v
+			dst.Data[i] = v
+		} else {
+			dst.Data[i] = 0
 		}
 	}
-	return out
 }
 
 // Backward implements Layer.
@@ -61,11 +68,17 @@ func (s *Sigmoid) Kind() string { return "sigmoid" }
 
 // Forward implements Layer.
 func (s *Sigmoid) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	out := x.Map(func(v float32) float32 {
-		return float32(1 / (1 + math.Exp(-float64(v))))
-	})
+	out := tensor.New(x.Shape()...)
+	s.InferInto(out, x)
 	s.lastOutput = out
 	return out
+}
+
+// InferInto implements the ForwardBatch fast path.
+func (s *Sigmoid) InferInto(dst, x *tensor.Tensor) {
+	for i, v := range x.Data {
+		dst.Data[i] = float32(1 / (1 + math.Exp(-float64(v))))
+	}
 }
 
 // Backward implements Layer.
@@ -99,9 +112,17 @@ func (t *Tanh) Kind() string { return "tanh" }
 
 // Forward implements Layer.
 func (t *Tanh) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	out := x.Map(func(v float32) float32 { return float32(math.Tanh(float64(v))) })
+	out := tensor.New(x.Shape()...)
+	t.InferInto(out, x)
 	t.lastOutput = out
 	return out
+}
+
+// InferInto implements the ForwardBatch fast path.
+func (t *Tanh) InferInto(dst, x *tensor.Tensor) {
+	for i, v := range x.Data {
+		dst.Data[i] = float32(math.Tanh(float64(v)))
+	}
 }
 
 // Backward implements Layer.
@@ -144,6 +165,11 @@ func (s *Softmax) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	return out
 }
 
+// InferInto implements the ForwardBatch fast path.
+func (s *Softmax) InferInto(dst, x *tensor.Tensor) {
+	softmaxRowsInto(dst, x)
+}
+
 // Backward implements Layer.
 func (s *Softmax) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	// dx_i = y_i * (g_i - sum_j g_j y_j), row-wise.
@@ -176,8 +202,14 @@ func (s *Softmax) Describe(in []int) (LayerInfo, error) {
 // SoftmaxRows returns row-wise softmax of a 2D tensor using the max-shift
 // trick for numerical stability.
 func SoftmaxRows(x *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(x.Dim(0), x.Dim(1))
+	softmaxRowsInto(out, x)
+	return out
+}
+
+// softmaxRowsInto writes row-wise softmax of x into out without allocating.
+func softmaxRowsInto(out, x *tensor.Tensor) {
 	rows, cols := x.Dim(0), x.Dim(1)
-	out := tensor.New(rows, cols)
 	for i := 0; i < rows; i++ {
 		row := x.Data[i*cols : (i+1)*cols]
 		m := row[0]
@@ -198,5 +230,4 @@ func SoftmaxRows(x *tensor.Tensor) *tensor.Tensor {
 			o[j] *= inv
 		}
 	}
-	return out
 }

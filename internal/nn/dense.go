@@ -29,13 +29,20 @@ func (d *Dense) Kind() string { return "dense" }
 
 // Forward implements Layer.
 func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	d.lastInput = x
+	y := tensor.New(x.Dim(0), d.Out)
+	d.InferInto(y, x)
+	return y
+}
+
+// InferInto implements the ForwardBatch fast path: dst = xW + b with no
+// allocation and no backward cache.
+func (d *Dense) InferInto(dst, x *tensor.Tensor) {
 	if x.Rank() != 2 || x.Dim(1) != d.In {
 		panic(fmt.Sprintf("nn: dense(%d→%d) got input shape %v", d.In, d.Out, x.Shape()))
 	}
-	d.lastInput = x
-	y := tensor.MatMul(x, d.W.Value)
-	y.AddRowVector(d.B.Value)
-	return y
+	tensor.MatMulInto(dst, x, d.W.Value)
+	dst.AddRowVector(d.B.Value)
 }
 
 // Backward implements Layer.

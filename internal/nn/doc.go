@@ -1,0 +1,20 @@
+// Package nn is a from-scratch neural-network engine: layers with forward
+// and backward passes, losses, optimizers, a training loop, binary model
+// serialization and per-layer cost accounting.
+//
+// It plays the role TFLite-Micro/ONNX-Runtime play for the paper: the
+// inference substrate every TinyMLOps feature (quantization, watermarking,
+// federated learning, verifiable execution) operates on. Keeping it in-repo
+// gives those features full access to weights, gradients and layer
+// structure.
+//
+// Tensors follow the conventions of internal/tensor: dense layers take
+// [batch, features]; convolutional layers take [batch, channels, h, w].
+//
+// Two forward paths exist. Layer.Forward caches what Backward needs, so a
+// network is single-flight while training. Network.ForwardBatch is the
+// serving path: batched, allocation-free in the steady state (reusable
+// Scratch buffers), free of layer-state writes — so one model can serve
+// many simulated devices concurrently — and bit-identical to per-sample
+// Forward, which keeps the fast path out of the accuracy story entirely.
+package nn

@@ -1,15 +1,3 @@
-// Package nn is a from-scratch neural-network engine: layers with forward
-// and backward passes, losses, optimizers, a training loop, binary model
-// serialization and per-layer cost accounting.
-//
-// It plays the role TFLite-Micro/ONNX-Runtime play for the paper: the
-// inference substrate every TinyMLOps feature (quantization, watermarking,
-// federated learning, verifiable execution) operates on. Keeping it in-repo
-// gives those features full access to weights, gradients and layer
-// structure.
-//
-// Tensors follow the conventions of internal/tensor: dense layers take
-// [batch, features]; convolutional layers take [batch, channels, h, w].
 package nn
 
 import (

@@ -46,13 +46,7 @@ func (bn *BatchNorm1D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	b := x.Dim(0)
 	out := tensor.New(b, bn.F)
 	if !train {
-		for j := 0; j < bn.F; j++ {
-			inv := 1 / float32(math.Sqrt(float64(bn.RunVar.Data[j]+bn.Eps)))
-			g, be, mu := bn.Gamma.Value.Data[j], bn.Beta.Value.Data[j], bn.RunMean.Data[j]
-			for i := 0; i < b; i++ {
-				out.Data[i*bn.F+j] = g*(x.Data[i*bn.F+j]-mu)*inv + be
-			}
-		}
+		bn.InferInto(out, x)
 		return out
 	}
 	bn.lastBatch = b
@@ -82,6 +76,22 @@ func (bn *BatchNorm1D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		}
 	}
 	return out
+}
+
+// InferInto implements the ForwardBatch fast path: normalization with the
+// frozen running statistics, no batch-statistic updates.
+func (bn *BatchNorm1D) InferInto(dst, x *tensor.Tensor) {
+	if x.Rank() != 2 || x.Dim(1) != bn.F {
+		panic(fmt.Sprintf("nn: batchnorm1d(%d) got input shape %v", bn.F, x.Shape()))
+	}
+	b := x.Dim(0)
+	for j := 0; j < bn.F; j++ {
+		inv := 1 / float32(math.Sqrt(float64(bn.RunVar.Data[j]+bn.Eps)))
+		g, be, mu := bn.Gamma.Value.Data[j], bn.Beta.Value.Data[j], bn.RunMean.Data[j]
+		for i := 0; i < b; i++ {
+			dst.Data[i*bn.F+j] = g*(x.Data[i*bn.F+j]-mu)*inv + be
+		}
+	}
 }
 
 // Backward implements Layer.

@@ -94,6 +94,7 @@ func Evaluate(net *Network, x *tensor.Tensor, labels []int) float64 {
 	const batch = 256
 	exampleSize := x.Size() / n
 	correct := 0
+	scratch := NewScratch()
 	for lo := 0; lo < n; lo += batch {
 		hi := lo + batch
 		if hi > n {
@@ -101,7 +102,7 @@ func Evaluate(net *Network, x *tensor.Tensor, labels []int) float64 {
 		}
 		shape := append([]int{hi - lo}, x.Shape()[1:]...)
 		bx := tensor.FromSlice(x.Data[lo*exampleSize:hi*exampleSize], shape...)
-		pred := net.Predict(bx).ArgMaxRows()
+		pred := net.ForwardBatch(bx, scratch).ArgMaxRows()
 		for i, p := range pred {
 			if p == labels[lo+i] {
 				correct++

@@ -1,0 +1,18 @@
+// Package tensor implements dense float32 tensors and the numeric kernels
+// (element-wise arithmetic, reductions, blocked parallel matrix multiply)
+// that the rest of the TinyMLOps stack builds on.
+//
+// Tensors are row-major and contiguous. The package is deliberately small:
+// it provides exactly the operations the neural-network engine
+// (internal/nn), the quantizer (internal/quant) and the verifiable-execution
+// layer (internal/verify) need, implemented with the standard library only.
+//
+// The matmul kernel is column-blocked for cache residency and fans rows
+// out over a bounded goroutine pool above a work threshold; blocking and
+// parallelism are both arranged so every output element accumulates in a
+// fixed order, keeping results bit-identical across worker counts — the
+// property the fleet engine's determinism contract rests on.
+//
+// All stochastic helpers take an explicit *RNG so every higher layer is
+// reproducible from a seed.
+package tensor

@@ -4,7 +4,32 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
+
+// poolDepth counts goroutines currently executing inside a bounded worker
+// pool (see EnterPool). While it is non-zero the machine is already
+// saturated with coarse-grained parallelism, so the matmul kernels run
+// serially instead of oversubscribing the scheduler with nested fan-outs.
+// Results are bit-identical either way: parallelism only partitions rows,
+// never reorders accumulation.
+var poolDepth atomic.Int32
+
+// EnterPool marks the calling goroutine as a worker of a bounded pool
+// until the returned func is called. The fleet engine wraps each worker
+// with it so per-device work does not nest another GOMAXPROCS-wide matmul
+// fan-out per layer.
+//
+// The counter is deliberately process-global (Go offers no cheap
+// goroutine-local state): while any pool is active, unrelated goroutines'
+// matmuls also degrade to serial. That collateral costs at most the
+// parallel speedup for the pool's duration — never correctness, since the
+// serial and parallel kernels are bit-identical — whereas oversubscription
+// costs every party scheduler thrash.
+func EnterPool() (exit func()) {
+	poolDepth.Add(1)
+	return func() { poolDepth.Add(-1) }
+}
 
 // parallelThreshold is the number of multiply-accumulate operations above
 // which MatMul fans out across goroutines. Below it, the goroutine overhead
@@ -48,19 +73,29 @@ func MatMulInto(dst, a, b *Tensor) {
 	})
 }
 
-// matmulRows computes rows [lo,hi) of dst = A×B with the ikj kernel.
-// dst rows must be pre-zeroed.
+// colBlock is the column-tile width of the ikj kernel. Wide outputs are
+// processed in tiles so one dst row stays resident in L1 across the whole
+// k-loop; tiling only the j dimension leaves every element's accumulation
+// order over p untouched, keeping blocked results bit-identical to the
+// straight kernel.
+const colBlock = 512
+
+// matmulRows computes rows [lo,hi) of dst = A×B with the column-blocked
+// ikj kernel. dst rows must be pre-zeroed.
 func matmulRows(dst, a, b []float32, lo, hi, k, n int) {
-	for i := lo; i < hi; i++ {
-		arow := a[i*k : (i+1)*k]
-		drow := dst[i*n : (i+1)*n]
-		for p, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b[p*n : (p+1)*n]
-			for j, bv := range brow {
-				drow[j] += av * bv
+	for jb := 0; jb < n; jb += colBlock {
+		jhi := min(jb+colBlock, n)
+		for i := lo; i < hi; i++ {
+			arow := a[i*k : (i+1)*k]
+			drow := dst[i*n+jb : i*n+jhi]
+			for p, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b[p*n+jb : p*n+jhi]
+				for j, bv := range brow {
+					drow[j] += av * bv
+				}
 			}
 		}
 	}
@@ -156,13 +191,14 @@ func MatVec(a, v *Tensor) *Tensor {
 }
 
 // parallelRows splits [0,m) into contiguous chunks and runs body on each
-// chunk in its own goroutine, bounded by GOMAXPROCS workers.
+// chunk in its own goroutine, bounded by GOMAXPROCS workers. Inside a
+// worker pool (EnterPool) it degrades to the serial kernel.
 func parallelRows(m int, body func(lo, hi int)) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > m {
 		workers = m
 	}
-	if workers <= 1 {
+	if workers <= 1 || poolDepth.Load() > 0 {
 		body(0, m)
 		return
 	}

@@ -1,14 +1,3 @@
-// Package tensor implements dense float32 tensors and the numeric kernels
-// (element-wise arithmetic, reductions, blocked parallel matrix multiply)
-// that the rest of the TinyMLOps stack builds on.
-//
-// Tensors are row-major and contiguous. The package is deliberately small:
-// it provides exactly the operations the neural-network engine
-// (internal/nn), the quantizer (internal/quant) and the verifiable-execution
-// layer (internal/verify) need, implemented with the standard library only.
-//
-// All stochastic helpers take an explicit *RNG so every higher layer is
-// reproducible from a seed.
 package tensor
 
 import (

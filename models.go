@@ -94,6 +94,13 @@ func Evaluate(net *Network, x *Tensor, labels []int) float64 {
 	return nn.Evaluate(net, x, labels)
 }
 
+// Scratch holds the reusable activation buffers behind
+// Network.ForwardBatch; keep one per goroutine.
+type Scratch = nn.Scratch
+
+// NewScratch returns an empty scratch space for batched inference.
+func NewScratch() *Scratch { return nn.NewScratch() }
+
 // Quantization pipeline.
 
 // Scheme selects a weight precision (Float32, Int8, Int4, Ternary,

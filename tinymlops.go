@@ -25,8 +25,10 @@ import (
 	"tinymlops/internal/core"
 	"tinymlops/internal/dataset"
 	"tinymlops/internal/device"
+	"tinymlops/internal/engine"
 	"tinymlops/internal/registry"
 	"tinymlops/internal/selector"
+	"tinymlops/internal/tensor"
 )
 
 // Platform is the TinyMLOps control plane over a simulated device fleet.
@@ -50,6 +52,54 @@ type InferenceResult = core.InferenceResult
 // ErrQueryDenied is returned by Deployment.Infer when the prepaid meter is
 // exhausted.
 var ErrQueryDenied = core.ErrQueryDenied
+
+// BatchOutcome is one query's outcome within Deployment.InferBatch.
+type BatchOutcome = core.BatchOutcome
+
+// Execution engine types.
+
+// Engine is the bounded worker pool behind all parallel fleet operations.
+type Engine = engine.Engine
+
+// EngineConfig sizes an Engine (Workers ≤ 0 means all cores).
+type EngineConfig = engine.Config
+
+// NewEngine returns a worker pool with cfg.Workers workers.
+func NewEngine(cfg EngineConfig) *Engine { return engine.New(cfg) }
+
+// DefaultEngine returns a worker pool sized to the machine.
+func DefaultEngine() *Engine { return engine.Default() }
+
+// FleetRunner drives a Fleet through deterministic, parallel simulation
+// rounds: same seed ⇒ same results at any worker count.
+type FleetRunner = engine.FleetRunner
+
+// NewFleetRunner returns a runner over fleet on eng (nil eng = all cores).
+func NewFleetRunner(eng *Engine, fleet *Fleet, seed uint64) *FleetRunner {
+	return engine.NewFleetRunner(eng, fleet, seed)
+}
+
+// FleetResult pairs a device with its outcome for one fleet round.
+type FleetResult[T any] struct {
+	DeviceID string
+	Value    T
+	Err      error
+}
+
+// RunFleetRound executes work once per device across the runner's pool and
+// returns the results in fleet insertion order. The rng handed to work is
+// derived from (seed, round, device index) and must be its only source of
+// randomness, which keeps rounds reproducible at any worker count.
+func RunFleetRound[T any](r *FleetRunner, work func(d *Device, rng *RNG) (T, error)) []FleetResult[T] {
+	res := engine.RunRound(r, func(d *device.Device, rng *tensor.RNG) (T, error) {
+		return work(d, rng)
+	})
+	out := make([]FleetResult[T], len(res))
+	for i, v := range res {
+		out[i] = FleetResult[T]{DeviceID: v.DeviceID, Value: v.Value, Err: v.Err}
+	}
+	return out
+}
 
 // NewPlatform creates a platform over a device fleet.
 func NewPlatform(fleet *Fleet, cfg PlatformConfig) (*Platform, error) {
