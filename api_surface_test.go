@@ -107,6 +107,126 @@ func TestLayerConstructorsAndConvPath(t *testing.T) {
 	}
 }
 
+// TestRolloutSurface pins the staged-OTA facade: rollout config/result
+// types, Deployment.Update/Rollback/Health, and the weight-delta codec.
+func TestRolloutSurface(t *testing.T) {
+	rng := tinymlops.NewRNG(9)
+	fleet, err := tinymlops.NewStandardFleet(tinymlops.FleetSpec{CountPerProfile: 1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range fleet.Devices() {
+		d.SetBehavior(1, 1, 0)
+	}
+	fleet.Tick()
+	platform, err := tinymlops.NewPlatform(fleet, tinymlops.PlatformConfig{
+		VendorKey: []byte("surface-test-key-0123456789abcde"), Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := tinymlops.Blobs(rng, 300, 4, 2, 4)
+	spec := tinymlops.OptimizationSpec{Evaluate: func(n *tinymlops.Network) float64 {
+		return tinymlops.Evaluate(n, ds.X, ds.Y)
+	}}
+	v1net := tinymlops.NewNetwork([]int{4}, tinymlops.Dense(4, 8, rng), tinymlops.ReLU(), tinymlops.Dense(8, 2, rng))
+	if _, err := platform.Publish("surface-ota", v1net, ds, spec); err != nil {
+		t.Fatal(err)
+	}
+	ids := []string{"phone-00", "edge-gateway-00"}
+	if _, err := platform.DeployMany(ids, "surface-ota", tinymlops.DeployConfig{PrepaidQueries: 50}); err != nil {
+		t.Fatal(err)
+	}
+
+	// v2 perturbs only the head parameters (the last dense layer's 18
+	// scalars), so the update ships as a sparse delta.
+	v2net := v1net.Clone()
+	flat := v2net.FlatParams()
+	for i := len(flat) - 18; i < len(flat); i++ {
+		flat[i] += 0.5
+	}
+	if err := v2net.SetFlatParams(flat); err != nil {
+		t.Fatal(err)
+	}
+
+	// The delta codec round-trips through the facade.
+	delta, err := tinymlops.EncodeModelDelta(v1net, v2net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	patched, err := tinymlops.ApplyModelDelta(v1net, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := patched.FlatParams(), v2net.FlatParams()
+	if len(got) != len(want) {
+		t.Fatalf("patched params %d != %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("patched param %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	cost, err := tinymlops.CostOfModelDelta(delta, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.ChangedParams != 18 {
+		t.Fatalf("delta cost = %+v", cost)
+	}
+
+	v2s, err := platform.Publish("surface-ota", v2net, ds, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Staged rollout through the facade: one wave, default gate, no bake.
+	var waves []tinymlops.RolloutWave = tinymlops.DefaultRolloutWaves()
+	if len(waves) != 3 {
+		t.Fatalf("default waves = %v", waves)
+	}
+	res, err := platform.Rollout(v2s[0], tinymlops.RolloutConfig{
+		Waves: []tinymlops.RolloutWave{{Name: "fleet", Fraction: 1.0}},
+		Gate:  tinymlops.RolloutGate{MaxErrorRate: 0.5},
+		Seed:  1,
+		Bake: func(w tinymlops.RolloutWave, deviceIDs []string) error {
+			if len(deviceIDs) != 2 {
+				t.Errorf("bake saw %d devices", len(deviceIDs))
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rr *tinymlops.RolloutResult = res
+	if !rr.Completed || rr.DeltaTransfers != 2 {
+		t.Fatalf("rollout result = %+v", rr)
+	}
+	var wr tinymlops.WaveResult = rr.Waves[0]
+	var gd tinymlops.GateDecision = wr.Gate
+	if !gd.Pass {
+		t.Fatalf("gate = %+v", gd)
+	}
+
+	// Deployment health, manual rollback and update report types.
+	dep, _ := platform.Deployment("phone-00")
+	var h tinymlops.DeviceHealth = dep.Health()
+	if h.DriftAlarm {
+		t.Fatal("drift alarm without a monitor")
+	}
+	var rep *tinymlops.UpdateReport
+	if rep, err = dep.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.To.Name != "surface-ota" || rep.From.ID == rep.To.ID {
+		t.Fatalf("rollback report = %+v", rep)
+	}
+	if _, err := dep.Update(v2s[0], tinymlops.UpdateOptions{ForceFull: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestProtectionWrappers covers the remaining §V/§VI facade functions.
 func TestProtectionWrappers(t *testing.T) {
 	rng := tinymlops.NewRNG(4)

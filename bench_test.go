@@ -5,6 +5,7 @@
 package tinymlops_test
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -502,6 +503,81 @@ func BenchmarkForwardBatch16(b *testing.B) {
 		net.ForwardBatch(in, scratch)
 	}
 }
+
+// --- staged OTA rollout: delta vs full transfer ------------------------------
+
+// rolloutBenchSetup builds a platform over 8 wall-powered gateways, all
+// running v1 of a model line whose v2 differs only in the head layer —
+// the sparse-update case staged rollouts are optimized for.
+func rolloutBenchSetup(b *testing.B) (*core.Platform, *registry.ModelVersion) {
+	rng := tensor.NewRNG(40)
+	ds := dataset.Blobs(rng, 400, 4, 3, 5)
+	spec := registry.OptimizationSpec{Evaluate: func(n *nn.Network) float64 {
+		return nn.Evaluate(n, ds.X, ds.Y)
+	}}
+	net := nn.NewNetwork([]int{4}, nn.NewDense(4, 16, rng), nn.NewReLU(), nn.NewDense(16, 3, rng))
+	fleet := device.NewFleet()
+	caps, _ := device.ProfileByName("edge-gateway")
+	ids := make([]string, 8)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("gw-%02d", i)
+		if err := fleet.Add(device.NewDevice(ids[i], caps, tensor.NewRNG(uint64(i)))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	p, err := core.New(fleet, core.Config{VendorKey: []byte("bench-vendor-key-0123456789abcd0"), Seed: 40})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := p.Publish("ota", net, ds, spec); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := p.DeployMany(ids, "ota", core.DeployConfig{PrepaidQueries: 10}); err != nil {
+		b.Fatal(err)
+	}
+	v2 := net.Clone()
+	head := v2.Layers()[2].(*nn.Dense)
+	for i := range head.W.Value.Data {
+		head.W.Value.Data[i] += 0.01
+	}
+	v2s, err := p.Publish("ota", v2, ds, spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p, v2s[0]
+}
+
+// benchRolloutTransfer measures one full-fleet staged rollout per
+// iteration (waves, gates, transfer, hot-swap), rolling every device back
+// between iterations so each rollout ships the same update. The reported
+// bytes/op metric is what moved over the simulated radios.
+func benchRolloutTransfer(b *testing.B, forceFull bool) {
+	p, v2 := rolloutBenchSetup(b)
+	var shipped int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := p.Rollout(v2, core.RolloutConfig{Seed: 1, ForceFull: forceFull})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Completed {
+			b.Fatalf("rollout gate failed: %+v", res.Waves)
+		}
+		shipped += res.TotalShipBytes
+		b.StopTimer()
+		for _, dep := range p.Deployments() {
+			if _, err := dep.Rollback(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(shipped)/float64(b.N), "ship-bytes/op")
+}
+
+func BenchmarkRolloutFullTransfer(b *testing.B) { benchRolloutTransfer(b, true) }
+
+func BenchmarkRolloutDeltaTransfer(b *testing.B) { benchRolloutTransfer(b, false) }
 
 // --- full experiment harness (guarded: heavyweight) -------------------------
 

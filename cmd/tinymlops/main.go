@@ -10,6 +10,7 @@
 //	tinymlops export   -model model.tmln -out model.json
 //	tinymlops import   -graph model.json -out model.tmln
 //	tinymlops simulate -devices 2 -queries 150 -quota 100 -workers 8
+//	tinymlops rollout  -devices 2 -drift
 package main
 
 import (
@@ -37,6 +38,8 @@ func main() {
 		err = cmdImport(os.Args[2:])
 	case "simulate":
 		err = cmdSimulate(os.Args[2:])
+	case "rollout":
+		err = cmdRollout(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -60,6 +63,8 @@ subcommands:
   export     convert a .tmln artifact to the JSON exchange format
   import     convert a JSON exchange document back to a .tmln artifact
   simulate   run a fleet deployment + metered inference simulation
+  rollout    run a staged OTA update (canary -> cohort -> fleet) with
+             health gates, delta transfers and rollback on failure
 
 run 'tinymlops <subcommand> -h' for flags`)
 }

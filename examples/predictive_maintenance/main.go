@@ -106,26 +106,63 @@ func main() {
 	oldAcc := tinymlops.Evaluate(model, newTest.X, newTest.Y)
 	newAcc := tinymlops.Evaluate(retrained, newTest.X, newTest.Y)
 	fmt.Printf("  on the drifted regime: old model %.3f, retrained %.3f\n", oldAcc, newAcc)
-	if _, err := platform.Publish("vibration", retrained, newTest, tinymlops.DefaultOptimizationSpec(newTest)); err != nil {
+	v2s, err := platform.Publish("vibration", retrained, newTest, tinymlops.DefaultOptimizationSpec(newTest))
+	if err != nil {
 		log.Fatal(err)
 	}
-	// Canary first, then the rest of the cohort.
-	canary, err := platform.Deploy(sensors[0], "vibration", tinymlops.DeployConfig{
-		PrepaidQueries: 100000, Calibration: newTrain,
+
+	// Staged OTA rollout: one canary sensor bakes the new version on live
+	// (drifted-regime) traffic; only when its health gate passes does the
+	// update reach the rest of the fleet. A failing gate would roll the
+	// wave back to the prior image automatically.
+	res, err := platform.Rollout(v2s[0], tinymlops.RolloutConfig{
+		Waves: []tinymlops.RolloutWave{
+			{Name: "canary", Fraction: 0.34},
+			{Name: "fleet", Fraction: 1.0},
+		},
+		Seed:        7,
+		Calibration: newTrain,
+		Bake: func(w tinymlops.RolloutWave, ids []string) error {
+			// The machines keep vibrating in the new regime while we watch.
+			for _, id := range ids {
+				dep, ok := platform.Deployment(id)
+				if !ok {
+					continue
+				}
+				for t := 0; t < 400; t++ {
+					x, _ := stream.Next()
+					if _, err := dep.Infer(x); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("  canary %s now runs version %s (%s)\n", sensors[0], canary.Version.ID, canary.Version.Scheme)
-	for _, id := range sensors[1:] {
-		dep, err := platform.Deploy(id, "vibration", tinymlops.DeployConfig{
-			PrepaidQueries: 100000, Calibration: newTrain,
-		})
-		if err != nil {
-			log.Fatal(err)
+	for _, w := range res.Waves {
+		for _, o := range w.Outcomes {
+			kind := "full image"
+			if o.Transfer.UsedDelta {
+				kind = "delta"
+			}
+			fmt.Printf("  wave %-6s %s -> %s (%s, %d B)\n",
+				w.Wave.Name, o.DeviceID, o.Transfer.ToID, kind, o.Transfer.ShipBytes)
 		}
-		fmt.Printf("  rollout %s -> version %s\n", id, dep.Version.ID)
+		verdict := "PASS"
+		if !w.Gate.Pass {
+			verdict = "FAIL -> rolled back: " + w.Gate.Reasons[0]
+		}
+		fmt.Printf("  wave %-6s gate: %s (drift alarms %d, error rate %.2f)\n",
+			w.Wave.Name, verdict, w.Gate.DriftAlarms, w.Gate.ErrorRate)
 	}
-	fmt.Printf("\nregistry now tracks %d versions across the incident\n",
+	if !res.Completed {
+		log.Fatal("rollout did not complete on healthy traffic")
+	}
+	fmt.Printf("\nfleet on retrained model; %d/%d transfers were deltas, %d B shipped\n",
+		res.DeltaTransfers, res.DeltaTransfers+res.FullTransfers, res.TotalShipBytes)
+	fmt.Printf("registry now tracks %d versions across the incident\n",
 		len(platform.Registry.Versions("vibration")))
 }

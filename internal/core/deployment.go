@@ -12,12 +12,22 @@ import (
 	"tinymlops/internal/observe"
 	"tinymlops/internal/procvm"
 	"tinymlops/internal/registry"
+	"tinymlops/internal/selector"
 	"tinymlops/internal/tensor"
 )
 
+// image is one installed model generation: what a rollback restores.
+type image struct {
+	version *registry.ModelVersion
+	model   *nn.Network
+	monitor *observe.Monitor
+}
+
 // Deployment is one model running on one device: the decrypted model, the
 // metering gate, the drift monitor, the telemetry buffer and the optional
-// procvm pipeline stages.
+// procvm pipeline stages. Deployments are updatable: Update hot-swaps the
+// model to a new registry version (keeping meter and telemetry buffer) and
+// Rollback reverts to the previous image, A/B-slot style.
 type Deployment struct {
 	DeviceID string
 	Version  *registry.ModelVersion
@@ -26,17 +36,25 @@ type Deployment struct {
 	Monitor *observe.Monitor
 	Buffer  *observe.Buffer
 
-	device  *device.Device
-	model   *nn.Network
-	pre     *procvm.Module
-	post    *procvm.Module
-	runtime *procvm.Runtime
+	platform  *Platform
+	device    *device.Device
+	model     *nn.Network
+	policy    selector.Policy
+	watermark string
+	pre       *procvm.Module
+	post      *procvm.Module
+	runtime   *procvm.Runtime
+
+	// prev is the previous image (one-deep history, like an A/B flash
+	// slot): Rollback restores it without re-downloading anything.
+	prev *image
 
 	mu          sync.Mutex
 	tick        uint64
 	window      uint32
 	winCount    uint32
 	winDenied   uint32
+	winFailed   uint32 // post-gate inference failures (battery, pipeline)
 	winLatency  observe.Welford
 	winEnergyMJ float64
 	featStats   []observe.Welford
@@ -70,14 +88,18 @@ func (d *Deployment) Infer(x []float32) (InferenceResult, error) {
 		return InferenceResult{}, fmt.Errorf("%w: %v", ErrQueryDenied, err)
 	}
 
-	// 2. Portable preprocessing (§III-A / §IV).
+	// 2. Portable preprocessing (§III-A / §IV). Post-gate failures count
+	// toward window health: a version that cannot serve queries must look
+	// unhealthy to a rollout gate.
 	features := x
 	if d.pre != nil {
 		res, err := d.runtime.Run(d.pre, x)
 		if err != nil {
+			d.winFailed++
 			return InferenceResult{}, fmt.Errorf("core: preprocess: %w", err)
 		}
 		if !res.Output.IsVec {
+			d.winFailed++
 			return InferenceResult{}, fmt.Errorf("core: preprocess must produce a vector")
 		}
 		features = res.Output.Vec
@@ -91,6 +113,7 @@ func (d *Deployment) Infer(x []float32) (InferenceResult, error) {
 	// 4. Inference on the device cost model.
 	lat, err := d.device.RunInference(d.Version.Metrics.MACs, d.Version.Scheme.Bits())
 	if err != nil {
+		d.winFailed++
 		return InferenceResult{}, fmt.Errorf("core: device: %w", err)
 	}
 	in := tensor.FromSlice(append([]float32(nil), features...), 1, len(features))
@@ -101,9 +124,11 @@ func (d *Deployment) Infer(x []float32) (InferenceResult, error) {
 	if d.post != nil {
 		res, err := d.runtime.Run(d.post, logits.Data)
 		if err != nil {
+			d.winFailed++
 			return InferenceResult{}, fmt.Errorf("core: postprocess: %w", err)
 		}
 		if res.Output.IsVec {
+			d.winFailed++
 			return InferenceResult{}, fmt.Errorf("core: postprocess must reduce to a scalar label")
 		}
 		label = int(res.Output.Scalar)
@@ -168,10 +193,12 @@ func (d *Deployment) InferBatch(rows [][]float32) []BatchOutcome {
 		if d.pre != nil {
 			res, err := d.runtime.Run(d.pre, x)
 			if err != nil {
+				d.winFailed++
 				out[qi].Err = fmt.Errorf("core: preprocess: %w", err)
 				continue
 			}
 			if !res.Output.IsVec {
+				d.winFailed++
 				out[qi].Err = fmt.Errorf("core: preprocess must produce a vector")
 				continue
 			}
@@ -181,6 +208,7 @@ func (d *Deployment) InferBatch(rows [][]float32) []BatchOutcome {
 			fdim = len(features)
 		}
 		if len(features) != fdim {
+			d.winFailed++
 			out[qi].Err = fmt.Errorf("core: feature width %d differs from batch width %d", len(features), fdim)
 			continue
 		}
@@ -189,6 +217,7 @@ func (d *Deployment) InferBatch(rows [][]float32) []BatchOutcome {
 		}
 		lat, err := d.device.RunInference(d.Version.Metrics.MACs, d.Version.Scheme.Bits())
 		if err != nil {
+			d.winFailed++
 			out[qi].Err = fmt.Errorf("core: device: %w", err)
 			continue
 		}
@@ -211,10 +240,12 @@ func (d *Deployment) InferBatch(rows [][]float32) []BatchOutcome {
 		if d.post != nil {
 			res, err := d.runtime.Run(d.post, append([]float32(nil), logits.Data[bi*cols:(bi+1)*cols]...))
 			if err != nil {
+				d.winFailed++
 				out[a.idx].Err = fmt.Errorf("core: postprocess: %w", err)
 				continue
 			}
 			if res.Output.IsVec {
+				d.winFailed++
 				out[a.idx].Err = fmt.Errorf("core: postprocess must reduce to a scalar label")
 				continue
 			}
@@ -244,7 +275,14 @@ func (d *Deployment) InferBatch(rows [][]float32) []BatchOutcome {
 func (d *Deployment) rollWindow() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.winCount == 0 && d.winDenied == 0 {
+	d.rollWindowLocked()
+}
+
+// rollWindowLocked is rollWindow for callers already holding d.mu (the
+// update path rolls the window at every version boundary so post-update
+// health never mixes with the old version's traffic).
+func (d *Deployment) rollWindowLocked() {
+	if d.winCount == 0 && d.winDenied == 0 && d.winFailed == 0 {
 		return
 	}
 	rec := observe.Record{
@@ -266,7 +304,7 @@ func (d *Deployment) rollWindow() {
 	}
 	d.Buffer.Add(rec)
 	d.window++
-	d.winCount, d.winDenied = 0, 0
+	d.winCount, d.winDenied, d.winFailed = 0, 0, 0
 	d.winLatency.Reset()
 	d.winEnergyMJ = 0
 	for i := range d.featStats {

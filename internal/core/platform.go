@@ -9,7 +9,6 @@ import (
 	"tinymlops/internal/device"
 	"tinymlops/internal/engine"
 	"tinymlops/internal/fed"
-	"tinymlops/internal/ipprot"
 	"tinymlops/internal/metering"
 	"tinymlops/internal/nn"
 	"tinymlops/internal/observe"
@@ -125,41 +124,18 @@ func (p *Platform) Deploy(deviceID, modelName string, cfg DeployConfig) (*Deploy
 	}
 	version := decision.Chosen.Version
 
-	// Encrypt the artifact, transfer it, decrypt on device.
-	artifact, err := p.Registry.Bytes(version.ID)
-	if err != nil {
-		return nil, err
-	}
-	em, err := ipprot.EncryptModel(p.vendorKey, version.ID, artifact)
-	if err != nil {
-		return nil, err
-	}
-	if _, err := dev.Download(int64(version.Metrics.SizeBytes)); err != nil {
-		return nil, fmt.Errorf("core: ship to %s: %w", deviceID, err)
-	}
-	plain, err := ipprot.DecryptModel(p.vendorKey, em)
-	if err != nil {
-		return nil, err
-	}
-	model, err := nn.UnmarshalNetwork(plain)
+	// Encrypt the artifact, transfer and flash it, decrypt on device.
+	model, _, err := p.shipFull(dev, version)
 	if err != nil {
 		return nil, err
 	}
 	if cfg.Watermark != "" {
-		// Scale capacity to the carrier layer so tiny models still embed
-		// reliably (the mark identifies the customer; 16 bits suffice for
-		// dispute evidence when combined with the registry tag).
-		capacity := watermarkCapacity(model)
-		bits := ipprot.KeyedBits(cfg.Watermark, capacity)
-		if err := ipprot.EmbedStatic(model, cfg.Watermark, bits, ipprot.DefaultStaticWMConfig()); err != nil {
-			return nil, fmt.Errorf("core: watermark: %w", err)
-		}
-		// One version serves many devices, so the dispute-evidence tag is
-		// keyed per device: each deploy writes its own key, which keeps
-		// every customer's mark on record and keeps parallel deploys
-		// deterministic (a single shared key would be last-writer-wins in
-		// scheduling order).
-		if err := p.Registry.SetTag(version.ID, "watermark:"+deviceID, cfg.Watermark); err != nil {
+		// The mark identifies the customer (capacity scales to the carrier
+		// layer so tiny models still embed reliably); the registry tag is
+		// keyed per device so every customer's mark stays on record and
+		// parallel deploys stay deterministic (a single shared key would be
+		// last-writer-wins in scheduling order).
+		if err := p.embedWatermark(model, version.ID, deviceID, cfg.Watermark); err != nil {
 			return nil, err
 		}
 	}
@@ -174,15 +150,18 @@ func (p *Platform) Deploy(deviceID, modelName string, cfg DeployConfig) (*Deploy
 	}
 
 	d := &Deployment{
-		DeviceID: deviceID,
-		Version:  version,
-		device:   dev,
-		model:    model,
-		Meter:    metering.NewMeter(voucher),
-		Buffer:   observe.NewBuffer(256),
-		pre:      cfg.Pre,
-		post:     cfg.Post,
-		runtime:  procvm.NewRuntime(procvm.CapSensor),
+		DeviceID:  deviceID,
+		Version:   version,
+		platform:  p,
+		device:    dev,
+		model:     model,
+		policy:    cfg.Policy,
+		watermark: cfg.Watermark,
+		Meter:     metering.NewMeter(voucher),
+		Buffer:    observe.NewBuffer(256),
+		pre:       cfg.Pre,
+		post:      cfg.Post,
+		runtime:   procvm.NewRuntime(procvm.CapSensor),
 	}
 	if cfg.Calibration != nil {
 		mon, err := buildMonitor(cfg.Calibration)
@@ -336,8 +315,10 @@ func (p *Platform) SettleAll(addr string) map[string]error {
 }
 
 // FederatedUpdate runs federated training of the named model line over
-// client shards and publishes the improved global model (re-deriving all
-// variants). It returns the new versions and per-round stats.
+// client shards and publishes the improved global model into the registry
+// as a rollout candidate (re-deriving all variants, tagged as a federated
+// aggregate). It returns the new versions and per-round stats; chain with
+// Rollout — or call FederatedRollout — to stage the fleet update.
 func (p *Platform) FederatedUpdate(name string, clients []*fed.Client, test *dataset.Dataset, fcfg fed.Config, spec registry.OptimizationSpec) ([]*registry.ModelVersion, []fed.RoundStats, error) {
 	latest, err := p.Registry.Latest(name)
 	if err != nil {
@@ -355,10 +336,7 @@ func (p *Platform) FederatedUpdate(name string, clients []*fed.Client, test *dat
 	if err != nil {
 		return nil, nil, err
 	}
-	if spec.Evaluate == nil {
-		spec.Evaluate = func(n *nn.Network) float64 { return nn.Evaluate(n, test.X, test.Y) }
-	}
-	versions, err := p.Registry.RegisterWithVariants(name, co.Global, spec.Evaluate(co.Global), spec)
+	versions, err := co.PublishGlobal(p.Registry, name, spec)
 	if err != nil {
 		return nil, nil, err
 	}

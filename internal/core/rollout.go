@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+
+	"tinymlops/internal/dataset"
+	"tinymlops/internal/fed"
+	"tinymlops/internal/registry"
+	"tinymlops/internal/rollout"
+)
+
+// RolloutConfig controls a staged fleet update (see internal/rollout for
+// the wave/gate semantics).
+type RolloutConfig struct {
+	// Waves defaults to rollout.DefaultWaves() (canary → cohort → fleet).
+	Waves []rollout.Wave
+	// Gate thresholds (zero value = defaults).
+	Gate rollout.Gate
+	// Seed keys the deterministic wave assignment.
+	Seed uint64
+	// Bake drives representative traffic through a wave's devices between
+	// their update and the health gate; nil gates on whatever traffic the
+	// application generates on its own.
+	Bake func(wave rollout.Wave, deviceIDs []string) error
+	// Calibration recalibrates updated devices' drift monitors for the new
+	// version; nil keeps each device's existing monitor (reset).
+	Calibration *dataset.Dataset
+	// ForceFull disables delta transfer for every update in the rollout.
+	ForceFull bool
+}
+
+// Rollout drives every deployment of the target version's model line
+// through a staged, health-gated update to that version (each device
+// re-selecting its variant), rolling a failing wave back to the prior
+// image. The result is deterministic for a given (platform state, config)
+// at any worker count.
+func (p *Platform) Rollout(target *registry.ModelVersion, cfg RolloutConfig) (*rollout.Result, error) {
+	if target == nil {
+		return nil, fmt.Errorf("core: nil rollout target")
+	}
+	ctl := rollout.NewController(p.eng)
+	return ctl.Run(&rolloutTarget{p: p, target: target, cfg: cfg}, rollout.Config{
+		Waves: cfg.Waves,
+		Gate:  cfg.Gate,
+		Seed:  cfg.Seed,
+		Bake:  cfg.Bake,
+	})
+}
+
+// FederatedRollout closes the §III-D → §III-A loop: run federated training
+// of the named model line, publish the aggregated global model (and its
+// variant matrix) as rollout candidates, then drive the fleet through a
+// staged update to the new base. It returns the published versions, the
+// per-round training stats and the rollout record.
+func (p *Platform) FederatedRollout(name string, clients []*fed.Client, test *dataset.Dataset, fcfg fed.Config, spec registry.OptimizationSpec, rcfg RolloutConfig) ([]*registry.ModelVersion, []fed.RoundStats, *rollout.Result, error) {
+	versions, stats, err := p.FederatedUpdate(name, clients, test, fcfg, spec)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if rcfg.Calibration == nil {
+		rcfg.Calibration = test
+	}
+	res, err := p.Rollout(versions[0], rcfg)
+	if err != nil {
+		return versions, stats, nil, err
+	}
+	return versions, stats, res, nil
+}
+
+// rolloutTarget adapts a Platform to the rollout.Target interface.
+type rolloutTarget struct {
+	p      *Platform
+	target *registry.ModelVersion
+	cfg    RolloutConfig
+}
+
+// DeviceIDs lists devices currently running the target's model line —
+// Deployments() is already sorted by device ID, so the eligible set is
+// deterministic.
+func (t *rolloutTarget) DeviceIDs() []string {
+	var out []string
+	for _, d := range t.p.Deployments() {
+		if d.Version.Name == t.target.Name {
+			out = append(out, d.DeviceID)
+		}
+	}
+	return out
+}
+
+func (t *rolloutTarget) dep(id string) (*Deployment, error) {
+	d, ok := t.p.Deployment(id)
+	if !ok {
+		return nil, fmt.Errorf("core: no deployment on %q", id)
+	}
+	return d, nil
+}
+
+func (t *rolloutTarget) Baseline(id string) (rollout.Health, error) {
+	d, err := t.dep(id)
+	if err != nil {
+		return rollout.Health{}, err
+	}
+	return d.Health(), nil
+}
+
+func (t *rolloutTarget) Health(id string) (rollout.Health, error) {
+	return t.Baseline(id)
+}
+
+func (t *rolloutTarget) Update(id string) (rollout.Transfer, error) {
+	d, err := t.dep(id)
+	if err != nil {
+		return rollout.Transfer{}, err
+	}
+	rep, err := d.Update(t.target, UpdateOptions{Calibration: t.cfg.Calibration, ForceFull: t.cfg.ForceFull})
+	if err != nil {
+		return rollout.Transfer{}, err
+	}
+	return rollout.Transfer{
+		ShipBytes:  rep.ShipBytes,
+		FlashBytes: rep.FlashBytes,
+		UsedDelta:  rep.UsedDelta,
+		FromID:     rep.From.ID,
+		ToID:       rep.To.ID,
+	}, nil
+}
+
+func (t *rolloutTarget) Rollback(id string) error {
+	d, err := t.dep(id)
+	if err != nil {
+		return err
+	}
+	_, err = d.Rollback()
+	return err
+}

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"tinymlops/internal/dataset"
+	"tinymlops/internal/device"
+	"tinymlops/internal/ipprot"
+	"tinymlops/internal/nn"
+	"tinymlops/internal/registry"
+	"tinymlops/internal/rollout"
+	"tinymlops/internal/selector"
+)
+
+// UpdateOptions controls one deployment update.
+type UpdateOptions struct {
+	// Calibration recalibrates the drift monitor for the new version; nil
+	// keeps the existing monitor and resets its detection state.
+	Calibration *dataset.Dataset
+	// ForceFull disables delta transfer (used to measure the saving).
+	ForceFull bool
+}
+
+// UpdateReport accounts one update (or rollback): what moved, how it was
+// shipped, and what a full transfer would have cost.
+type UpdateReport struct {
+	DeviceID string
+	From, To *registry.ModelVersion
+	// UsedDelta reports whether a sparse weight delta was shipped.
+	UsedDelta bool
+	// ShipBytes went over the radio; FlashBytes were rewritten on device.
+	ShipBytes, FlashBytes int64
+	// FullBytes is what a full-artifact transfer ships (To's packed size),
+	// the denominator of the delta saving.
+	FullBytes int64
+	// TransferTime is the modeled download+flash duration.
+	TransferTime time.Duration
+	// ChangedParams/TotalParams summarize delta sparsity (0 for full).
+	ChangedParams, TotalParams int
+}
+
+// Health returns the deployment's live-window telemetry summary: queries
+// served and denied since the last window roll, mean modeled latency, and
+// the drift monitor state. The update path rolls the window at every
+// version boundary, so after an update this reads the new version's
+// behavior only — exactly what a rollout gate needs.
+func (d *Deployment) Health() rollout.Health {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	h := rollout.Health{
+		Inferences:    uint64(d.winCount),
+		Errors:        uint64(d.winDenied) + uint64(d.winFailed),
+		MeanLatencyUS: d.winLatency.Mean(),
+	}
+	if d.Monitor != nil {
+		h.DriftAlarm = d.Monitor.Drifted()
+		h.DriftScore = d.Monitor.MaxScore()
+	}
+	return h
+}
+
+// Update moves the deployment to the target version's family: it re-runs
+// variant selection over the target and its derived variants for this
+// device's current context, ships the chosen artifact — as a sparse weight
+// delta when the topology matches the running model, the full encrypted
+// image otherwise — and hot-swaps the model. The prepaid meter and the
+// telemetry buffer survive the swap (the voucher prepays queries, not a
+// version); the telemetry window rolls so post-update health is clean; the
+// drift monitor is recalibrated from opts.Calibration or reset. The prior
+// image is kept for Rollback.
+func (d *Deployment) Update(target *registry.ModelVersion, opts UpdateOptions) (*UpdateReport, error) {
+	if d.platform == nil {
+		return nil, fmt.Errorf("core: deployment %s is not platform-managed", d.DeviceID)
+	}
+	if target == nil {
+		return nil, fmt.Errorf("core: nil update target")
+	}
+	p := d.platform
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	// Re-run variant selection among the target's family: the paper's
+	// point that every update re-decides per device (§III-A).
+	candidates := append([]*registry.ModelVersion{target}, p.Registry.Variants(target.ID)...)
+	decision, err := selector.Select(d.device, candidates, d.policy)
+	if err != nil {
+		return nil, fmt.Errorf("core: update select for %s: %w", d.DeviceID, err)
+	}
+	chosen := decision.Chosen.Version
+	rep := &UpdateReport{
+		DeviceID:  d.DeviceID,
+		From:      d.Version,
+		To:        chosen,
+		FullBytes: int64(chosen.Metrics.SizeBytes),
+	}
+	if chosen.ID == d.Version.ID {
+		// Content-addressed no-op: the device already runs these bytes, so
+		// nothing ships and the rollback image is untouched — but the
+		// window still rolls and the monitor still recalibrates/resets,
+		// so a gate judging this device sees post-update traffic only,
+		// never a stale alarm from before the rollout.
+		d.rollWindowLocked()
+		if opts.Calibration != nil {
+			mon, merr := buildMonitor(opts.Calibration)
+			if merr != nil {
+				return nil, merr
+			}
+			d.Monitor = mon
+		} else if d.Monitor != nil {
+			d.Monitor.Reset()
+		}
+		return rep, nil
+	}
+
+	var model *nn.Network
+	// Delta transfer requires the on-device weights to be bit-identical to
+	// the registry's stored artifact; a per-customer watermark perturbs
+	// them, so watermarked deployments always ship full images.
+	if !opts.ForceFull && d.watermark == "" {
+		model, err = d.tryDeltaLocked(chosen, rep)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if model == nil {
+		var dur time.Duration
+		model, dur, err = p.shipFull(d.device, chosen)
+		if err != nil {
+			return nil, err
+		}
+		if d.watermark != "" {
+			if err := p.embedWatermark(model, chosen.ID, d.DeviceID, d.watermark); err != nil {
+				return nil, err
+			}
+		}
+		rep.ShipBytes = int64(chosen.Metrics.SizeBytes)
+		rep.FlashBytes = int64(chosen.Metrics.SizeBytes)
+		rep.TransferTime = dur
+	}
+	if err := d.swapLocked(chosen, model, opts.Calibration); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// tryDeltaLocked attempts a delta transfer to the chosen version, filling
+// rep and returning the patched model on success. A nil model (with nil
+// error) means the caller must ship the full artifact: the versions do not
+// share a topology, or the delta would not beat the packed image — a full
+// retrain degrades to a dense delta whose index overhead can exceed what
+// it patches. Caller holds d.mu.
+func (d *Deployment) tryDeltaLocked(chosen *registry.ModelVersion, rep *UpdateReport) (*nn.Network, error) {
+	p := d.platform
+	delta, err := p.Registry.Delta(d.Version.ID, chosen.ID)
+	if err != nil {
+		return nil, nil // different topology: full transfer
+	}
+	cost, err := nn.CostOfDelta(delta, chosen.Scheme.Bits())
+	if err != nil {
+		return nil, err
+	}
+	if cost.ShipBytes >= chosen.Metrics.SizeBytes {
+		return nil, nil // dense delta, not worth shipping
+	}
+	em, err := ipprot.EncryptModel(p.vendorKey, chosen.ID, delta)
+	if err != nil {
+		return nil, err
+	}
+	dur, err := d.device.Install(int64(cost.ShipBytes), int64(cost.FlashBytes))
+	if err != nil {
+		return nil, fmt.Errorf("core: ship delta to %s: %w", d.DeviceID, err)
+	}
+	plain, err := ipprot.DecryptModel(p.vendorKey, em)
+	if err != nil {
+		return nil, err
+	}
+	model, err := nn.ApplyDelta(d.model, plain)
+	if err != nil {
+		return nil, fmt.Errorf("core: apply delta on %s: %w", d.DeviceID, err)
+	}
+	rep.UsedDelta = true
+	rep.ShipBytes = int64(cost.ShipBytes)
+	rep.FlashBytes = int64(cost.FlashBytes)
+	rep.TransferTime = dur
+	rep.ChangedParams, rep.TotalParams = cost.ChangedParams, cost.TotalParams
+	return model, nil
+}
+
+// Rollback reverts the deployment to the image it ran before the last
+// Update — no transfer, the prior generation is still in the B slot. The
+// meter and telemetry buffer are preserved; the telemetry window rolls;
+// the restored monitor is reset so stale alarms do not re-fire. A second
+// rollback without an intervening update fails.
+func (d *Deployment) Rollback() (*UpdateReport, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.prev == nil {
+		return nil, fmt.Errorf("core: deployment %s has no previous image", d.DeviceID)
+	}
+	rep := &UpdateReport{DeviceID: d.DeviceID, From: d.Version, To: d.prev.version}
+	d.rollWindowLocked()
+	d.Version, d.model, d.Monitor = d.prev.version, d.prev.model, d.prev.monitor
+	d.prev = nil
+	if d.Monitor != nil {
+		d.Monitor.Reset()
+	}
+	d.scratch = nil
+	d.featStats = nil
+	return rep, nil
+}
+
+// swapLocked installs (version, model) as the live image, saving the old
+// one for rollback. Caller holds d.mu.
+func (d *Deployment) swapLocked(v *registry.ModelVersion, m *nn.Network, calib *dataset.Dataset) error {
+	d.rollWindowLocked()
+	d.prev = &image{version: d.Version, model: d.model, monitor: d.Monitor}
+	d.Version = v
+	d.model = m
+	if calib != nil {
+		mon, err := buildMonitor(calib)
+		if err != nil {
+			return err
+		}
+		d.Monitor = mon
+	} else if d.Monitor != nil {
+		// Same calibration, new version: clear the latch and statistics so
+		// post-update health reflects the new model only. The rollback
+		// image shares this monitor; Rollback resets it again.
+		d.Monitor.Reset()
+	}
+	d.scratch = nil
+	d.featStats = nil
+	return nil
+}
+
+// shipFull encrypts a full artifact, transfers and flashes it on the
+// device, and decrypts it back into a runnable network — the §V transfer
+// path shared by Deploy and Update.
+func (p *Platform) shipFull(dev *device.Device, v *registry.ModelVersion) (*nn.Network, time.Duration, error) {
+	artifact, err := p.Registry.Bytes(v.ID)
+	if err != nil {
+		return nil, 0, err
+	}
+	em, err := ipprot.EncryptModel(p.vendorKey, v.ID, artifact)
+	if err != nil {
+		return nil, 0, err
+	}
+	dur, err := dev.Install(int64(v.Metrics.SizeBytes), int64(v.Metrics.SizeBytes))
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: ship to %s: %w", dev.ID, err)
+	}
+	plain, err := ipprot.DecryptModel(p.vendorKey, em)
+	if err != nil {
+		return nil, 0, err
+	}
+	model, err := nn.UnmarshalNetwork(plain)
+	if err != nil {
+		return nil, 0, err
+	}
+	return model, dur, nil
+}
+
+// embedWatermark stamps the customer identity into a deployed copy and
+// records it in the registry (§V: per-user marks, keyed per device so
+// parallel deploys stay deterministic).
+func (p *Platform) embedWatermark(model *nn.Network, versionID, deviceID, owner string) error {
+	capacity := watermarkCapacity(model)
+	bits := ipprot.KeyedBits(owner, capacity)
+	if err := ipprot.EmbedStatic(model, owner, bits, ipprot.DefaultStaticWMConfig()); err != nil {
+		return fmt.Errorf("core: watermark: %w", err)
+	}
+	return p.Registry.SetTag(versionID, "watermark:"+deviceID, owner)
+}

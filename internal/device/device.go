@@ -53,6 +53,7 @@ type Counters struct {
 	EnergyJoule   float64
 	TxBytes       int64
 	RxBytes       int64
+	FlashedBytes  int64
 	DeniedQueries int64
 }
 
@@ -219,11 +220,10 @@ func (d *Device) DenyQuery() {
 	d.counters.DeniedQueries++
 }
 
-// Download simulates receiving size bytes over the current link, returning
-// the transfer time. Offline devices return an error.
-func (d *Device) Download(size int64) (time.Duration, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+// linkBandwidthLocked returns the current downlink/uplink bandwidth in
+// bytes/second, honoring the wall-powered → WiFi override, or an error
+// when the device is offline. Caller holds d.mu.
+func (d *Device) linkBandwidthLocked() (float64, error) {
 	st := d.net
 	if d.Caps.WallPowered() {
 		st = WiFi
@@ -232,8 +232,58 @@ func (d *Device) Download(size int64) (time.Duration, error) {
 	if bw == 0 {
 		return 0, fmt.Errorf("device: %s is offline", d.ID)
 	}
+	return bw, nil
+}
+
+// Download simulates receiving size bytes over the current link, returning
+// the transfer time. Offline devices return an error.
+func (d *Device) Download(size int64) (time.Duration, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	bw, err := d.linkBandwidthLocked()
+	if err != nil {
+		return 0, err
+	}
 	d.counters.RxBytes += size
 	return time.Duration(float64(size) / bw * float64(time.Second)), nil
+}
+
+// Flash write cost model shared by every profile: internal NOR flash
+// programs at roughly 256 KiB/s and costs about 2 µJ per byte — both
+// dwarfed by radio costs for full images but decisive for delta patches,
+// which rewrite only the touched weights.
+const (
+	flashWriteBytesPerSec    = 256 << 10
+	flashWriteEnergyPerByteJ = 2e-6
+)
+
+// Install simulates one OTA model installation: downloadBytes arrive over
+// the current link (a full image or a delta patch) and flashBytes are
+// reprogrammed into model storage. It returns the combined transfer+flash
+// time, charges the flash-write energy to the battery, and updates the
+// RxBytes/FlashedBytes counters. Like Download, it does not model receive
+// radio energy (the cost model charges the transmit side only, see
+// EnergyPerTxByteJoule). Offline devices return an error.
+func (d *Device) Install(downloadBytes, flashBytes int64) (time.Duration, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	bw, err := d.linkBandwidthLocked()
+	if err != nil {
+		return 0, err
+	}
+	flashEnergy := float64(flashBytes) * flashWriteEnergyPerByteJ
+	if !d.Caps.WallPowered() {
+		if d.battery < flashEnergy {
+			return 0, fmt.Errorf("%w on %s", ErrBatteryDepleted, d.ID)
+		}
+		d.battery -= flashEnergy
+	}
+	d.counters.RxBytes += downloadBytes
+	d.counters.FlashedBytes += flashBytes
+	d.counters.EnergyJoule += flashEnergy
+	dl := time.Duration(float64(downloadBytes) / bw * float64(time.Second))
+	fl := time.Duration(float64(flashBytes) / flashWriteBytesPerSec * float64(time.Second))
+	return dl + fl, nil
 }
 
 // Upload simulates sending size bytes over the current link, charging
@@ -241,13 +291,9 @@ func (d *Device) Download(size int64) (time.Duration, error) {
 func (d *Device) Upload(size int64) (time.Duration, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	st := d.net
-	if d.Caps.WallPowered() {
-		st = WiFi
-	}
-	bw := st.Bandwidth()
-	if bw == 0 {
-		return 0, fmt.Errorf("device: %s is offline", d.ID)
+	bw, err := d.linkBandwidthLocked()
+	if err != nil {
+		return 0, err
 	}
 	energy := float64(size) * d.Caps.EnergyPerTxByteJoule
 	if !d.Caps.WallPowered() {

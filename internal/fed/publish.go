@@ -1,0 +1,34 @@
+package fed
+
+import (
+	"fmt"
+
+	"tinymlops/internal/nn"
+	"tinymlops/internal/registry"
+)
+
+// PublishGlobal registers the coordinator's current global model as a new
+// base version of the named model line — deriving the full variant matrix
+// via the registry's optimization pipeline — and tags it as a federated
+// aggregate. The published base is a rollout candidate: a federated round
+// feeds straight into a staged fleet update (§III-D closing into §III-A).
+func (co *Coordinator) PublishGlobal(r *registry.Registry, name string, spec registry.OptimizationSpec) ([]*registry.ModelVersion, error) {
+	if spec.Evaluate == nil {
+		if co.testX == nil {
+			return nil, fmt.Errorf("fed: publish needs spec.Evaluate or a coordinator test set")
+		}
+		spec.Evaluate = func(n *nn.Network) float64 { return nn.Evaluate(n, co.testX, co.testY) }
+	}
+	versions, err := r.RegisterWithVariants(name, co.Global, spec.Evaluate(co.Global), spec)
+	if err != nil {
+		return nil, err
+	}
+	base := versions[0]
+	if err := r.SetTag(base.ID, "source", "federated"); err != nil {
+		return nil, err
+	}
+	if err := r.SetTag(base.ID, "fed:rounds", fmt.Sprintf("%d", co.round)); err != nil {
+		return nil, err
+	}
+	return versions, nil
+}

@@ -1,0 +1,15 @@
+// Package metering implements the offline pay-per-query machinery of
+// §III-C: prepaid query packages ("vouchers") signed by the vendor, an
+// on-device meter that enforces the quota without connectivity and records
+// every charge in a hash chain, and a settlement protocol that lets the
+// vendor verify usage and detect tampering (rollback, truncation, forged
+// entries, forged vouchers, cross-device replay) when the device
+// reconnects.
+//
+// The paper notes that metering is trivial behind a cloud endpoint and
+// "not trivial on untrusted hardware" at the edge; the hash-chained local
+// log plus chain-extension settlement is the standard offline-payment
+// construction adapted to query counting. A voucher prepays queries, not a
+// model version: the meter and its chain survive OTA updates and
+// rollbacks, so staged rollouts never reset a customer's balance.
+package metering

@@ -1,15 +1,3 @@
-// Package observe implements the edge-side observability of §III-B: on-
-// device streaming statistics (constant memory, no raw data retained),
-// drift detectors (Kolmogorov-Smirnov, Population Stability Index, CUSUM)
-// that run locally so privacy is preserved, and a store-and-forward
-// telemetry channel that ships only anonymized aggregates — execution
-// time, energy, query counts and per-feature moments — to a central
-// monitor when the device is on WiFi.
-//
-// The paper's constraint is that the standard cloud recipe (send all
-// inputs to a central service, analyze there) invalidates the privacy
-// argument for edge deployment, so detection must happen on-device with
-// bounded memory and the uplink must carry statistics, not samples.
 package observe
 
 import (

@@ -1,15 +1,3 @@
-// Package registry implements the model-version management of §III-A: a
-// content-addressed store of model artifacts, a lineage DAG from base
-// models to their derived variants (quantized, pruned, watermarked), an
-// optimization pipeline that regenerates every variant automatically when
-// a base model is retrained, and attachment of portable pre/post-processing
-// modules (procvm) to model versions.
-//
-// The paper's observation is that edge deployment multiplies the number of
-// artifacts a registry must track — one cloud model becomes a matrix of
-// (bit width × sparsity × target) variants whose relationships must be
-// recorded so retraining can trigger regeneration. The lineage DAG and
-// Pipeline type are that record.
 package registry
 
 import (
@@ -86,6 +74,21 @@ type Registry struct {
 	children  map[string][]string      // parent ID -> child IDs
 	modules   map[string]*procvm.Module
 	pipelines map[string]Pipeline // model ID -> pipeline
+
+	// Weight-delta cache with single-flight computation: a rollout wave
+	// asks for the same (from, to) pair from every worker at once, and the
+	// encoding is O(params), so exactly one goroutine computes it while
+	// the rest wait. Results (including deterministic failures like a
+	// topology mismatch) are cached forever; artifacts are immutable.
+	deltaMu   sync.Mutex
+	deltas    map[string]deltaEntry // "from->to" -> result
+	deltaWait map[string]chan struct{}
+}
+
+// deltaEntry is one cached Delta result.
+type deltaEntry struct {
+	data []byte
+	err  error
 }
 
 // New returns an empty registry.
@@ -97,6 +100,8 @@ func New() *Registry {
 		children:  make(map[string][]string),
 		modules:   make(map[string]*procvm.Module),
 		pipelines: make(map[string]Pipeline),
+		deltas:    make(map[string]deltaEntry),
+		deltaWait: make(map[string]chan struct{}),
 	}
 }
 
@@ -220,6 +225,54 @@ func (r *Registry) Bytes(id string) ([]byte, error) {
 		return nil, fmt.Errorf("registry: unknown version %q", id)
 	}
 	return data, nil
+}
+
+// Delta returns the encoded weight delta that upgrades fromID's artifact
+// to toID's, computing and caching it on first use (single-flight: a
+// fleet-wide fan-out asking for the same pair computes it once). It fails
+// when the two versions do not share a topology — the caller falls back
+// to a full transfer. The returned slice must not be modified.
+func (r *Registry) Delta(fromID, toID string) ([]byte, error) {
+	key := fromID + "->" + toID
+	for {
+		r.deltaMu.Lock()
+		if e, ok := r.deltas[key]; ok {
+			r.deltaMu.Unlock()
+			return e.data, e.err
+		}
+		if ch, ok := r.deltaWait[key]; ok {
+			r.deltaMu.Unlock()
+			<-ch // another goroutine is computing this pair
+			continue
+		}
+		ch := make(chan struct{})
+		r.deltaWait[key] = ch
+		r.deltaMu.Unlock()
+
+		e := r.computeDelta(key, fromID, toID)
+		r.deltaMu.Lock()
+		r.deltas[key] = e
+		delete(r.deltaWait, key)
+		r.deltaMu.Unlock()
+		close(ch)
+		return e.data, e.err
+	}
+}
+
+func (r *Registry) computeDelta(key, fromID, toID string) deltaEntry {
+	from, err := r.Load(fromID)
+	if err != nil {
+		return deltaEntry{err: err}
+	}
+	to, err := r.Load(toID)
+	if err != nil {
+		return deltaEntry{err: err}
+	}
+	d, err := nn.EncodeDelta(from, to)
+	if err != nil {
+		return deltaEntry{err: fmt.Errorf("registry: delta %s: %w", key, err)}
+	}
+	return deltaEntry{data: d}
 }
 
 // Versions returns all versions of a model line in registration order.

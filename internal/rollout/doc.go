@@ -1,0 +1,17 @@
+// Package rollout implements the staged OTA update control plane of
+// §III-A: a controller that drives a fleet from one model version to the
+// next in configurable waves (canary → cohorts → full fleet), gates each
+// wave on post-update fleet health (drift alarms, latency and error
+// regressions against the pre-update baseline), and rolls a failing wave
+// back to the prior version while earlier, healthy waves keep the update.
+//
+// The paper's point is that "push a new model" becomes a fleet-scale
+// operational problem at the edge: devices are heterogeneous (each re-runs
+// variant selection on update), bandwidth is metered (same-topology
+// updates ship as sparse weight deltas), and misbehaving versions must be
+// caught and reverted from telemetry aggregates alone. The controller is
+// deliberately mechanism-free: it orchestrates any Target — internal/core
+// adapts a live Platform — and fans each wave out over internal/engine,
+// deriving all randomness from (seed, wave, index) so a rollout is
+// bit-reproducible at any worker count.
+package rollout

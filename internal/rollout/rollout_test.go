@@ -1,0 +1,370 @@
+package rollout
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"tinymlops/internal/engine"
+)
+
+// fakeTarget is a deterministic in-memory fleet: device i ships a fixed
+// number of bytes, reports configurable post-update health, and records
+// updates/rollbacks. All state transitions are keyed by device ID only, so
+// two fakeTargets driven by the same config end in identical states.
+type fakeTarget struct {
+	ids []string
+
+	mu       sync.Mutex
+	version  map[string]string // device -> version ("v1"/"v2")
+	baked    map[string]bool
+	rollback []string
+
+	// driftOn marks devices whose post-bake health raises a drift alarm.
+	driftOn map[string]bool
+	// failUpdate marks devices whose update errors out.
+	failUpdate map[string]bool
+	// failHealth marks devices whose post-bake health read errors out.
+	failHealth map[string]bool
+	// noop marks devices already running v2 (content-addressed no-op).
+	noop map[string]bool
+}
+
+func newFakeTarget(n int) *fakeTarget {
+	t := &fakeTarget{
+		version:    make(map[string]string),
+		baked:      make(map[string]bool),
+		driftOn:    make(map[string]bool),
+		failUpdate: make(map[string]bool),
+		failHealth: make(map[string]bool),
+		noop:       make(map[string]bool),
+	}
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("dev-%03d", i)
+		t.ids = append(t.ids, id)
+		t.version[id] = "v1"
+	}
+	return t
+}
+
+func (t *fakeTarget) DeviceIDs() []string { return append([]string(nil), t.ids...) }
+
+func (t *fakeTarget) Baseline(id string) (Health, error) {
+	return Health{Inferences: 100, MeanLatencyUS: 50}, nil
+}
+
+func (t *fakeTarget) Update(id string) (Transfer, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.failUpdate[id] {
+		return Transfer{}, fmt.Errorf("device %s offline", id)
+	}
+	if t.noop[id] {
+		return Transfer{FromID: "v2", ToID: "v2"}, nil
+	}
+	t.version[id] = "v2"
+	return Transfer{ShipBytes: 128, FlashBytes: 64, UsedDelta: true, FromID: "v1", ToID: "v2"}, nil
+}
+
+func (t *fakeTarget) Health(id string) (Health, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.failHealth[id] {
+		return Health{}, fmt.Errorf("device %s unreachable", id)
+	}
+	h := Health{Inferences: 100, MeanLatencyUS: 55}
+	if t.driftOn[id] && t.baked[id] {
+		h.DriftAlarm = true
+		h.DriftScore = 12
+	}
+	return h, nil
+}
+
+func (t *fakeTarget) Rollback(id string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.version[id] != "v2" {
+		return fmt.Errorf("device %s is not on v2", id)
+	}
+	t.version[id] = "v1"
+	t.rollback = append(t.rollback, id)
+	return nil
+}
+
+func (t *fakeTarget) bake(_ Wave, ids []string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, id := range ids {
+		t.baked[id] = true
+	}
+	return nil
+}
+
+// stripRollbackOrder removes the only legitimately schedule-dependent
+// record (the fake's rollback append order) before state comparison.
+func (t *fakeTarget) state() map[string]string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]string, len(t.version))
+	for k, v := range t.version {
+		out[k] = v
+	}
+	return out
+}
+
+func TestHappyPathCompletesAllWaves(t *testing.T) {
+	ft := newFakeTarget(20)
+	c := NewController(engine.New(engine.Config{Workers: 4}))
+	res, err := c.Run(ft, Config{Seed: 7, Bake: ft.bake})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || len(res.Waves) != 3 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.DeltaTransfers != 20 || res.FullTransfers != 0 {
+		t.Fatalf("transfers = %d delta / %d full", res.DeltaTransfers, res.FullTransfers)
+	}
+	if res.TotalShipBytes != 20*128 {
+		t.Fatalf("ship bytes = %d", res.TotalShipBytes)
+	}
+	for id, v := range ft.state() {
+		if v != "v2" {
+			t.Fatalf("device %s still on %s", id, v)
+		}
+	}
+	// Wave sizes follow the cumulative fractions: 2, 8, 10 of 20.
+	sizes := []int{len(res.Waves[0].DeviceIDs), len(res.Waves[1].DeviceIDs), len(res.Waves[2].DeviceIDs)}
+	if sizes[0] != 2 || sizes[1] != 8 || sizes[2] != 10 {
+		t.Fatalf("wave sizes = %v", sizes)
+	}
+}
+
+func TestGateFailureRollsBackOnlyFailingWave(t *testing.T) {
+	ft := newFakeTarget(20)
+	c := NewController(engine.New(engine.Config{Workers: 4}))
+	// Find who lands in wave 2 under this seed, then inject drift there.
+	groups, err := assignWaves(ft.ids, DefaultWaves(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range groups[1] {
+		ft.driftOn[id] = true
+	}
+	res, err := c.Run(ft, Config{Seed: 7, Bake: ft.bake})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed || len(res.Waves) != 2 {
+		t.Fatalf("result = %+v", res)
+	}
+	if !res.Waves[0].Gate.Pass || res.Waves[1].Gate.Pass || !res.Waves[1].RolledBack {
+		t.Fatalf("gates = %+v / %+v", res.Waves[0].Gate, res.Waves[1].Gate)
+	}
+	if res.Waves[1].Gate.DriftAlarms != len(groups[1]) {
+		t.Fatalf("drift alarms = %d of %d", res.Waves[1].Gate.DriftAlarms, len(groups[1]))
+	}
+	state := ft.state()
+	for _, id := range groups[0] {
+		if state[id] != "v2" {
+			t.Fatalf("canary %s lost the update", id)
+		}
+	}
+	for _, id := range groups[1] {
+		if state[id] != "v1" {
+			t.Fatalf("cohort %s not rolled back", id)
+		}
+	}
+	for _, id := range groups[2] {
+		if state[id] != "v1" {
+			t.Fatalf("unreached device %s was updated", id)
+		}
+	}
+}
+
+func TestUpdateFailuresGateAndSkipRollback(t *testing.T) {
+	ft := newFakeTarget(10)
+	for _, id := range ft.ids {
+		ft.failUpdate[id] = true
+	}
+	c := NewController(engine.New(engine.Config{Workers: 2}))
+	res, err := c.Run(ft, Config{Seed: 1, Waves: []Wave{{Name: "all", Fraction: 1}}, Bake: ft.bake})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := res.Waves[0]
+	if w.Gate.Pass || w.Gate.UpdateFailures != 10 {
+		t.Fatalf("gate = %+v", w.Gate)
+	}
+	for _, o := range w.Outcomes {
+		if o.UpdateErr == "" || o.RolledBack {
+			t.Fatalf("outcome = %+v", o)
+		}
+	}
+}
+
+// TestNoopUpdatesSkipAccountingAndRollback covers devices already on the
+// target version: they ship nothing, count as neither delta nor full
+// transfer, and a failing gate must not "roll them back" to an image the
+// rollout never replaced.
+func TestNoopUpdatesSkipAccountingAndRollback(t *testing.T) {
+	ft := newFakeTarget(10)
+	for _, id := range ft.ids[:4] {
+		ft.noop[id] = true
+		ft.version[id] = "v2" // already upgraded by an earlier rollout
+	}
+	for _, id := range ft.ids {
+		ft.driftOn[id] = true // the single wave will fail its gate
+	}
+	c := NewController(engine.New(engine.Config{Workers: 4}))
+	res, err := c.Run(ft, Config{Seed: 3, Waves: []Wave{{Name: "all", Fraction: 1}}, Bake: ft.bake})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeltaTransfers != 6 || res.FullTransfers != 0 || res.TotalShipBytes != 6*128 {
+		t.Fatalf("accounting = %d delta / %d full / %d B", res.DeltaTransfers, res.FullTransfers, res.TotalShipBytes)
+	}
+	w := res.Waves[0]
+	if !w.RolledBack {
+		t.Fatal("failing wave not rolled back")
+	}
+	for _, o := range w.Outcomes {
+		if ft.noop[o.DeviceID] {
+			if o.RolledBack || o.RollbackErr != "" {
+				t.Fatalf("no-op device %s touched by rollback: %+v", o.DeviceID, o)
+			}
+		} else if !o.RolledBack {
+			t.Fatalf("updated device %s not rolled back", o.DeviceID)
+		}
+	}
+	state := ft.state()
+	for _, id := range ft.ids[:4] {
+		if state[id] != "v2" {
+			t.Fatalf("no-op device %s reverted to %s", id, state[id])
+		}
+	}
+}
+
+// TestUnreadableHealthFailsGate: a device whose post-bake health cannot
+// be read must count against the gate, not pass as a zero-error idle one.
+func TestUnreadableHealthFailsGate(t *testing.T) {
+	ft := newFakeTarget(10)
+	ft.failHealth[ft.ids[3]] = true
+	c := NewController(engine.New(engine.Config{Workers: 4}))
+	res, err := c.Run(ft, Config{Seed: 2, Waves: []Wave{{Name: "all", Fraction: 1}}, Bake: ft.bake})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := res.Waves[0]
+	if w.Gate.Pass || w.Gate.HealthFailures != 1 || !w.RolledBack {
+		t.Fatalf("gate = %+v rolledBack=%v", w.Gate, w.RolledBack)
+	}
+	found := false
+	for _, o := range w.Outcomes {
+		if o.DeviceID == ft.ids[3] {
+			found = o.HealthErr != "" && o.RolledBack
+		}
+	}
+	if !found {
+		t.Fatal("unreadable device's outcome not recorded/rolled back")
+	}
+	// With tolerance, the same wave passes.
+	ft2 := newFakeTarget(10)
+	ft2.failHealth[ft2.ids[3]] = true
+	res2, err := c.Run(ft2, Config{
+		Seed: 2, Waves: []Wave{{Name: "all", Fraction: 1}},
+		Gate: Gate{MaxUpdateFailures: 1}, Bake: ft2.bake,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Completed {
+		t.Fatalf("tolerated health failure still failed: %+v", res2.Waves[0].Gate)
+	}
+}
+
+// TestBakeFailureRollsBackWave: a bake error means the wave was never
+// judged on real traffic, so its devices revert before Run surfaces the
+// error — with the partial Result still returned for the record.
+func TestBakeFailureRollsBackWave(t *testing.T) {
+	ft := newFakeTarget(12)
+	c := NewController(engine.New(engine.Config{Workers: 4}))
+	res, err := c.Run(ft, Config{Seed: 9, Bake: func(w Wave, ids []string) error {
+		if w.Name == "cohort" {
+			return fmt.Errorf("traffic generator crashed")
+		}
+		return ft.bake(w, ids)
+	}})
+	if err == nil {
+		t.Fatal("bake failure not surfaced")
+	}
+	if res == nil || len(res.Waves) != 2 {
+		t.Fatalf("partial result = %+v", res)
+	}
+	w := res.Waves[1]
+	if w.Gate.Pass || !w.RolledBack || !strings.Contains(strings.Join(w.Gate.Reasons, ";"), "bake failed") {
+		t.Fatalf("bake-failed wave = %+v", w)
+	}
+	state := ft.state()
+	for _, id := range w.DeviceIDs {
+		if state[id] != "v1" {
+			t.Fatalf("device %s kept the unbaked version", id)
+		}
+	}
+	for _, id := range res.Waves[0].DeviceIDs {
+		if state[id] != "v2" {
+			t.Fatalf("canary %s lost its gated update", id)
+		}
+	}
+}
+
+func TestWaveValidation(t *testing.T) {
+	ft := newFakeTarget(4)
+	c := NewController(nil)
+	if _, err := c.Run(ft, Config{Waves: []Wave{{Name: "a", Fraction: 0.5}, {Name: "b", Fraction: 0.5}}}); err == nil {
+		t.Fatal("non-increasing fractions accepted")
+	}
+	if _, err := c.Run(ft, Config{Waves: []Wave{{Name: "a", Fraction: 1.5}}}); err == nil {
+		t.Fatal("fraction > 1 accepted")
+	}
+	if _, err := c.Run(newFakeTarget(0), Config{}); err == nil {
+		t.Fatal("empty fleet accepted")
+	}
+}
+
+// TestRolloutDeterministicAcrossWorkerCounts runs the same rollout — with
+// a gate failure in the middle wave — at 1, 4 and 16 workers and demands
+// bit-identical Results and end states.
+func TestRolloutDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) (*Result, map[string]string) {
+		ft := newFakeTarget(50)
+		groups, err := assignWaves(ft.ids, DefaultWaves(), 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range groups[1] {
+			ft.driftOn[id] = true
+		}
+		// A couple of deterministic update failures in the canary, below
+		// the tolerance so the rollout still reaches the failing wave.
+		ft.failUpdate[groups[0][0]] = true
+		c := NewController(engine.New(engine.Config{Workers: workers}))
+		res, err := c.Run(ft, Config{Seed: 42, Gate: Gate{MaxUpdateFailures: 2}, Bake: ft.bake})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, ft.state()
+	}
+	res1, state1 := run(1)
+	for _, workers := range []int{4, 16} {
+		resN, stateN := run(workers)
+		if !reflect.DeepEqual(res1, resN) {
+			t.Fatalf("result diverged at %d workers:\n1:  %+v\n%d: %+v", workers, res1, workers, resN)
+		}
+		if !reflect.DeepEqual(state1, stateN) {
+			t.Fatalf("fleet state diverged at %d workers", workers)
+		}
+	}
+}

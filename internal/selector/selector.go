@@ -1,11 +1,3 @@
-// Package selector implements the per-device model-variant selection of
-// §III-A: given the variants the registry derived from a base model and a
-// device's current context (hardware capabilities, battery, charger,
-// network), pick the variant that maximizes a multi-objective utility of
-// accuracy, inference latency, download cost and energy — exactly the
-// trade-off the paper describes ("a smaller model to a device with limited
-// resources, a large model to a powerful device, a faster download on a
-// slow connection, a frugal model on a low battery").
 package selector
 
 import (

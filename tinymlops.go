@@ -26,7 +26,9 @@ import (
 	"tinymlops/internal/dataset"
 	"tinymlops/internal/device"
 	"tinymlops/internal/engine"
+	"tinymlops/internal/nn"
 	"tinymlops/internal/registry"
+	"tinymlops/internal/rollout"
 	"tinymlops/internal/selector"
 	"tinymlops/internal/tensor"
 )
@@ -55,6 +57,69 @@ var ErrQueryDenied = core.ErrQueryDenied
 
 // BatchOutcome is one query's outcome within Deployment.InferBatch.
 type BatchOutcome = core.BatchOutcome
+
+// Staged OTA rollout types (§III-A: updatable deployments).
+
+// UpdateOptions controls one Deployment.Update (monitor recalibration,
+// full-vs-delta transfer).
+type UpdateOptions = core.UpdateOptions
+
+// UpdateReport accounts one update or rollback: versions moved, bytes
+// shipped and flashed, delta sparsity.
+type UpdateReport = core.UpdateReport
+
+// RolloutConfig controls Platform.Rollout (waves, gate, seed, bake,
+// monitor recalibration).
+type RolloutConfig = core.RolloutConfig
+
+// RolloutWave is one stage of a staged rollout: a name and the cumulative
+// fleet fraction updated once the wave completes.
+type RolloutWave = rollout.Wave
+
+// RolloutGate sets the health thresholds a wave must clear (drift alarms,
+// error rate, latency regression, update failures).
+type RolloutGate = rollout.Gate
+
+// RolloutResult is the whole rollout's record: per-wave outcomes, gate
+// decisions, rollbacks and transfer accounting.
+type RolloutResult = rollout.Result
+
+// WaveResult is one wave's record within a RolloutResult.
+type WaveResult = rollout.WaveResult
+
+// GateDecision is the health gate's verdict over one wave.
+type GateDecision = rollout.GateDecision
+
+// DeviceHealth is a deployment's telemetry summary over its live window —
+// what rollout gates compare before and after an update.
+type DeviceHealth = rollout.Health
+
+// DefaultRolloutWaves returns the canary → cohort → fleet progression.
+func DefaultRolloutWaves() []RolloutWave { return rollout.DefaultWaves() }
+
+// Weight-delta codec (sparse same-topology OTA patches).
+
+// ModelDeltaCost is the modeled transfer/flash footprint of a delta at a
+// given weight precision.
+type ModelDeltaCost = nn.DeltaCost
+
+// EncodeModelDelta computes the sparse weight delta that upgrades oldNet
+// to newNet (same topology required); applying it reproduces newNet
+// bit-exactly.
+func EncodeModelDelta(oldNet, newNet *Network) ([]byte, error) {
+	return nn.EncodeDelta(oldNet, newNet)
+}
+
+// ApplyModelDelta returns a new network equal to oldNet patched by delta.
+func ApplyModelDelta(oldNet *Network, delta []byte) (*Network, error) {
+	return nn.ApplyDelta(oldNet, delta)
+}
+
+// CostOfModelDelta parses an encoded delta and returns its modeled cost at
+// the given weight bit width (≤ 0 means 32).
+func CostOfModelDelta(delta []byte, bits int) (ModelDeltaCost, error) {
+	return nn.CostOfDelta(delta, bits)
+}
 
 // Execution engine types.
 
