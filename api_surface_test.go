@@ -277,3 +277,69 @@ func TestProtectionWrappers(t *testing.T) {
 		t.Fatalf("personalize: %v", err)
 	}
 }
+
+// TestChaosSurface pins the fault-injection and audit facade: the fault
+// plane, the retry policy, the invariant auditor and the canned chaos
+// scenario, all reached through re-exports only.
+func TestChaosSurface(t *testing.T) {
+	// Deterministic fault profiles from the facade.
+	plane := tinymlops.NewFaultPlane(tinymlops.ChaosConfig{
+		Seed: 5, PDrop: 0.5, PCrash: 0.5, PDropout: 0.5, PStraggler: 0.5,
+	})
+	var prof tinymlops.FaultProfile = plane.Profile(1, "phone-00")
+	if prof != plane.Profile(1, "phone-00") {
+		t.Fatal("fault profile not deterministic")
+	}
+	var cf tinymlops.ClientFault = plane.FedFaults()(1, "client-0")
+	_ = cf
+
+	// Retry policy with deterministic backoff.
+	pol := tinymlops.RetryPolicy{Attempts: 3, BaseBackoff: 0}
+	calls := 0
+	rr, err := tinymlops.Retry(pol, tinymlops.TransientUpdateError, func(int) error {
+		calls++
+		if calls < 2 {
+			return tinymlops.ErrDeviceOffline
+		}
+		return nil
+	})
+	if err != nil || rr.Attempts != 2 {
+		t.Fatalf("retry = %+v, %v", rr, err)
+	}
+	if tinymlops.TransientUpdateError(tinymlops.ErrInstallInterrupted) != true {
+		t.Fatal("interrupted install must be transient")
+	}
+	if a, b := tinymlops.SeedForID(1, 2, "x"), tinymlops.SeedForID(1, 2, "y"); a == b {
+		t.Fatal("SeedForID collision")
+	}
+
+	// The full chaos scenario plus the auditor, end to end but tiny.
+	res, err := tinymlops.RunChaosScenario(tinymlops.ChaosScenarioConfig{
+		Devices: 12, Workers: 2, Seed: 31,
+		Chaos: tinymlops.ChaosConfig{Seed: 32, PDrop: 0.2, PCrash: 0.3, PChurn: 0.1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep *tinymlops.AuditReport = res.Audit
+	if !rep.OK() || res.Converged != res.FleetSize {
+		t.Fatalf("scenario: converged %d/%d, audit %v", res.Converged, res.FleetSize, rep.Violations)
+	}
+	if res.Fingerprint == "" {
+		t.Fatal("no fingerprint")
+	}
+	// The auditor is callable directly against any platform too.
+	fleet, err := tinymlops.NewStandardFleet(tinymlops.FleetSpec{CountPerProfile: 1, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := tinymlops.NewPlatform(fleet, tinymlops.PlatformConfig{
+		VendorKey: []byte("surface-test-key-0123456789abcde"), Seed: 33,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := tinymlops.AuditPlatform(p, tinymlops.AuditConfig{Deep: true}); !rep.OK() {
+		t.Fatalf("empty platform fails audit: %v", rep.Violations)
+	}
+}

@@ -11,6 +11,7 @@
 //	tinymlops import   -graph model.json -out model.tmln
 //	tinymlops simulate -devices 2 -queries 150 -quota 100 -workers 8
 //	tinymlops rollout  -devices 2 -drift
+//	tinymlops chaos    -devices 600 -churn 0.05 -crash 0.2
 package main
 
 import (
@@ -40,6 +41,8 @@ func main() {
 		err = cmdSimulate(os.Args[2:])
 	case "rollout":
 		err = cmdRollout(os.Args[2:])
+	case "chaos":
+		err = cmdChaos(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -65,6 +68,9 @@ subcommands:
   simulate   run a fleet deployment + metered inference simulation
   rollout    run a staged OTA update (canary -> cohort -> fleet) with
              health gates, delta transfers and rollback on failure
+  chaos      run a staged rollout under deterministic fault injection
+             (churn, flaky networks, mid-flash crashes) and audit every
+             fleet invariant
 
 run 'tinymlops <subcommand> -h' for flags`)
 }

@@ -318,3 +318,27 @@ func (d *Deployment) Model() *nn.Network { return d.model }
 
 // Device returns the underlying simulated device.
 func (d *Deployment) Device() *device.Device { return d.device }
+
+// Watermarked reports whether a per-customer watermark was embedded into
+// the deployed copy — such copies intentionally differ from the registry
+// artifact, so a bit-exactness audit must skip them.
+func (d *Deployment) Watermarked() bool { return d.watermark != "" }
+
+// StateSnapshot returns the live version, model and watermark flag under
+// the deployment lock — the auditor's consistent read. The returned model
+// must not be mutated; updates swap the pointer rather than editing in
+// place, so the snapshot stays coherent even if an update lands after.
+func (d *Deployment) StateSnapshot() (*registry.ModelVersion, *nn.Network, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.Version, d.model, d.watermark != ""
+}
+
+// CurrentWindow returns the index of the open telemetry window. Every
+// record this deployment has ever emitted carries a strictly smaller
+// index — the monotonicity invariant the fleet auditor checks.
+func (d *Deployment) CurrentWindow() uint32 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.window
+}

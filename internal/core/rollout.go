@@ -1,9 +1,12 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"tinymlops/internal/dataset"
+	"tinymlops/internal/device"
+	"tinymlops/internal/engine"
 	"tinymlops/internal/fed"
 	"tinymlops/internal/registry"
 	"tinymlops/internal/rollout"
@@ -22,11 +25,30 @@ type RolloutConfig struct {
 	// their update and the health gate; nil gates on whatever traffic the
 	// application generates on its own.
 	Bake func(wave rollout.Wave, deviceIDs []string) error
+	// BeforeWave runs serially before each wave's update fan-out — the
+	// fault plane's hook for imposing per-wave weather.
+	BeforeWave func(wave rollout.Wave, deviceIDs []string)
 	// Calibration recalibrates updated devices' drift monitors for the new
 	// version; nil keeps each device's existing monitor (reset).
 	Calibration *dataset.Dataset
 	// ForceFull disables delta transfer for every update in the rollout.
 	ForceFull bool
+	// Retry bounds per-device update attempts within a wave (zero value =
+	// one attempt) on a deterministic backoff schedule.
+	Retry engine.RetryPolicy
+	// Retryable classifies update errors worth another attempt. nil uses
+	// TransientUpdateError: dropped links and interrupted installs retry
+	// (the latter resuming the half-written slot); everything else —
+	// battery death, selection failures, topology problems — fails fast.
+	Retryable func(error) bool
+}
+
+// TransientUpdateError reports whether an update failure is transient: the
+// device was offline, or the install crashed mid-flash and left a
+// resumable staging slot. These are the faults a bounded retry can heal
+// within a wave; a depleted battery or a permanent selection error cannot.
+func TransientUpdateError(err error) bool {
+	return errors.Is(err, device.ErrOffline) || errors.Is(err, device.ErrInstallInterrupted)
 }
 
 // Rollout drives every deployment of the target version's model line
@@ -39,11 +61,18 @@ func (p *Platform) Rollout(target *registry.ModelVersion, cfg RolloutConfig) (*r
 		return nil, fmt.Errorf("core: nil rollout target")
 	}
 	ctl := rollout.NewController(p.eng)
+	retryable := cfg.Retryable
+	if retryable == nil {
+		retryable = TransientUpdateError
+	}
 	return ctl.Run(&rolloutTarget{p: p, target: target, cfg: cfg}, rollout.Config{
-		Waves: cfg.Waves,
-		Gate:  cfg.Gate,
-		Seed:  cfg.Seed,
-		Bake:  cfg.Bake,
+		Waves:      cfg.Waves,
+		Gate:       cfg.Gate,
+		Seed:       cfg.Seed,
+		Bake:       cfg.Bake,
+		BeforeWave: cfg.BeforeWave,
+		Retry:      cfg.Retry,
+		Retryable:  retryable,
 	})
 }
 

@@ -167,7 +167,12 @@ func (d *Deployment) tryDeltaLocked(chosen *registry.ModelVersion, rep *UpdateRe
 	if err != nil {
 		return nil, err
 	}
-	dur, err := d.device.Install(int64(cost.ShipBytes), int64(cost.FlashBytes))
+	// The token names the exact patch (source and target bytes): a crash
+	// mid-flash leaves a recoverable staging slot, and a retried update
+	// that selects the same transition resumes it instead of starting
+	// over. A different transition discards the stale slot.
+	token := "delta:" + d.Version.ID + ">" + chosen.ID
+	dur, err := d.device.InstallResumable(token, int64(cost.ShipBytes), int64(cost.FlashBytes))
 	if err != nil {
 		return nil, fmt.Errorf("core: ship delta to %s: %w", d.DeviceID, err)
 	}
@@ -246,7 +251,10 @@ func (p *Platform) shipFull(dev *device.Device, v *registry.ModelVersion) (*nn.N
 	if err != nil {
 		return nil, 0, err
 	}
-	dur, err := dev.Install(int64(v.Metrics.SizeBytes), int64(v.Metrics.SizeBytes))
+	// Content-addressed install token: an install of the same image that
+	// crashed mid-flash resumes from its half-written slot on retry,
+	// whether the caller was Deploy or Update.
+	dur, err := dev.InstallResumable("full:"+v.ID, int64(v.Metrics.SizeBytes), int64(v.Metrics.SizeBytes))
 	if err != nil {
 		return nil, 0, fmt.Errorf("core: ship to %s: %w", dev.ID, err)
 	}

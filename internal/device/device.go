@@ -57,6 +57,20 @@ type Counters struct {
 	DeniedQueries int64
 }
 
+// staging is the inactive-slot (B-slot) image write in progress: an OTA
+// install streams radio bytes into flash, and a mid-flash crash leaves the
+// slot half-written. The active slot is untouched, so the device keeps
+// running its old image; a retry of the same image resumes from flashDone
+// instead of starting over. Flash is persistent — staged bytes survive the
+// crash — which is exactly what makes the recovery cheap.
+type staging struct {
+	token         string // identifies the image being written
+	downloadDone  int64
+	flashDone     int64
+	downloadTotal int64
+	flashTotal    int64
+}
+
 // Device is one simulated edge node: static capabilities plus mutable
 // runtime state (battery, charger, connectivity) and usage counters.
 // All methods are safe for concurrent use; the fleet simulator drives many
@@ -75,6 +89,12 @@ type Device struct {
 	pCharge  float64 // probability of being on a charger
 	pWiFi    float64 // probability of WiFi when connected
 	pOffline float64 // probability of having no connectivity
+
+	// staging is the half-written inactive slot, nil when no install is
+	// in flight. interrupt, when set, is consulted once per install
+	// attempt and may crash it partway (see SetInstallInterrupter).
+	staging   *staging
+	interrupt func(token string, remainingFlash int64) float64
 
 	rng *tensor.RNG
 }
@@ -98,6 +118,58 @@ func (d *Device) SetBehavior(pCharge, pWiFi, pOffline float64) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.pCharge, d.pWiFi, d.pOffline = pCharge, pWiFi, pOffline
+}
+
+// SetNet overrides the connectivity state deterministically — the fault
+// plane owns the weather during a chaos run, where Tick's probabilistic
+// flips would break worker-count reproducibility. Wall-powered devices
+// still report WiFi from Net regardless.
+func (d *Device) SetNet(n NetState) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.net = n
+}
+
+// SetBatteryLevel sets the battery to the given fraction of capacity,
+// clamped to [0,1]. Fraction 0 models sudden battery death; restoring to 1
+// models a swap or a full recharge between rounds. No-op on wall power.
+func (d *Device) SetBatteryLevel(frac float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.Caps.WallPowered() {
+		return
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	d.battery = frac * d.Caps.BatteryJoule
+}
+
+// SetInstallInterrupter registers fn, consulted once per install attempt
+// with the install token and the flash bytes remaining in that attempt. A
+// return in (0,1) crashes the attempt after that fraction of the remaining
+// work (a power loss mid-flash); anything else lets it complete. nil
+// removes the hook. The fault plane supplies deterministic decisions here.
+func (d *Device) SetInstallInterrupter(fn func(token string, remainingFlash int64) float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.interrupt = fn
+}
+
+// Staging reports the half-written inactive slot left by an interrupted
+// install: the image token, the bytes already programmed, and the image
+// size. ok is false when no install is in flight — the converged state the
+// fleet auditor demands of every device.
+func (d *Device) Staging() (token string, flashed, total int64, ok bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.staging == nil {
+		return "", 0, 0, false
+	}
+	return d.staging.token, d.staging.flashDone, d.staging.flashTotal, true
 }
 
 // BatteryLevel returns the battery fraction in [0,1]; wall-powered devices
@@ -180,6 +252,16 @@ var ErrOutOfMemory = fmt.Errorf("device: working set exceeds RAM")
 // the battery holds.
 var ErrBatteryDepleted = fmt.Errorf("device: battery depleted")
 
+// ErrOffline is returned by transfer operations when the device has no
+// connectivity. A transient condition — retry policies treat it as such.
+var ErrOffline = fmt.Errorf("device: offline")
+
+// ErrInstallInterrupted is returned when an install crashes mid-flash
+// (power loss, watchdog reset). The inactive slot is left half-written and
+// recoverable: retrying the same image token resumes from where the flash
+// stopped, see InstallResumable.
+var ErrInstallInterrupted = fmt.Errorf("device: install interrupted mid-flash")
+
 // CheckFit verifies that a model of modelBytes storage and ramBytes
 // working set fits the device.
 func (d *Device) CheckFit(modelBytes, ramBytes int64) error {
@@ -230,7 +312,7 @@ func (d *Device) linkBandwidthLocked() (float64, error) {
 	}
 	bw := st.Bandwidth()
 	if bw == 0 {
-		return 0, fmt.Errorf("device: %s is offline", d.ID)
+		return 0, fmt.Errorf("%w: %s", ErrOffline, d.ID)
 	}
 	return bw, nil
 }
@@ -263,26 +345,82 @@ const (
 // time, charges the flash-write energy to the battery, and updates the
 // RxBytes/FlashedBytes counters. Like Download, it does not model receive
 // radio energy (the cost model charges the transmit side only, see
-// EnergyPerTxByteJoule). Offline devices return an error.
+// EnergyPerTxByteJoule). Offline devices return an error. Equivalent to
+// InstallResumable with an empty token: an interrupted attempt leaves no
+// recoverable staging state.
 func (d *Device) Install(downloadBytes, flashBytes int64) (time.Duration, error) {
+	return d.InstallResumable("", downloadBytes, flashBytes)
+}
+
+// InstallResumable is Install with crash recovery: the transfer streams
+// radio bytes straight into the inactive flash slot, so progress is a
+// single fraction of (download, flash) and staged bytes survive a
+// mid-flash crash. When a prior attempt at the same token (same image,
+// same sizes) was interrupted, only the remaining bytes are downloaded and
+// programmed — the retry provably does not start over. A different token
+// discards the stale half-written slot first. On an injected interruption
+// (see SetInstallInterrupter) the call charges exactly the portion done,
+// records the staging state under a non-empty token, and returns an error
+// wrapping ErrInstallInterrupted.
+func (d *Device) InstallResumable(token string, downloadBytes, flashBytes int64) (time.Duration, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	bw, err := d.linkBandwidthLocked()
 	if err != nil {
 		return 0, err
 	}
-	flashEnergy := float64(flashBytes) * flashWriteEnergyPerByteJ
-	if !d.Caps.WallPowered() {
-		if d.battery < flashEnergy {
-			return 0, fmt.Errorf("%w on %s", ErrBatteryDepleted, d.ID)
+	var doneDl, doneFl int64
+	if token != "" && d.staging != nil && d.staging.token == token &&
+		d.staging.downloadTotal == downloadBytes && d.staging.flashTotal == flashBytes {
+		doneDl, doneFl = d.staging.downloadDone, d.staging.flashDone
+	} else {
+		// Any install that is not resuming the recorded image writes over
+		// the inactive slot, so the staged progress — tokened or not — is
+		// no longer trustworthy and must be discarded.
+		d.staging = nil
+	}
+	remDl, remFl := downloadBytes-doneDl, flashBytes-doneFl
+
+	// A battery that cannot pay for the remaining flash fails before any
+	// byte moves — and before the crash injector is consulted, so fault
+	// accounting never counts a "mid-flash crash" on an attempt that
+	// actually died of battery death with nothing written.
+	if !d.Caps.WallPowered() && d.battery < float64(remFl)*flashWriteEnergyPerByteJ {
+		return 0, fmt.Errorf("%w on %s", ErrBatteryDepleted, d.ID)
+	}
+
+	frac, crashed := 1.0, false
+	if d.interrupt != nil {
+		if f := d.interrupt(token, remFl); f > 0 && f < 1 {
+			frac, crashed = f, true
 		}
+	}
+	dlNow := int64(float64(remDl) * frac)
+	flNow := int64(float64(remFl) * frac)
+
+	flashEnergy := float64(flNow) * flashWriteEnergyPerByteJ
+	if !d.Caps.WallPowered() {
 		d.battery -= flashEnergy
 	}
-	d.counters.RxBytes += downloadBytes
-	d.counters.FlashedBytes += flashBytes
+	d.counters.RxBytes += dlNow
+	d.counters.FlashedBytes += flNow
 	d.counters.EnergyJoule += flashEnergy
-	dl := time.Duration(float64(downloadBytes) / bw * float64(time.Second))
-	fl := time.Duration(float64(flashBytes) / flashWriteBytesPerSec * float64(time.Second))
+	dl := time.Duration(float64(dlNow) / bw * float64(time.Second))
+	fl := time.Duration(float64(flNow) / flashWriteBytesPerSec * float64(time.Second))
+	if crashed {
+		if token != "" {
+			d.staging = &staging{
+				token:         token,
+				downloadDone:  doneDl + dlNow,
+				flashDone:     doneFl + flNow,
+				downloadTotal: downloadBytes,
+				flashTotal:    flashBytes,
+			}
+		}
+		return dl + fl, fmt.Errorf("%w: %s %q at %d/%d bytes",
+			ErrInstallInterrupted, d.ID, token, doneFl+flNow, flashBytes)
+	}
+	d.staging = nil // the staged image is complete and becomes installable
 	return dl + fl, nil
 }
 

@@ -367,3 +367,147 @@ func TestFleetShardedConcurrentAccess(t *testing.T) {
 		t.Fatalf("Devices() returned %d entries", len(f.Devices()))
 	}
 }
+
+func TestSetNetAndBatteryOverrides(t *testing.T) {
+	caps, _ := ProfileByName("phone")
+	d := NewDevice("p1", caps, tensor.NewRNG(7))
+	d.SetNet(WiFi)
+	if d.Net() != WiFi {
+		t.Fatalf("net after SetNet(WiFi) = %v", d.Net())
+	}
+	d.SetNet(Offline)
+	if _, err := d.Download(10); !errors.Is(err, ErrOffline) {
+		t.Fatalf("want ErrOffline, got %v", err)
+	}
+	d.SetBatteryLevel(0)
+	if d.BatteryLevel() != 0 {
+		t.Fatalf("battery after death = %v", d.BatteryLevel())
+	}
+	d.SetBatteryLevel(2) // clamped
+	if d.BatteryLevel() != 1 {
+		t.Fatalf("battery after clamp = %v", d.BatteryLevel())
+	}
+	// Wall-powered devices ignore battery overrides.
+	gw := NewDevice("gw1", mustProfile(t, "edge-gateway"), tensor.NewRNG(8))
+	gw.SetBatteryLevel(0)
+	if gw.BatteryLevel() != 1 {
+		t.Fatal("wall-powered battery must stay full")
+	}
+}
+
+func mustProfile(t *testing.T, name string) Capabilities {
+	t.Helper()
+	p, err := ProfileByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestInstallInterruptedResumesNotRestarts is the device-level recovery
+// contract: a mid-flash crash leaves a half-written staging slot, and the
+// retry programs only the remainder — total flashed bytes across attempts
+// equal exactly the image size, never more.
+func TestInstallInterruptedResumesNotRestarts(t *testing.T) {
+	d := NewDevice("gw2", mustProfile(t, "edge-gateway"), tensor.NewRNG(9))
+	size := int64(1 << 20)
+
+	// First attempt crashes at 40% of the flash.
+	d.SetInstallInterrupter(func(token string, rem int64) float64 { return 0.4 })
+	_, err := d.InstallResumable("img-v2", size, size)
+	if !errors.Is(err, ErrInstallInterrupted) {
+		t.Fatalf("want ErrInstallInterrupted, got %v", err)
+	}
+	token, flashed, total, ok := d.Staging()
+	if !ok || token != "img-v2" || total != size {
+		t.Fatalf("staging = %q %d/%d ok=%v", token, flashed, total, ok)
+	}
+	want40 := int64(0.4 * float64(size))
+	if flashed != want40 {
+		t.Fatalf("flashed %d, want %d", flashed, want40)
+	}
+
+	// Second attempt completes; it must flash only the remainder.
+	d.SetInstallInterrupter(nil)
+	if _, err := d.InstallResumable("img-v2", size, size); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, ok := d.Staging(); ok {
+		t.Fatal("staging must clear on completion")
+	}
+	c := d.Snapshot()
+	if c.FlashedBytes != size {
+		t.Fatalf("total flashed %d across attempts, want exactly %d (resume, not restart)", c.FlashedBytes, size)
+	}
+	if c.RxBytes != size {
+		t.Fatalf("total downloaded %d, want exactly %d (streamed install resumes the transfer too)", c.RxBytes, size)
+	}
+}
+
+func TestInstallDifferentTokenDiscardsStaleStaging(t *testing.T) {
+	d := NewDevice("gw3", mustProfile(t, "edge-gateway"), tensor.NewRNG(10))
+	d.SetInstallInterrupter(func(string, int64) float64 { return 0.5 })
+	if _, err := d.InstallResumable("img-a", 1000, 1000); !errors.Is(err, ErrInstallInterrupted) {
+		t.Fatalf("want interruption, got %v", err)
+	}
+	d.SetInstallInterrupter(nil)
+	// A new target image must not inherit img-a's progress.
+	if _, err := d.InstallResumable("img-b", 2000, 2000); err != nil {
+		t.Fatal(err)
+	}
+	c := d.Snapshot()
+	if c.FlashedBytes != 500+2000 {
+		t.Fatalf("flashed %d, want %d (full img-b after discarding img-a)", c.FlashedBytes, 2500)
+	}
+	if _, _, _, ok := d.Staging(); ok {
+		t.Fatal("no staging should remain")
+	}
+}
+
+func TestInstallLegacyPathUnchanged(t *testing.T) {
+	d := NewDevice("gw4", mustProfile(t, "edge-gateway"), tensor.NewRNG(11))
+	dur, err := d.Install(4096, 4096)
+	if err != nil || dur <= 0 {
+		t.Fatalf("Install = %v, %v", dur, err)
+	}
+	c := d.Snapshot()
+	if c.RxBytes != 4096 || c.FlashedBytes != 4096 {
+		t.Fatalf("counters rx=%d flashed=%d", c.RxBytes, c.FlashedBytes)
+	}
+	// An interrupted tokenless install leaves no recoverable state.
+	d.SetInstallInterrupter(func(string, int64) float64 { return 0.25 })
+	if _, err := d.Install(1000, 1000); !errors.Is(err, ErrInstallInterrupted) {
+		t.Fatalf("want interruption, got %v", err)
+	}
+	if _, _, _, ok := d.Staging(); ok {
+		t.Fatal("tokenless install must not stage")
+	}
+}
+
+// TestTokenlessInstallInvalidatesStaging: any write to the inactive slot
+// that is not resuming the recorded image — including a legacy tokenless
+// install — must discard the staged progress, or a later "resume" would
+// complete a slot whose contents were clobbered in between.
+func TestTokenlessInstallInvalidatesStaging(t *testing.T) {
+	d := NewDevice("gw5", mustProfile(t, "edge-gateway"), tensor.NewRNG(12))
+	d.SetInstallInterrupter(func(string, int64) float64 { return 0.5 })
+	if _, err := d.InstallResumable("img-x", 1000, 1000); !errors.Is(err, ErrInstallInterrupted) {
+		t.Fatalf("want interruption, got %v", err)
+	}
+	d.SetInstallInterrupter(nil)
+	// A tokenless install writes over the slot.
+	if _, err := d.Install(100, 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, ok := d.Staging(); ok {
+		t.Fatal("staging survived an intervening tokenless install")
+	}
+	// The old image cannot resume: it restarts from byte zero.
+	before := d.Snapshot().FlashedBytes
+	if _, err := d.InstallResumable("img-x", 1000, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Snapshot().FlashedBytes - before; got != 1000 {
+		t.Fatalf("flashed %d after invalidation, want a full 1000", got)
+	}
+}

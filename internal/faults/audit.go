@@ -1,0 +1,234 @@
+package faults
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sort"
+
+	"tinymlops/internal/core"
+	"tinymlops/internal/metering"
+	"tinymlops/internal/observe"
+)
+
+// AuditConfig controls one fleet audit.
+type AuditConfig struct {
+	// Deep re-serializes every unwatermarked deployment's model and
+	// verifies it is bit-identical to the registry artifact of the version
+	// it claims to run — the strongest convergence proof (an interrupted
+	// and resumed delta install must reproduce the target exactly).
+	Deep bool
+	// AllowPartial tolerates half-written staging slots: an audit taken
+	// mid-recovery counts them without flagging a violation. The terminal
+	// audit must not set this.
+	AllowPartial bool
+	// MaxViolations caps the listed violation strings (0 = 64); the count
+	// fields keep the true totals.
+	MaxViolations int
+}
+
+// AuditReport is the fleet-wide invariant audit result.
+type AuditReport struct {
+	// Deployments audited and Devices in the fleet.
+	Deployments int
+	Devices     int
+	// MetersChecked counts conservation checks (issued == used +
+	// remaining); ChainsVerified counts meters whose full tamper-evident
+	// chain was recomputed from genesis.
+	MetersChecked  int
+	ChainsVerified int
+	// ArtifactsVerified counts deployments whose model bytes matched the
+	// registry artifact bit-for-bit (Deep audits only).
+	ArtifactsVerified int
+	// TelemetryRecords counts window-monotonicity-checked records across
+	// ingested and buffered telemetry.
+	TelemetryRecords int
+	// PartialInstalls counts devices holding a half-written staging slot.
+	PartialInstalls int
+	// ViolationCount is the true number of invariant violations found;
+	// Violations lists the first MaxViolations of them.
+	ViolationCount int
+	Violations     []string
+}
+
+// OK reports whether the audit found no violations.
+func (r *AuditReport) OK() bool { return r.ViolationCount == 0 }
+
+// String summarizes the report in one line.
+func (r *AuditReport) String() string {
+	return fmt.Sprintf("audit: %d deployments / %d devices, %d meters (%d chains), %d artifacts bit-exact, %d telemetry records, %d partial installs, %d violations",
+		r.Deployments, r.Devices, r.MetersChecked, r.ChainsVerified,
+		r.ArtifactsVerified, r.TelemetryRecords, r.PartialInstalls, r.ViolationCount)
+}
+
+func (r *AuditReport) violate(max int, format string, args ...any) {
+	r.ViolationCount++
+	if len(r.Violations) < max {
+		r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+	}
+}
+
+// Audit checks a platform's fleet against the invariants a chaos run must
+// not break. Every read goes through the owning lock (deployment state
+// snapshots, meter reports, buffer copies) and nothing is mutated, so it
+// is safe to run concurrently with updates — though an audit racing a
+// rollout sees each deployment at whichever version its snapshot caught;
+// run it quiesced for an exact fleet-wide answer. Violations are reported
+// in deterministic (device ID) order.
+func Audit(p *core.Platform, cfg AuditConfig) *AuditReport {
+	max := cfg.MaxViolations
+	if max <= 0 {
+		max = 64
+	}
+	rep := &AuditReport{Devices: p.Fleet.Size()}
+	deps := p.Deployments() // sorted by device ID
+	rep.Deployments = len(deps)
+
+	// Ingested telemetry windows per device, in ingestion order.
+	ingested := make(map[string][]uint32)
+	for _, cohort := range sortedCohorts(p.Aggregator) {
+		for _, r := range p.Aggregator.Records(cohort) {
+			ingested[r.DeviceID] = append(ingested[r.DeviceID], r.Window)
+		}
+	}
+
+	vouchers := make(map[string]string) // voucher ID -> device holding it
+	for _, d := range deps {
+		id := d.DeviceID
+
+		// Fleet membership: a deployment must sit on a registered device.
+		dev, ok := p.Fleet.Get(id)
+		if !ok {
+			rep.violate(max, "%s: deployment on a device the fleet does not know", id)
+			continue
+		}
+
+		// Version consistency: the running version must exist in the
+		// registry under the same metadata. The snapshot reads version and
+		// model under the deployment lock, so an audit racing an update
+		// sees a coherent (version, model) pair.
+		liveVer, liveModel, watermarked := d.StateSnapshot()
+		ver, err := p.Registry.Get(liveVer.ID)
+		if err != nil {
+			rep.violate(max, "%s: running version %s unknown to the registry", id, liveVer.ID)
+		} else if ver.Digest != liveVer.Digest {
+			rep.violate(max, "%s: version %s digest diverges from the registry", id, liveVer.ID)
+		}
+
+		// Meter conservation: issued == consumed + remaining, the voucher
+		// is genuine and bound to this device, and no other deployment
+		// spends the same voucher (double-spend across interrupted
+		// installs would surface here — an update retry must never mint
+		// or reset a meter).
+		v := d.Meter.Voucher()
+		used, remaining := d.Meter.Used(), d.Meter.Remaining()
+		rep.MetersChecked++
+		if used+remaining != v.Queries {
+			rep.violate(max, "%s: meter leak: used %d + remaining %d != issued %d", id, used, remaining, v.Queries)
+		}
+		if v.DeviceID != id {
+			rep.violate(max, "%s: voucher %s is bound to %s", id, v.ID, v.DeviceID)
+		}
+		if !p.Issuer.Verify(&v) {
+			rep.violate(max, "%s: voucher %s fails signature verification", id, v.ID)
+		}
+		if holder, dup := vouchers[v.ID]; dup {
+			rep.violate(max, "%s: voucher %s double-spent (also held by %s)", id, v.ID, holder)
+		}
+		vouchers[v.ID] = id
+
+		// Tamper-evident chain: the unsettled segment must recompute, and
+		// when nothing has settled yet the whole chain must extend from
+		// genesis with exactly `used` links.
+		mrep := d.Meter.BuildReport()
+		if mrep.Used != mrep.FromSeq-1+uint64(len(mrep.Entries)) {
+			rep.violate(max, "%s: meter claims %d used but chain holds %d entries from seq %d",
+				id, mrep.Used, len(mrep.Entries), mrep.FromSeq)
+		}
+		if mrep.FromSeq == 1 {
+			if err := metering.VerifyChain(v, metering.GenesisHead(v), mrep.Entries); err != nil {
+				rep.violate(max, "%s: %v", id, err)
+			} else {
+				rep.ChainsVerified++
+			}
+		}
+
+		// Slot convergence: no half-written staging slot may survive.
+		if token, flashed, total, partial := dev.Staging(); partial {
+			rep.PartialInstalls++
+			if !cfg.AllowPartial {
+				rep.violate(max, "%s: stuck mid-install: %q at %d/%d bytes", id, token, flashed, total)
+			}
+		}
+
+		// Bit-exact artifact check: an unwatermarked deployment's model
+		// must serialize to exactly the registry's stored bytes — the
+		// proof that interrupted installs were recovered, not corrupted.
+		// Updates swap the model pointer rather than mutating in place, so
+		// serializing the snapshot outside the lock is safe.
+		if cfg.Deep && ver != nil && !watermarked {
+			data, merr := liveModel.MarshalBinary()
+			if merr != nil {
+				rep.violate(max, "%s: deployed model does not serialize: %v", id, merr)
+			} else if sha256.Sum256(data) != ver.Digest {
+				rep.violate(max, "%s: deployed model bytes diverge from artifact %s", id, ver.ID)
+			} else {
+				rep.ArtifactsVerified++
+			}
+		}
+
+		// Telemetry monotonicity: windows strictly increase through the
+		// ingested history, then the still-buffered records, and the open
+		// window lies strictly beyond everything emitted. Gaps are legal
+		// (telemetry loss); reordering and replays are not.
+		last := -1
+		ordered := true
+		for _, w := range ingested[id] {
+			rep.TelemetryRecords++
+			if int(w) <= last {
+				ordered = false
+			}
+			last = int(w)
+		}
+		for _, r := range d.Buffer.Snapshot() {
+			rep.TelemetryRecords++
+			if int(r.Window) <= last {
+				ordered = false
+			}
+			last = int(r.Window)
+		}
+		if !ordered {
+			rep.violate(max, "%s: telemetry windows not strictly increasing", id)
+		}
+		if last >= 0 && uint32(last) >= d.CurrentWindow() {
+			rep.violate(max, "%s: open window %d not beyond last emitted %d", id, d.CurrentWindow(), last)
+		}
+	}
+
+	// Devices without a deployment can still be stuck mid-install: a
+	// provisioning Deploy that crashed mid-flash leaves a staged slot and
+	// no Deployment to hang it on. Sweep the whole fleet so those are not
+	// invisible to the convergence invariant.
+	deployed := make(map[string]bool, len(deps))
+	for _, d := range deps {
+		deployed[d.DeviceID] = true
+	}
+	for _, dev := range p.Fleet.Devices() {
+		if deployed[dev.ID] {
+			continue
+		}
+		if token, flashed, total, partial := dev.Staging(); partial {
+			rep.PartialInstalls++
+			if !cfg.AllowPartial {
+				rep.violate(max, "%s: undeployed device stuck mid-install: %q at %d/%d bytes",
+					dev.ID, token, flashed, total)
+			}
+		}
+	}
+	return rep
+}
+
+func sortedCohorts(a *observe.Aggregator) []string {
+	cs := a.Cohorts()
+	sort.Strings(cs)
+	return cs
+}

@@ -1,0 +1,80 @@
+package faults
+
+import (
+	"testing"
+)
+
+// TestChaosRollout10kBitIdenticalAcrossWorkerCounts is the headline
+// acceptance scenario: a 10k-device staged rollout under 5% churn, flaky
+// networks, battery deaths and injected mid-flash crashes must converge
+// to the new version on every device, pass the deep invariant audit with
+// zero violations, and produce a bit-identical outcome at 1, 4 and 16
+// workers.
+func TestChaosRollout10kBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-device scenario skipped in -short")
+	}
+	chaos := ChaosConfig{
+		Seed:           1002,
+		PChurn:         0.05, // the headline churn
+		PDrop:          0.10, // flaky network
+		PSpike:         0.15,
+		PBatteryDeath:  0.03,
+		PCrash:         0.20, // mid-flash power loss per install attempt
+		PTelemetryLoss: 0.10,
+	}
+	var first *ScenarioResult
+	for _, workers := range []int{1, 4, 16} {
+		res, err := RunScenario(ScenarioConfig{
+			Devices: 10_000, Workers: workers, Seed: 1001, Chaos: chaos,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if res.FleetSize < 10_000 {
+			t.Fatalf("fleet size %d < 10000", res.FleetSize)
+		}
+		if res.Converged != res.FleetSize {
+			t.Fatalf("workers=%d: converged %d/%d", workers, res.Converged, res.FleetSize)
+		}
+		if !res.Audit.OK() {
+			t.Fatalf("workers=%d: audit violations: %v", workers, res.Audit.Violations)
+		}
+		if res.Audit.ArtifactsVerified != res.FleetSize {
+			t.Fatalf("workers=%d: only %d/%d deployments bit-exact vs the registry",
+				workers, res.Audit.ArtifactsVerified, res.FleetSize)
+		}
+		if res.Audit.PartialInstalls != 0 {
+			t.Fatalf("workers=%d: %d devices stuck mid-install", workers, res.Audit.PartialInstalls)
+		}
+		// The chaos must actually have happened — and been healed.
+		if res.Crashes == 0 || res.RetriedUpdates == 0 {
+			t.Fatalf("workers=%d: crashes=%d retried=%d — fault plane idle",
+				workers, res.Crashes, res.RetriedUpdates)
+		}
+		if res.Rollout.DeltaTransfers == 0 {
+			t.Fatalf("workers=%d: head-only update never shipped a delta", workers)
+		}
+		if res.ReconcileUpdated == 0 {
+			t.Fatalf("workers=%d: no device needed reconciliation under 5%% churn", workers)
+		}
+		if res.TelemetryLost == 0 {
+			t.Fatalf("workers=%d: no telemetry lost at 10%% loss rate", workers)
+		}
+		if first == nil {
+			first = res
+			t.Logf("10k chaos: fingerprint=%s crashes=%d attempts=%d retried=%d reconciled=%d telemetry_lost=%d",
+				res.Fingerprint, res.Crashes, res.InstallAttempts, res.RetriedUpdates,
+				res.ReconcileUpdated, res.TelemetryLost)
+			continue
+		}
+		if res.Fingerprint != first.Fingerprint {
+			t.Fatalf("workers=%d: fingerprint %s != workers=1's %s — outcome depends on scheduling",
+				workers, res.Fingerprint, first.Fingerprint)
+		}
+		if res.Crashes != first.Crashes || res.InstallAttempts != first.InstallAttempts {
+			t.Fatalf("workers=%d: fault accounting diverged (crashes %d vs %d, attempts %d vs %d)",
+				workers, res.Crashes, first.Crashes, res.InstallAttempts, first.InstallAttempts)
+		}
+	}
+}

@@ -1,0 +1,332 @@
+package faults
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"tinymlops/internal/core"
+	"tinymlops/internal/dataset"
+	"tinymlops/internal/device"
+	"tinymlops/internal/engine"
+	"tinymlops/internal/nn"
+	"tinymlops/internal/registry"
+	"tinymlops/internal/rollout"
+	"tinymlops/internal/tensor"
+)
+
+// ScenarioConfig controls one chaos experiment (see RunScenario).
+type ScenarioConfig struct {
+	// Devices is the requested fleet size; it is rounded up to a multiple
+	// of the six standard hardware profiles.
+	Devices int
+	// Workers bounds the platform's worker pool (≤0 = all cores). The
+	// scenario result is bit-identical at any value — that is the point.
+	Workers int
+	// Seed roots platform randomness; Chaos.Seed roots the faults.
+	Seed uint64
+	// Chaos is the fault weather.
+	Chaos ChaosConfig
+	// Waves defaults to rollout.DefaultWaves().
+	Waves []rollout.Wave
+	// UpdateAttempts bounds per-device update retries within a wave and
+	// during reconciliation (default 3).
+	UpdateAttempts int
+	// ReconcileRounds is how many post-rollout recovery sweeps run under
+	// continued chaos before the final calm sweep (default 4).
+	ReconcileRounds int
+	// PrepaidQueries per device (default 1<<20 so metering never gates
+	// the chaos traffic; conservation is still audited).
+	PrepaidQueries uint64
+}
+
+// ScenarioResult is one chaos experiment's record.
+type ScenarioResult struct {
+	FleetSize int
+	V1, V2    *registry.ModelVersion
+	Rollout   *rollout.Result
+	// WaveWeather is the fault weather imposed before each wave.
+	WaveWeather []RoundReport
+	// Converged counts devices on V2 at the end; the scenario errors if
+	// any device failed to converge.
+	Converged int
+	// RetriedUpdates counts devices that needed more than one update
+	// attempt in some wave; Crashes counts injected mid-flash power
+	// losses; InstallAttempts counts all install attempts observed.
+	RetriedUpdates  int
+	Crashes         int64
+	InstallAttempts int
+	// ReconcileUpdated counts updates completed only by the post-rollout
+	// recovery sweeps (churned devices that missed their wave, exhausted
+	// retries, dead batteries).
+	ReconcileUpdated int
+	// TelemetryLost counts records dropped in transit by injected
+	// telemetry loss.
+	TelemetryLost int
+	// Audit is the terminal deep audit (no partial slots tolerated).
+	Audit *AuditReport
+	// Fingerprint digests the terminal fleet state (per-device version,
+	// meter, counters) plus the rollout record — equal fingerprints mean
+	// bit-identical outcomes.
+	Fingerprint string
+}
+
+// RunScenario executes the canned chaos experiment: train and deploy v1
+// across a standard fleet, publish a fine-tuned v2, drive a staged
+// rollout under the configured fault weather (fresh weather before every
+// wave), reconcile the devices the chaos left behind, calm the weather
+// for a terminal sweep, and audit every fleet invariant. The entire run
+// derives from (Seed, Chaos.Seed, fleet), so two runs with different
+// Workers produce identical ScenarioResult fingerprints.
+func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
+	if cfg.Devices < 1 {
+		cfg.Devices = 6
+	}
+	if cfg.UpdateAttempts < 1 {
+		cfg.UpdateAttempts = 3
+	}
+	if cfg.ReconcileRounds < 1 {
+		cfg.ReconcileRounds = 4
+	}
+	if cfg.PrepaidQueries == 0 {
+		cfg.PrepaidQueries = 1 << 20
+	}
+	perProfile := (cfg.Devices + 5) / 6
+
+	// Fleet and platform.
+	fleet, err := device.NewStandardFleet(device.FleetSpec{CountPerProfile: perProfile, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	devs := fleet.Devices()
+	p, err := core.New(fleet, core.Config{
+		VendorKey: []byte("chaos-scenario-key-0123456789abcdef"),
+		Seed:      cfg.Seed, MinCohort: 1, Workers: cfg.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	plane := New(cfg.Chaos)
+	plane.Calm(devs) // provisioning runs under calm weather
+
+	// v1: a tiny classifier — the chaos is about the control plane, not
+	// the model, so keep per-device work minimal.
+	rng := tensor.NewRNG(cfg.Seed)
+	ds := dataset.Blobs(rng, 240, 4, 3, 5)
+	net := nn.NewNetwork([]int{4}, nn.NewDense(4, 8, rng), nn.NewReLU(), nn.NewDense(8, 3, rng))
+	if _, err := nn.Train(net, ds.X, ds.Y, nn.TrainConfig{
+		Epochs: 6, BatchSize: 32, Optimizer: nn.NewSGD(0.1), RNG: rng,
+	}); err != nil {
+		return nil, err
+	}
+	spec := registry.OptimizationSpec{Evaluate: func(n *nn.Network) float64 { return nn.Evaluate(n, ds.X, ds.Y) }}
+	v1s, err := p.Publish("chaos", net, ds, spec)
+	if err != nil {
+		return nil, err
+	}
+	res := &ScenarioResult{FleetSize: fleet.Size(), V1: v1s[0]}
+
+	ids := make([]string, 0, len(devs))
+	for _, d := range devs {
+		ids = append(ids, d.ID)
+	}
+	if _, err := p.DeployMany(ids, "chaos", core.DeployConfig{
+		PrepaidQueries: cfg.PrepaidQueries, Calibration: ds,
+	}); err != nil {
+		return nil, err
+	}
+
+	// Baseline traffic so wave gates have pre-update health to compare.
+	rows := trafficRows(ds, 8)
+	driveTraffic(p, ids, rows)
+
+	// v2: a head-only fine-tune of v1 — same topology and mostly
+	// unchanged weights, so the OTA ships as a sparse delta and the
+	// crash/resume machinery is exercised on the delta path.
+	v2net := net.Clone()
+	head := v2net.Layers()[2].(*nn.Dense)
+	for i := range head.W.Value.Data {
+		head.W.Value.Data[i] += 0.01 * float32(i%5+1)
+	}
+	v2s, err := p.Publish("chaos", v2net, ds, spec)
+	if err != nil {
+		return nil, err
+	}
+	v2 := v2s[0]
+	if v2.ID == v1s[0].ID {
+		return nil, fmt.Errorf("faults: fine-tune produced identical bytes; scenario needs two versions")
+	}
+	res.V2 = v2
+
+	// Staged rollout under chaos: fresh fault weather before every wave,
+	// bounded deterministic retries within it. The gate tolerates the
+	// injected failures — devices the weather strands are the
+	// reconciliation pass's job, and PR 2's tests already pin the strict
+	// gating behavior.
+	round := uint64(0)
+	rr, err := p.Rollout(v2, core.RolloutConfig{
+		Waves: cfg.Waves,
+		Seed:  cfg.Seed,
+		Gate: rollout.Gate{
+			MaxDriftFraction:   1,
+			MaxErrorRate:       0.99,
+			MaxLatencyIncrease: 99,
+			MaxUpdateFailures:  fleet.Size(),
+		},
+		Calibration: ds,
+		Retry:       engine.RetryPolicy{Attempts: cfg.UpdateAttempts},
+		BeforeWave: func(w rollout.Wave, _ []string) {
+			round++
+			res.WaveWeather = append(res.WaveWeather, plane.ApplyRound(round, devs))
+		},
+		Bake: func(_ rollout.Wave, waveIDs []string) error {
+			driveTraffic(p, waveIDs, rows)
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("faults: rollout: %w", err)
+	}
+	res.Rollout = rr
+	for _, w := range rr.Waves {
+		for _, o := range w.Outcomes {
+			if o.Attempts > 1 {
+				res.RetriedUpdates++
+			}
+		}
+	}
+
+	// Reconcile: sweep the devices chaos stranded — churned past their
+	// wave, retries exhausted mid-crash, batteries dead — under continued
+	// weather, then one terminal sweep under calm skies. Interrupted
+	// installs resume their half-written slots here.
+	opts := core.UpdateOptions{Calibration: ds}
+	reconcile := func() (int, error) {
+		deps := p.Deployments()
+		updated := make([]bool, len(deps))
+		err := p.Engine().ForEach(len(deps), func(i int) error {
+			d := deps[i]
+			_, _, _, partial := d.Device().Staging()
+			if d.Version.ID == v2.ID && !partial {
+				return nil
+			}
+			_, uerr := engine.Retry(
+				engine.RetryPolicy{Attempts: cfg.UpdateAttempts},
+				core.TransientUpdateError,
+				func(int) error { _, e := d.Update(v2, opts); return e },
+			)
+			if uerr == nil {
+				updated[i] = true
+			}
+			return nil // stragglers wait for the next sweep
+		})
+		n := 0
+		for _, u := range updated {
+			if u {
+				n++
+			}
+		}
+		return n, err
+	}
+	for sweep := 0; sweep < cfg.ReconcileRounds; sweep++ {
+		round++
+		plane.ApplyRound(round, devs)
+		n, rerr := reconcile()
+		if rerr != nil {
+			return nil, rerr
+		}
+		res.ReconcileUpdated += n
+		res.TelemetryLost += syncTelemetryWithLoss(p, plane, round)
+	}
+	plane.Calm(devs)
+	n, rerr := reconcile()
+	if rerr != nil {
+		return nil, rerr
+	}
+	res.ReconcileUpdated += n
+
+	res.Crashes = plane.Crashes()
+	res.InstallAttempts = plane.InstallAttempts()
+	for _, d := range p.Deployments() {
+		if d.Version.ID == v2.ID {
+			res.Converged++
+		}
+	}
+	if res.Converged != fleet.Size() {
+		return nil, fmt.Errorf("faults: %d/%d devices converged to %s", res.Converged, fleet.Size(), v2.ID)
+	}
+
+	res.Audit = Audit(p, AuditConfig{Deep: true})
+	res.Fingerprint = fingerprint(p, res)
+	return res, nil
+}
+
+// trafficRows builds a fixed in-distribution query batch from the dataset.
+func trafficRows(ds *dataset.Dataset, n int) [][]float32 {
+	es := ds.X.Size() / ds.Len()
+	rows := make([][]float32, n)
+	for i := range rows {
+		rows[i] = append([]float32(nil), ds.X.Data[(i%ds.Len())*es:(i%ds.Len())*es+es]...)
+	}
+	return rows
+}
+
+// driveTraffic runs the batch through each listed device's deployment on
+// the platform's pool. Per-device outcomes are independent, so the fan-out
+// is deterministic; devices without a deployment are skipped.
+func driveTraffic(p *core.Platform, ids []string, rows [][]float32) {
+	_ = p.Engine().ForEach(len(ids), func(i int) error {
+		if dep, ok := p.Deployment(ids[i]); ok {
+			dep.InferBatch(rows)
+		}
+		return nil
+	})
+}
+
+// syncTelemetryWithLoss flushes every deployment's buffer over the
+// device's current link and ingests the flushed records — except for
+// devices whose round profile drew telemetry loss, whose flushed records
+// vanish in transit (the uplink was spent; the cloud saw nothing).
+// Ingestion is serial in device-ID order, like Platform.SyncTelemetry.
+// It returns how many records were lost.
+func syncTelemetryWithLoss(p *core.Platform, plane *Plane, round uint64) int {
+	deps := p.Deployments()
+	lost := 0
+	for _, d := range deps {
+		recs, _, err := d.Buffer.FlushIfWiFi(d.Device())
+		if err != nil || len(recs) == 0 {
+			continue
+		}
+		if plane.Profile(round, d.DeviceID).TelemetryLoss {
+			lost += len(recs)
+			continue
+		}
+		class := d.Device().Caps.Class.String()
+		for _, r := range recs {
+			p.Aggregator.Ingest(class, r)
+		}
+	}
+	return lost
+}
+
+// fingerprint digests the terminal fleet state: per-device version, meter
+// and counters, plus the rollout's aggregate record. Two scenario runs
+// with equal fingerprints ended in bit-identical states.
+func fingerprint(p *core.Platform, res *ScenarioResult) string {
+	h := sha256.New()
+	for _, d := range p.Deployments() {
+		c := d.Device().Snapshot()
+		fmt.Fprintf(h, "%s|%s|%d|%d|%d|%d|%d|%d|%d|%d\n",
+			d.DeviceID, d.Version.ID, d.Meter.Used(), d.Meter.Remaining(),
+			c.RxBytes, c.FlashedBytes, c.TxBytes, c.Inferences, c.DeniedQueries,
+			d.CurrentWindow())
+	}
+	fmt.Fprintf(h, "rollout|%v|%d|%d|%d|%d\n", res.Rollout.Completed,
+		res.Rollout.TotalShipBytes, res.Rollout.TotalFlashBytes,
+		res.Rollout.DeltaTransfers, res.Rollout.FullTransfers)
+	fmt.Fprintf(h, "chaos|%d|%d|%d|%d\n", res.Crashes, res.InstallAttempts,
+		res.RetriedUpdates, res.TelemetryLost)
+	fmt.Fprintf(h, "audit|%d|%d|%d\n", res.Audit.ViolationCount,
+		res.Audit.ArtifactsVerified, res.Audit.TelemetryRecords)
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}

@@ -462,3 +462,81 @@ func TestCoordinatorValidation(t *testing.T) {
 		t.Fatal("accepted zero clients")
 	}
 }
+
+// TestClientFaultsDropoutsAndStragglers pins the fault-hook semantics:
+// dropouts are excluded from training and uplink, late stragglers train
+// and upload but are excluded from the aggregate, and the global model
+// still converges from the survivors.
+func TestClientFaultsDropoutsAndStragglers(t *testing.T) {
+	global, clients, test := fedFixture(t, 10, 11)
+	faults := func(round int, clientID string) ClientFault {
+		switch clientID {
+		case "c-000":
+			return ClientFault{Dropout: true}
+		case "c-001":
+			return ClientFault{SlowFactor: 8} // past the deadline: late
+		case "c-002":
+			return ClientFault{SlowFactor: 2} // slow but in time
+		}
+		return ClientFault{}
+	}
+	co, err := NewCoordinator(global, clients, test.X, test.Y, Config{
+		Rounds: 6, LocalEpochs: 2, LocalBatch: 16, LR: 0.1, Seed: 5,
+		Faults: faults, StragglerDeadline: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := co.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0 := stats[0]
+	if s0.Dropouts != 1 || s0.Stragglers != 2 || s0.Late != 1 {
+		t.Fatalf("fault counts = dropouts %d stragglers %d late %d", s0.Dropouts, s0.Stragglers, s0.Late)
+	}
+	if s0.Participants != 8 {
+		t.Fatalf("participants = %d", s0.Participants)
+	}
+	final := stats[len(stats)-1].TestAccuracy
+	if final < 0.8 {
+		t.Fatalf("global accuracy %v under faults < 0.8", final)
+	}
+}
+
+// TestClientFaultsUplinkAccounting distinguishes the radio cost of a
+// dropout (nothing uploaded) from a late straggler (upload wasted).
+func TestClientFaultsUplinkAccounting(t *testing.T) {
+	run := func(faults func(int, string) ClientFault) RoundStats {
+		global, clients, test := fedFixture(t, 10, 13)
+		co, err := NewCoordinator(global, clients, test.X, test.Y, Config{
+			Rounds: 1, LocalEpochs: 1, LocalBatch: 16, LR: 0.1, Seed: 5,
+			Faults: faults, StragglerDeadline: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := co.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats[0]
+	}
+	clean := run(nil)
+	drop := run(func(_ int, id string) ClientFault { return ClientFault{Dropout: id == "c-000"} })
+	late := run(func(_ int, id string) ClientFault {
+		if id == "c-000" {
+			return ClientFault{SlowFactor: 100}
+		}
+		return ClientFault{}
+	})
+	if drop.UplinkBytes >= clean.UplinkBytes {
+		t.Fatalf("dropout uplink %d not below clean %d", drop.UplinkBytes, clean.UplinkBytes)
+	}
+	if late.UplinkBytes != clean.UplinkBytes {
+		t.Fatalf("late straggler uplink %d, want %d (the upload happened, just too late)", late.UplinkBytes, clean.UplinkBytes)
+	}
+	if drop.UplinkBytes >= late.UplinkBytes {
+		t.Fatalf("dropout uplink %d must be below late-straggler uplink %d", drop.UplinkBytes, late.UplinkBytes)
+	}
+}

@@ -54,6 +54,31 @@ type Config struct {
 	// sampled client, which at fleet scale meant thousands of concurrent
 	// local trainings thrashing the scheduler.
 	Engine *engine.Engine
+	// Faults, when non-nil, injects per-round client failures after
+	// sampling: a Dropout crashes the client before it trains (downlink
+	// spent, nothing comes back), a SlowFactor > 1 marks it a straggler.
+	// The hook is called once per sampled client per round and must be a
+	// pure function of (round, clientID) so results stay worker-count
+	// independent — the fault plane's derivation guarantees this.
+	Faults func(round int, clientID string) ClientFault
+	// StragglerDeadline, when > 0, is the SlowFactor beyond which a
+	// straggler's update arrives after the aggregation deadline: the
+	// client trained and uploaded (radio charged), but the server ignores
+	// the late update. 0 waits for everyone.
+	StragglerDeadline float64
+}
+
+// ClientFault is one sampled client's injected failure for one round.
+type ClientFault struct {
+	// Dropout crashes the client after it receives the global model and
+	// before it returns an update.
+	Dropout bool
+	// SlowFactor > 1 marks the client a straggler. The factor's only
+	// effect is the comparison against Config.StragglerDeadline: within
+	// the deadline the update aggregates normally (and the round counts a
+	// straggler), beyond it the update arrives too late to count — the
+	// coordinator does not otherwise model per-client round time.
+	SlowFactor float64
 }
 
 // RoundStats records one round's outcome.
@@ -66,6 +91,14 @@ type RoundStats struct {
 	DownlinkBytes int64
 	// TestAccuracy of the averaged global model (if a test set is given).
 	TestAccuracy float64
+	// Dropouts counts sampled clients that crashed before returning an
+	// update; Stragglers counts slow clients, and Late the subset whose
+	// update missed the aggregation deadline (trained and uploaded, but
+	// excluded from the average). Aggregated counts only cover
+	// Participants − Dropouts − Late clients.
+	Dropouts   int
+	Stragglers int
+	Late       int
 }
 
 // Coordinator runs federated averaging over a set of clients.
@@ -153,18 +186,55 @@ func (co *Coordinator) RunRound() (RoundStats, error) {
 
 	globalFlat := co.Global.FlatParams()
 	modelBytes := int64(4 * len(globalFlat))
+	// Every sampled client receives the broadcast — dropouts and late
+	// stragglers included; their downlink is spent either way.
 	stats.DownlinkBytes = modelBytes * int64(len(sampled))
+
+	// Injected client faults, decided up front from (round, clientID) so
+	// the round outcome cannot depend on scheduling. A dropout crashes
+	// before training; a late straggler trains and uploads but its update
+	// misses the deadline and is excluded from the average.
+	faults := make([]ClientFault, len(sampled))
+	late := make([]bool, len(sampled))
+	if co.cfg.Faults != nil {
+		for i, c := range sampled {
+			f := co.cfg.Faults(co.round, c.ID)
+			faults[i] = f
+			if f.Dropout {
+				stats.Dropouts++
+				continue
+			}
+			if f.SlowFactor > 1 {
+				stats.Stragglers++
+				if co.cfg.StragglerDeadline > 0 && f.SlowFactor > co.cfg.StragglerDeadline {
+					late[i] = true
+					stats.Late++
+				}
+			}
+		}
+	}
 
 	// Local trainings fan out over the bounded engine pool; each client's
 	// stochasticity comes from its own pre-split RNG, so the round result
 	// does not depend on the worker count.
 	updates := make([]clientUpdate, len(sampled))
 	if err := co.cfg.Engine.ForEach(len(sampled), func(i int) error {
+		if faults[i].Dropout {
+			return nil // crashed before training; zero update, zero uplink
+		}
 		var err error
 		updates[i], err = co.localRound(sampled[i], globalFlat)
 		return err
 	}); err != nil {
 		return stats, err
+	}
+	for i := range updates {
+		if late[i] {
+			// The upload happened (bytes already charged below), but the
+			// server aggregates without it.
+			updates[i].samples = 0
+			updates[i].delta = nil
+		}
 	}
 
 	// Weighted average of decoded deltas.

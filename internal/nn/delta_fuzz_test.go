@@ -1,0 +1,168 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"tinymlops/internal/tensor"
+)
+
+// corpusDeltas returns a seed corpus of valid encoded deltas against the
+// fuzz fixture network: a sparse head-only patch, a dense full retrain,
+// an empty (no-op) delta, and one carrying NaN/-0 payloads.
+func corpusDeltas(f *testing.F) [][]byte {
+	f.Helper()
+	old := deltaFixtureNet(1)
+
+	sparse := old.Clone()
+	head := sparse.Layers()[7].(*Dense)
+	head.W.Value.Data[0] = 42
+	head.B.Value.Data[1] = -0.5
+
+	dense := old.Clone()
+	rng := tensor.NewRNG(9)
+	for _, p := range dense.Params() {
+		for i := range p.Value.Data {
+			p.Value.Data[i] += rng.NormFloat32()
+		}
+	}
+
+	weird := old.Clone()
+	bn := weird.Layers()[5].(*BatchNorm1D)
+	bn.RunMean.Data[0] = float32(math.NaN())
+	bn.RunVar.Data[1] = float32(math.Copysign(0, -1))
+
+	var out [][]byte
+	for _, target := range []*Network{sparse, dense, weird, old} {
+		d, err := EncodeDelta(old, target)
+		if err != nil {
+			f.Fatal(err)
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// FuzzApplyDelta feeds arbitrary byte streams to the delta decoder: it
+// must reject malformed patches with an error — never panic, never
+// corrupt the input network — and accepted patches must decode
+// consistently (applying twice to clones gives identical bytes).
+func FuzzApplyDelta(f *testing.F) {
+	deltas := corpusDeltas(f)
+	for _, d := range deltas {
+		f.Add(d)
+		// Seed classic decoder traps: truncations and header corruption.
+		f.Add(d[:len(d)/2])
+		f.Add(d[:6])
+		mut := append([]byte(nil), d...)
+		mut[len(mut)-1] ^= 0xFF
+		f.Add(mut)
+	}
+	f.Add([]byte("TMLD1\n"))
+	f.Add([]byte{})
+	// A sparse tensor claiming an out-of-range index.
+	bad := append([]byte(nil), deltas[0]...)
+	if len(bad) > 40 {
+		binary.LittleEndian.PutUint32(bad[len(bad)-8:], 1<<30)
+		f.Add(bad)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		old := deltaFixtureNet(1)
+		before, err := old.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		applied, aerr := ApplyDelta(old, data)
+
+		// The input network must never be touched, accepted or not.
+		after, err := old.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(before, after) {
+			t.Fatal("ApplyDelta mutated its input network")
+		}
+		if aerr != nil {
+			return // rejected: that is the correct handling of garbage
+		}
+		// Accepted: the patch must decode deterministically and preserve
+		// the topology contract.
+		if applied.TopologySignature() != old.TopologySignature() {
+			t.Fatal("accepted delta changed the topology")
+		}
+		again, aerr2 := ApplyDelta(deltaFixtureNet(1), data)
+		if aerr2 != nil {
+			t.Fatalf("accepted delta rejected on second apply: %v", aerr2)
+		}
+		b1, err := applied.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b2, err := again.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatal("accepted delta applied differently twice")
+		}
+		// And the cost parser must agree the stream is well-formed.
+		if _, cerr := CostOfDelta(data, 8); cerr != nil {
+			t.Fatalf("ApplyDelta accepted what CostOfDelta rejects: %v", cerr)
+		}
+	})
+}
+
+// FuzzDeltaRoundTrip derives a perturbed target network from the fuzz
+// input and checks the codec's core contract: apply(encode(old, new),
+// old) reproduces new bit-exactly, whatever the perturbation — including
+// NaN payloads and signed zeros synthesized from raw bits.
+func FuzzDeltaRoundTrip(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7}, uint8(1))
+	f.Add([]byte{0xFF, 0xC0, 0, 0}, uint8(3)) // NaN bit pattern
+	f.Add([]byte{}, uint8(0))
+	f.Fuzz(func(t *testing.T, raw []byte, stride uint8) {
+		old := deltaFixtureNet(2)
+		target := old.Clone()
+		// Scatter the fuzz bytes through the parameter tensors as raw
+		// float bits: every IEEE bit pattern is a legal weight.
+		ts := target.stateTensors()
+		if len(raw) >= 4 {
+			st := int(stride%16) + 1
+			k := 0
+			for ti := range ts {
+				data := ts[ti].Data
+				for i := 0; i < len(data) && k+4 <= len(raw); i += st {
+					bits := binary.LittleEndian.Uint32(raw[k : k+4])
+					data[i] = math.Float32frombits(bits)
+					k += 4
+					if k+4 > len(raw) {
+						k = 0
+						break
+					}
+				}
+			}
+		}
+		delta, err := EncodeDelta(old, target)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		applied, err := ApplyDelta(old, delta)
+		if err != nil {
+			t.Fatalf("apply: %v", err)
+		}
+		want, err := target.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := applied.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatal("round trip not bit-exact")
+		}
+	})
+}

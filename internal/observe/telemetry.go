@@ -190,6 +190,14 @@ func (b *Buffer) Pending() int {
 	return len(b.pending)
 }
 
+// Snapshot returns a copy of the queued records without draining them —
+// the audit path reads the store-and-forward queue in place.
+func (b *Buffer) Snapshot() []Record {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]Record(nil), b.pending...)
+}
+
 // Dropped returns how many records the cap evicted.
 func (b *Buffer) Dropped() int64 {
 	b.mu.Lock()
@@ -299,6 +307,15 @@ func (a *Aggregator) Summarize(cohort string) (CohortSummary, error) {
 		s.MeanLatency = latSum / float64(latN)
 	}
 	return s, nil
+}
+
+// Records returns a copy of the records ingested under a cohort, in
+// ingestion order — the audit path replays them to check per-device
+// telemetry window monotonicity.
+func (a *Aggregator) Records(cohort string) []Record {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]Record(nil), a.byCohort[cohort]...)
 }
 
 // Cohorts lists known cohort keys.

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"tinymlops/internal/nn"
 	"tinymlops/internal/procvm"
@@ -83,6 +84,9 @@ type Registry struct {
 	deltaMu   sync.Mutex
 	deltas    map[string]deltaEntry // "from->to" -> result
 	deltaWait map[string]chan struct{}
+	// deltaComputes counts actual encodings (not cache hits) — the
+	// observable the single-flight tests pin down.
+	deltaComputes atomic.Int64
 }
 
 // deltaEntry is one cached Delta result.
@@ -259,7 +263,13 @@ func (r *Registry) Delta(fromID, toID string) ([]byte, error) {
 	}
 }
 
+// DeltaComputes returns how many deltas were actually encoded (cache
+// misses). Under single-flight, N concurrent requests for the same pair
+// add exactly 1.
+func (r *Registry) DeltaComputes() int64 { return r.deltaComputes.Load() }
+
 func (r *Registry) computeDelta(key, fromID, toID string) deltaEntry {
+	r.deltaComputes.Add(1)
 	from, err := r.Load(fromID)
 	if err != nil {
 		return deltaEntry{err: err}

@@ -121,6 +121,20 @@ type Config struct {
 	// representative traffic through the listed devices; the gate then
 	// reads the health that traffic produced.
 	Bake func(wave Wave, deviceIDs []string) error
+	// BeforeWave, when non-nil, runs serially before a wave's update
+	// fan-out. The fault plane uses it to impose each wave's weather
+	// (connectivity, batteries, crash injectors) on the fleet — churn
+	// between waves lives here.
+	BeforeWave func(wave Wave, deviceIDs []string)
+	// Retry bounds per-device update attempts within a wave (zero value =
+	// a single attempt). Retries run inline in the device's own indexed
+	// task with a deterministic backoff schedule, so a flaky fleet still
+	// rolls out bit-identically at any worker count.
+	Retry engine.RetryPolicy
+	// Retryable classifies update errors worth another attempt (nil
+	// retries everything). Pass a transient-fault classifier so permanent
+	// failures — no credit, topology mismatch — fail fast.
+	Retryable func(error) bool
 }
 
 // DeviceOutcome is one device's result within a wave.
@@ -131,6 +145,9 @@ type DeviceOutcome struct {
 	// Target.Update is captured here too — a device left in an unknown
 	// state must count as a failure, not a healthy no-op.
 	UpdateErr string
+	// Attempts is how many update tries the device took (1 = first try
+	// succeeded; >1 means the retry policy recovered a transient fault).
+	Attempts int
 	// HealthErr records a failed post-bake health read. An unreadable
 	// device cannot prove it is healthy, so the gate counts it against
 	// the update-failure tolerance instead of assuming zero errors.
@@ -251,6 +268,9 @@ func (c *Controller) Run(t Target, cfg Config) (*Result, error) {
 			res.Waves = append(res.Waves, wr)
 			continue
 		}
+		if cfg.BeforeWave != nil {
+			cfg.BeforeWave(wave, append([]string(nil), group...))
+		}
 
 		// Capture each device's pre-update baseline, then update, in one
 		// indexed fan-out: results land in slots keyed by index, so the
@@ -272,7 +292,18 @@ func (c *Controller) Run(t Target, cfg Config) (*Result, error) {
 			if b, berr := t.Baseline(id); berr == nil {
 				baselines[i] = b
 			}
-			tr, uerr := t.Update(id)
+			// Transient faults (a dropped link, a crash mid-flash) retry
+			// inline under the deterministic policy. An interrupted install
+			// that resumes on the next attempt is the whole point: the
+			// device finishes flashing the remainder instead of failing the
+			// wave or re-shipping the image from byte zero.
+			var tr Transfer
+			rr, uerr := engine.Retry(cfg.Retry, cfg.Retryable, func(int) error {
+				var terr error
+				tr, terr = t.Update(id)
+				return terr
+			})
+			out.Attempts = rr.Attempts
 			if uerr != nil {
 				out.UpdateErr = uerr.Error()
 			} else {

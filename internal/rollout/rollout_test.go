@@ -368,3 +368,100 @@ func TestRolloutDeterministicAcrossWorkerCounts(t *testing.T) {
 		}
 	}
 }
+
+// flakyTarget wraps fakeTarget so each marked device fails its first K
+// update attempts with a transient error before succeeding.
+type flakyTarget struct {
+	*fakeTarget
+	mu       sync.Mutex
+	failures map[string]int // device -> remaining transient failures
+	calls    map[string]int
+}
+
+var errTransient = fmt.Errorf("transient link drop")
+
+func (t *flakyTarget) Update(id string) (Transfer, error) {
+	t.mu.Lock()
+	t.calls[id]++
+	remaining := t.failures[id]
+	if remaining > 0 {
+		t.failures[id] = remaining - 1
+	}
+	t.mu.Unlock()
+	if remaining > 0 {
+		return Transfer{}, fmt.Errorf("%s: %w", id, errTransient)
+	}
+	return t.fakeTarget.Update(id)
+}
+
+func TestRetryHealsTransientUpdateFailures(t *testing.T) {
+	base := newFakeTarget(10)
+	flaky := &flakyTarget{
+		fakeTarget: base,
+		failures:   map[string]int{"dev-000": 2, "dev-004": 1, "dev-007": 3},
+		calls:      make(map[string]int),
+	}
+	ctl := NewController(engine.New(engine.Config{Workers: 4}))
+	res, err := ctl.Run(flaky, Config{
+		Waves: []Wave{{Name: "all", Fraction: 1}},
+		Retry: engine.RetryPolicy{Attempts: 3},
+		Retryable: func(err error) bool {
+			return strings.Contains(err.Error(), "transient")
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// dev-007 needed 4 attempts but only 3 were allowed: one failure.
+	wave := res.Waves[0]
+	if wave.Gate.UpdateFailures != 1 {
+		t.Fatalf("update failures = %d, want 1 (only dev-007 exhausts retries)", wave.Gate.UpdateFailures)
+	}
+	for _, o := range wave.Outcomes {
+		switch o.DeviceID {
+		case "dev-000":
+			if o.Attempts != 3 || o.UpdateErr != "" {
+				t.Fatalf("dev-000 attempts=%d err=%q", o.Attempts, o.UpdateErr)
+			}
+		case "dev-004":
+			if o.Attempts != 2 || o.UpdateErr != "" {
+				t.Fatalf("dev-004 attempts=%d err=%q", o.Attempts, o.UpdateErr)
+			}
+		case "dev-007":
+			if o.Attempts != 3 || o.UpdateErr == "" {
+				t.Fatalf("dev-007 attempts=%d err=%q", o.Attempts, o.UpdateErr)
+			}
+		default:
+			if o.Attempts != 1 {
+				t.Fatalf("%s attempts=%d, want 1", o.DeviceID, o.Attempts)
+			}
+		}
+	}
+	if flaky.calls["dev-007"] != 3 {
+		t.Fatalf("dev-007 called %d times, want 3", flaky.calls["dev-007"])
+	}
+}
+
+func TestRetryStopsOnPermanentFailure(t *testing.T) {
+	base := newFakeTarget(4)
+	base.failUpdate["dev-002"] = true // permanent: "device dev-002 offline"
+	flaky := &flakyTarget{fakeTarget: base, failures: map[string]int{}, calls: make(map[string]int)}
+	ctl := NewController(nil)
+	res, err := ctl.Run(flaky, Config{
+		Waves:     []Wave{{Name: "all", Fraction: 1}},
+		Gate:      Gate{MaxUpdateFailures: 4},
+		Retry:     engine.RetryPolicy{Attempts: 5},
+		Retryable: func(err error) bool { return strings.Contains(err.Error(), "transient") },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flaky.calls["dev-002"] != 1 {
+		t.Fatalf("permanent failure retried %d times, want 1", flaky.calls["dev-002"])
+	}
+	for _, o := range res.Waves[0].Outcomes {
+		if o.DeviceID == "dev-002" && (o.Attempts != 1 || o.UpdateErr == "") {
+			t.Fatalf("dev-002 outcome %+v", o)
+		}
+	}
+}

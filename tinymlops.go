@@ -26,6 +26,8 @@ import (
 	"tinymlops/internal/dataset"
 	"tinymlops/internal/device"
 	"tinymlops/internal/engine"
+	"tinymlops/internal/faults"
+	"tinymlops/internal/fed"
 	"tinymlops/internal/nn"
 	"tinymlops/internal/registry"
 	"tinymlops/internal/rollout"
@@ -121,7 +123,84 @@ func CostOfModelDelta(delta []byte, bits int) (ModelDeltaCost, error) {
 	return nn.CostOfDelta(delta, bits)
 }
 
+// Fault injection and fleet auditing (the chaos plane).
+
+// ChaosConfig sets the deterministic per-round fault rates: network
+// drops, latency spikes, battery death, mid-flash install crashes, churn,
+// telemetry loss, and federated dropouts/stragglers.
+type ChaosConfig = faults.ChaosConfig
+
+// FaultProfile is the set of faults one device draws for one round — a
+// pure function of (seed, round, device ID).
+type FaultProfile = faults.FaultProfile
+
+// FaultPlane derives and applies deterministic fault profiles to a fleet.
+type FaultPlane = faults.Plane
+
+// NewFaultPlane returns a fault plane over the configuration.
+func NewFaultPlane(cfg ChaosConfig) *FaultPlane { return faults.New(cfg) }
+
+// AuditConfig controls one fleet invariant audit.
+type AuditConfig = faults.AuditConfig
+
+// AuditReport is the fleet-wide invariant audit result: meter
+// conservation, slot/version convergence, telemetry monotonicity, and
+// partial-install detection.
+type AuditReport = faults.AuditReport
+
+// AuditPlatform checks a platform's fleet against the invariants a chaos
+// run must not break.
+func AuditPlatform(p *Platform, cfg AuditConfig) *AuditReport { return faults.Audit(p, cfg) }
+
+// ChaosScenarioConfig configures the canned chaos experiment.
+type ChaosScenarioConfig = faults.ScenarioConfig
+
+// ChaosScenarioResult records one chaos experiment: rollout record, fault
+// accounting, audit, and the determinism fingerprint.
+type ChaosScenarioResult = faults.ScenarioResult
+
+// RunChaosScenario deploys v1, publishes v2, drives a staged rollout
+// under the configured fault weather, reconciles the stragglers and
+// audits every invariant. Bit-identical at any worker count.
+func RunChaosScenario(cfg ChaosScenarioConfig) (*ChaosScenarioResult, error) {
+	return faults.RunScenario(cfg)
+}
+
+// ClientFault is one federated client's injected failure for a round
+// (dropout or straggler); see FedConfig's Faults hook.
+type ClientFault = fed.ClientFault
+
+// TransientUpdateError reports whether an update failure is worth
+// retrying: the device was offline, or the install crashed mid-flash and
+// left a resumable slot.
+func TransientUpdateError(err error) bool { return core.TransientUpdateError(err) }
+
+// ErrDeviceOffline is wrapped by transfer failures on disconnected
+// devices.
+var ErrDeviceOffline = device.ErrOffline
+
+// ErrInstallInterrupted is wrapped by installs that crashed mid-flash;
+// retrying the same image resumes the half-written slot.
+var ErrInstallInterrupted = device.ErrInstallInterrupted
+
 // Execution engine types.
+
+// RetryPolicy bounds retries of transient faults on a deterministic
+// exponential backoff schedule.
+type RetryPolicy = engine.RetryPolicy
+
+// RetryResult accounts one retried operation (attempts, total backoff).
+type RetryResult = engine.RetryResult
+
+// Retry runs fn under the policy, consulting retryable (nil = retry all)
+// between attempts.
+func Retry(p RetryPolicy, retryable func(error) bool, fn func(attempt int) error) (RetryResult, error) {
+	return engine.Retry(p, retryable, fn)
+}
+
+// SeedForID derives an independent seed for a string-keyed entity in a
+// round — the ID-keyed sibling of the engine's positional derivation.
+func SeedForID(root, round uint64, id string) uint64 { return engine.SeedForID(root, round, id) }
 
 // Engine is the bounded worker pool behind all parallel fleet operations.
 type Engine = engine.Engine
