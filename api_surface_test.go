@@ -2,6 +2,7 @@ package tinymlops_test
 
 import (
 	"testing"
+	"time"
 
 	"tinymlops"
 )
@@ -341,5 +342,107 @@ func TestChaosSurface(t *testing.T) {
 	}
 	if rep := tinymlops.AuditPlatform(p, tinymlops.AuditConfig{Deep: true}); !rep.OK() {
 		t.Fatalf("empty platform fails audit: %v", rep.Violations)
+	}
+}
+
+// TestOffloadSurface pins the edge–cloud offload facade: the split
+// planner, the cloud tier, Platform.Offload sessions with their result
+// and stats types, the mode constants, the error sentinels, and the
+// chaos scenario's offload phase.
+func TestOffloadSurface(t *testing.T) {
+	rng := tinymlops.NewRNG(41)
+	fleet, err := tinymlops.NewStandardFleet(tinymlops.FleetSpec{CountPerProfile: 1, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range fleet.Devices() {
+		d.SetBehavior(1, 1, 0)
+	}
+	fleet.Tick()
+	platform, err := tinymlops.NewPlatform(fleet, tinymlops.PlatformConfig{
+		VendorKey: []byte("surface-test-key-0123456789abcde"), Seed: 41,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := tinymlops.Blobs(rng, 200, 4, 2, 4)
+	spec := tinymlops.OptimizationSpec{Evaluate: func(n *tinymlops.Network) float64 {
+		return tinymlops.Evaluate(n, ds.X, ds.Y)
+	}}
+	net := tinymlops.NewNetwork([]int{4}, tinymlops.Dense(4, 8, rng), tinymlops.ReLU(), tinymlops.Dense(8, 2, rng))
+	if _, err := platform.Publish("surface-off", net, ds, spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := platform.Deploy("phone-00", "surface-off", tinymlops.DeployConfig{PrepaidQueries: 20}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The planner through the facade.
+	var costs []tinymlops.LayerCost
+	costs, err = net.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	devCaps, _ := tinymlops.ProfileByName("m4-wearable")
+	cloudCaps, _ := tinymlops.ProfileByName("edge-gateway")
+	var best tinymlops.SplitPlan
+	best, curve, err := tinymlops.BestSplit(costs, devCaps, cloudCaps, 32, 1e6, time.Millisecond, 16)
+	if err != nil || len(curve) != len(costs)+1 {
+		t.Fatalf("BestSplit: %+v, %d plans, %v", best, len(curve), err)
+	}
+
+	// The live plane: cloud tier + session over the deployment.
+	cloud := tinymlops.NewOffloadCloud(tinymlops.OffloadCloudConfig{MaxBatch: 8})
+	cloud.Start()
+	defer cloud.Close()
+	sess, err := platform.Offload("phone-00", tinymlops.OffloadConfig{
+		Cloud:  cloud,
+		Plan:   &tinymlops.SplitPlan{Cut: 1},
+		Replan: tinymlops.OffloadReplanConfig{Disabled: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := ds.X.Size() / ds.Len()
+	var out tinymlops.OffloadOutcome
+	out, err = sess.Infer(ds.X.Data[:es])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res tinymlops.OffloadResult = out.Split
+	var mode tinymlops.OffloadMode = res.Mode
+	if mode != tinymlops.OffloadSplit || res.Cut != 1 {
+		t.Fatalf("offloaded query: %+v", res)
+	}
+	if tinymlops.OffloadLocal == tinymlops.OffloadSplit || tinymlops.OffloadSplit == tinymlops.OffloadFallback {
+		t.Fatal("offload mode constants collide")
+	}
+	var st tinymlops.OffloadStats = sess.Stats()
+	if st.Split != 1 {
+		t.Fatalf("session stats %+v", st)
+	}
+	var cs tinymlops.OffloadCloudStats = cloud.Stats()
+	if cs.Served != 1 {
+		t.Fatalf("cloud stats %+v", cs)
+	}
+	var cond tinymlops.OffloadConditions
+	cond.BandwidthBps = 1 // the type is addressable and field-complete
+	_ = cond
+	if tinymlops.ErrOffloadShed == nil || tinymlops.ErrOffloadStale == nil {
+		t.Fatal("offload error sentinels missing")
+	}
+
+	// The chaos scenario's offload phase through the facade.
+	scen, err := tinymlops.RunChaosScenario(tinymlops.ChaosScenarioConfig{
+		Devices: 12, Workers: 2, Seed: 43,
+		Chaos:          tinymlops.ChaosConfig{Seed: 44, PDrop: 0.3},
+		OffloadQueries: 2, OffloadRounds: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var orep *tinymlops.OffloadReport = scen.Offload
+	if orep == nil || orep.Mismatches != 0 || orep.Queries == 0 {
+		t.Fatalf("offload phase report %+v", orep)
 	}
 }

@@ -12,6 +12,7 @@
 //	tinymlops simulate -devices 2 -queries 150 -quota 100 -workers 8
 //	tinymlops rollout  -devices 2 -drift
 //	tinymlops chaos    -devices 600 -churn 0.05 -crash 0.2
+//	tinymlops offload  -devices 2 -queries 12 -rtt 200us
 package main
 
 import (
@@ -43,6 +44,8 @@ func main() {
 		err = cmdRollout(os.Args[2:])
 	case "chaos":
 		err = cmdChaos(os.Args[2:])
+	case "offload":
+		err = cmdOffload(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -71,6 +74,9 @@ subcommands:
   chaos      run a staged rollout under deterministic fault injection
              (churn, flaky networks, mid-flash crashes) and audit every
              fleet invariant
+  offload    serve queries through the live edge-cloud offload plane
+             (split execution, batched cloud suffix service, replanning
+             as connectivity changes), verified bit-exact
 
 run 'tinymlops <subcommand> -h' for flags`)
 }

@@ -1,0 +1,101 @@
+package tinymlops_test
+
+import (
+	"fmt"
+	"time"
+
+	"tinymlops"
+)
+
+// ExampleBestSplit plans an edge–cloud split for a wearable-class device:
+// on a fat uplink the cut moves cloud-ward, offline it is forced to the
+// full-edge plan.
+func ExampleBestSplit() {
+	rng := tinymlops.NewRNG(1)
+	net := tinymlops.NewNetwork([]int{64},
+		tinymlops.Dense(64, 128, rng), tinymlops.ReLU(),
+		tinymlops.Dense(128, 8, rng))
+	costs, err := net.Summary()
+	if err != nil {
+		panic(err)
+	}
+	dev, _ := tinymlops.ProfileByName("m4-wearable")
+	cloud, _ := tinymlops.ProfileByName("edge-gateway")
+
+	best, curve, err := tinymlops.BestSplit(costs, dev, cloud, 32, 100e6, 100*time.Microsecond, 64*4)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("fat pipe: %d candidate plans, best cut %d\n", len(curve), best.Cut)
+
+	offline, _, err := tinymlops.BestSplit(costs, dev, cloud, 32, 0, 0, 64*4)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("offline: best cut %d (all %d layers on-device)\n", offline.Cut, len(costs))
+	// Output:
+	// fat pipe: 4 candidate plans, best cut 0
+	// offline: best cut 3 (all 3 layers on-device)
+}
+
+// ExamplePlatform_Offload deploys a model, opens a split-execution
+// session against a cloud tier, and shows that the offloaded answer is
+// identical to the device's own forward pass — partitioned execution
+// changes where compute happens, never what it computes.
+func ExamplePlatform_Offload() {
+	rng := tinymlops.NewRNG(2)
+	fleet, err := tinymlops.NewStandardFleet(tinymlops.FleetSpec{CountPerProfile: 1, Seed: 2})
+	if err != nil {
+		panic(err)
+	}
+	for _, d := range fleet.Devices() {
+		d.SetBehavior(1, 1, 0) // on a charger, on WiFi
+	}
+	fleet.Tick()
+	platform, err := tinymlops.NewPlatform(fleet, tinymlops.PlatformConfig{
+		VendorKey: []byte("example-vendor-key-0123456789abc"), Seed: 2,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	ds := tinymlops.Blobs(rng, 200, 4, 3, 5)
+	net := tinymlops.NewNetwork([]int{4},
+		tinymlops.Dense(4, 16, rng), tinymlops.ReLU(), tinymlops.Dense(16, 3, rng))
+	spec := tinymlops.OptimizationSpec{Evaluate: func(n *tinymlops.Network) float64 {
+		return tinymlops.Evaluate(n, ds.X, ds.Y)
+	}}
+	if _, err := platform.Publish("demo", net, ds, spec); err != nil {
+		panic(err)
+	}
+	dep, err := platform.Deploy("m4-wearable-00", "demo", tinymlops.DeployConfig{PrepaidQueries: 10})
+	if err != nil {
+		panic(err)
+	}
+
+	cloud := tinymlops.NewOffloadCloud(tinymlops.OffloadCloudConfig{})
+	cloud.Start()
+	defer cloud.Close()
+	sess, err := platform.Offload("m4-wearable-00", tinymlops.OffloadConfig{
+		Cloud:  cloud,
+		Plan:   &tinymlops.SplitPlan{Cut: 1}, // ship the 16-float hidden activation
+		Replan: tinymlops.OffloadReplanConfig{Disabled: true},
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	x := ds.X.Data[:4]
+	out, err := sess.Infer(x)
+	if err != nil {
+		panic(err)
+	}
+	local := dep.Model().Predict(tinymlops.FromSlice(append([]float32(nil), x...), 1, 4))
+	fmt.Printf("mode=%s cut=%d\n", out.Split.Mode, out.Split.Cut)
+	fmt.Printf("label matches on-device forward: %v\n", out.Label == local.ArgMaxRows()[0])
+	fmt.Printf("meter used: %d\n", dep.Meter.Used())
+	// Output:
+	// mode=split cut=1
+	// label matches on-device forward: true
+	// meter used: 1
+}

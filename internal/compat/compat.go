@@ -1,12 +1,3 @@
-// Package compat addresses the fragmented-target problem of §IV: given a
-// model version and a device's capabilities it reports whether the model
-// can be deployed natively, which operators are missing, and whether its
-// bit width needs (slow) emulation; it implements real lowering passes
-// (dropout elimination, batch-norm folding) that vendors apply before
-// deployment; and it defines a small versioned exchange format playing the
-// role ONNX/NNEF play in the paper — including the failure mode the paper
-// calls out, where models using unsupported ops simply cannot be
-// interchanged.
 package compat
 
 import (

@@ -75,69 +75,65 @@ type InferenceResult struct {
 	DriftAlarm bool
 }
 
-// Infer runs one metered, monitored query through the deployed pipeline.
-func (d *Deployment) Infer(x []float32) (InferenceResult, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+// admitLocked runs the front half of the serving pipeline shared by every
+// query path (local, batched admission, offloaded): advance the device
+// tick, charge the prepaid meter (offline enforcement, §III-C — a denial
+// costs the device nothing), run the portable preprocessing module
+// (§III-A / §IV) and feed the drift monitor (§III-B). Post-gate failures
+// count toward window health: a version that cannot serve queries must
+// look unhealthy to a rollout gate. Caller holds d.mu.
+func (d *Deployment) admitLocked(x []float32) ([]float32, error) {
 	d.tick++
-
-	// 1. Metering gate (offline enforcement, §III-C).
 	if err := d.Meter.Charge(d.tick); err != nil {
 		d.device.DenyQuery()
 		d.winDenied++
-		return InferenceResult{}, fmt.Errorf("%w: %v", ErrQueryDenied, err)
+		return nil, fmt.Errorf("%w: %v", ErrQueryDenied, err)
 	}
-
-	// 2. Portable preprocessing (§III-A / §IV). Post-gate failures count
-	// toward window health: a version that cannot serve queries must look
-	// unhealthy to a rollout gate.
 	features := x
 	if d.pre != nil {
 		res, err := d.runtime.Run(d.pre, x)
 		if err != nil {
 			d.winFailed++
-			return InferenceResult{}, fmt.Errorf("core: preprocess: %w", err)
+			return nil, fmt.Errorf("core: preprocess: %w", err)
 		}
 		if !res.Output.IsVec {
 			d.winFailed++
-			return InferenceResult{}, fmt.Errorf("core: preprocess must produce a vector")
+			return nil, fmt.Errorf("core: preprocess must produce a vector")
 		}
 		features = res.Output.Vec
 	}
-
-	// 3. Drift monitoring on the model's input distribution (§III-B).
 	if d.Monitor != nil {
 		d.Monitor.Observe(features)
 	}
+	return features, nil
+}
 
-	// 4. Inference on the device cost model.
-	lat, err := d.device.RunInference(d.Version.Metrics.MACs, d.Version.Scheme.Bits())
+// postLabelLocked applies the optional postprocessing module to one
+// query's logits, falling back to the given argmax label. Caller holds
+// d.mu.
+func (d *Deployment) postLabelLocked(logits []float32, label int) (int, error) {
+	if d.post == nil {
+		return label, nil
+	}
+	res, err := d.runtime.Run(d.post, logits)
 	if err != nil {
 		d.winFailed++
-		return InferenceResult{}, fmt.Errorf("core: device: %w", err)
+		return 0, fmt.Errorf("core: postprocess: %w", err)
 	}
-	in := tensor.FromSlice(append([]float32(nil), features...), 1, len(features))
-	logits := d.model.Predict(in)
-
-	// 5. Portable postprocessing.
-	label := logits.ArgMaxRows()[0]
-	if d.post != nil {
-		res, err := d.runtime.Run(d.post, logits.Data)
-		if err != nil {
-			d.winFailed++
-			return InferenceResult{}, fmt.Errorf("core: postprocess: %w", err)
-		}
-		if res.Output.IsVec {
-			d.winFailed++
-			return InferenceResult{}, fmt.Errorf("core: postprocess must reduce to a scalar label")
-		}
-		label = int(res.Output.Scalar)
+	if res.Output.IsVec {
+		d.winFailed++
+		return 0, fmt.Errorf("core: postprocess must reduce to a scalar label")
 	}
+	return int(res.Output.Scalar), nil
+}
 
-	// 6. Telemetry accounting (aggregates only; the input never leaves).
+// recordServedLocked accounts one fully served query into the open
+// telemetry window (aggregates only; the input never leaves). Caller
+// holds d.mu.
+func (d *Deployment) recordServedLocked(features []float32, lat time.Duration, energyMJ float64) {
 	d.winCount++
 	d.winLatency.Add(float64(lat.Nanoseconds()) / 1e3) // fractional µs; MCU-class inferences can be sub-µs in the model
-	d.winEnergyMJ += d.device.Caps.InferenceEnergy(d.Version.Metrics.MACs) * 1e3
+	d.winEnergyMJ += energyMJ
 	if d.featStats == nil {
 		d.featStats = make([]observe.Welford, len(features))
 	}
@@ -146,6 +142,34 @@ func (d *Deployment) Infer(x []float32) (InferenceResult, error) {
 			d.featStats[i].Add(float64(features[i]))
 		}
 	}
+}
+
+// Infer runs one metered, monitored query through the deployed pipeline.
+func (d *Deployment) Infer(x []float32) (InferenceResult, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	// Metering gate, preprocessing, drift observation.
+	features, err := d.admitLocked(x)
+	if err != nil {
+		return InferenceResult{}, err
+	}
+
+	// Inference on the device cost model.
+	lat, err := d.device.RunInference(d.Version.Metrics.MACs, d.Version.Scheme.Bits())
+	if err != nil {
+		d.winFailed++
+		return InferenceResult{}, fmt.Errorf("core: device: %w", err)
+	}
+	in := tensor.FromSlice(append([]float32(nil), features...), 1, len(features))
+	logits := d.model.Predict(in)
+
+	// Postprocessing and telemetry accounting.
+	label, err := d.postLabelLocked(logits.Data, logits.ArgMaxRows()[0])
+	if err != nil {
+		return InferenceResult{}, err
+	}
+	d.recordServedLocked(features, lat, d.device.Caps.InferenceEnergy(d.Version.Metrics.MACs)*1e3)
 
 	drift := d.Monitor != nil && d.Monitor.Drifted()
 	return InferenceResult{Label: label, Latency: lat, DriftAlarm: drift}, nil

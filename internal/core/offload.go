@@ -1,0 +1,169 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"tinymlops/internal/engine"
+	"tinymlops/internal/market"
+	"tinymlops/internal/offload"
+)
+
+// ErrOffloadStale is returned by OffloadSession.Infer after the underlying
+// deployment moved to a different model version (an OTA update landed):
+// the session's plan and the cloud's registered suffix no longer describe
+// the device's model. Re-create the session against the new version.
+var ErrOffloadStale = errors.New("core: offload session is stale (deployment was updated)")
+
+// OffloadConfig controls Platform.Offload.
+type OffloadConfig struct {
+	// Cloud is the suffix-serving tier (required). The platform registers
+	// the deployment's model version with it automatically.
+	Cloud *offload.CloudTier
+	// RTT is the fixed round-trip to the cloud used in planning (also the
+	// default for Replan.RTT).
+	RTT time.Duration
+	// Retry bounds re-admission after cloud shedding.
+	Retry engine.RetryPolicy
+	// Replan tunes the live re-planning loop (hysteresis thresholds,
+	// congestion penalty, energy objective).
+	Replan offload.ReplanConfig
+	// Plan, when non-nil, pins the initial cut instead of planning from
+	// the device's current conditions.
+	Plan *market.SplitPlan
+}
+
+// OffloadSession is a deployment serving queries through the split
+// runtime: the metering gate, drift monitor, telemetry windows, and pre/
+// post pipeline modules are the deployment's own — only the forward pass
+// moves, executing under a live SplitPlan with cloud suffix service.
+type OffloadSession struct {
+	dep       *Deployment
+	sess      *offload.Session
+	versionID string
+}
+
+// OffloadOutcome is one offloaded query's result: the deployment-level
+// view plus the split execution detail.
+type OffloadOutcome struct {
+	InferenceResult
+	// Split records how the query actually executed (mode, cut, boundary
+	// bytes, cloud batch, energy).
+	Split offload.Result
+}
+
+// Offload opens a split-execution session on a live deployment: queries
+// submitted through the session stay metered, monitored and telemetered
+// exactly like Deployment.Infer, but the forward pass executes under a
+// live SplitPlan — prefix on the device, suffix on cfg.Cloud — re-planned
+// as bandwidth, battery and cloud congestion drift.
+//
+// Watermarked deployments are refused: the per-customer mark perturbs the
+// on-device weights, so a cloud suffix computed from the registry artifact
+// could not be bit-exact with the device's own model.
+func (p *Platform) Offload(deviceID string, cfg OffloadConfig) (*OffloadSession, error) {
+	dep, ok := p.Deployment(deviceID)
+	if !ok {
+		return nil, fmt.Errorf("core: no deployment on device %q", deviceID)
+	}
+	if cfg.Cloud == nil {
+		return nil, fmt.Errorf("core: offload needs a cloud tier")
+	}
+	if dep.Watermarked() {
+		return nil, fmt.Errorf("core: deployment on %s is watermarked; offload would break bit-exactness", deviceID)
+	}
+	version, model, _ := dep.StateSnapshot()
+	// The cloud serves the registry's own artifact — for an unwatermarked
+	// deployment that is bit-identical to the device's decrypted copy.
+	// Fleet-wide session setup registers each version once, not per
+	// device, so skip the artifact load when the tier already has it.
+	if !cfg.Cloud.Registered(version.ID) {
+		cloudModel, err := p.Registry.Load(version.ID)
+		if err != nil {
+			return nil, fmt.Errorf("core: offload: %w", err)
+		}
+		if err := cfg.Cloud.Register(version.ID, cloudModel, version.Scheme.Bits()); err != nil {
+			return nil, err
+		}
+	}
+	// A session's first Infer would otherwise block forever on a tier
+	// whose dispatchers were never launched — while holding the
+	// deployment lock. Start is idempotent, so just ensure it.
+	cfg.Cloud.Start()
+	replan := cfg.Replan
+	if replan.RTT == 0 {
+		replan.RTT = cfg.RTT
+	}
+	sess, err := offload.NewSession(offload.SessionConfig{
+		Tenant:    deviceID,
+		VersionID: version.ID,
+		Device:    dep.device,
+		Model:     model,
+		Bits:      version.Scheme.Bits(),
+		Cloud:     cfg.Cloud,
+		Retry:     cfg.Retry,
+		Replan:    replan,
+		Plan:      cfg.Plan,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &OffloadSession{dep: dep, sess: sess, versionID: version.ID}, nil
+}
+
+// Plan returns the split currently in force.
+func (s *OffloadSession) Plan() market.SplitPlan { return s.sess.Plan() }
+
+// Stats returns the session's split-execution counters.
+func (s *OffloadSession) Stats() offload.Stats { return s.sess.Stats() }
+
+// Deployment returns the deployment this session serves.
+func (s *OffloadSession) Deployment() *Deployment { return s.dep }
+
+// Infer runs one metered, monitored query through the split runtime. The
+// pipeline is Deployment.Infer's, step for step — metering gate first (an
+// exhausted voucher denies before any compute), portable preprocessing,
+// drift observation, then the split forward pass instead of the local
+// one, then postprocessing and telemetry accounting. The label and logits
+// are bit-identical to what Deployment.Infer would produce, whichever
+// mode the query executed in.
+func (s *OffloadSession) Infer(x []float32) (OffloadOutcome, error) {
+	d := s.dep
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.Version.ID != s.versionID {
+		return OffloadOutcome{}, fmt.Errorf("%w: %s is now on %s, session bound to %s",
+			ErrOffloadStale, d.DeviceID, d.Version.ID, s.versionID)
+	}
+	// Metering gate (§III-C: offloading never escapes pay-per-query),
+	// preprocessing, drift observation — the deployment's shared front
+	// half.
+	features, err := d.admitLocked(x)
+	if err != nil {
+		return OffloadOutcome{}, err
+	}
+
+	// Split execution under the live plan (replacing the local-only
+	// forward). Device compute, radio and cloud service charge inside.
+	res, err := s.sess.Exec(features)
+	if err != nil {
+		d.winFailed++
+		return OffloadOutcome{}, fmt.Errorf("core: offload: %w", err)
+	}
+
+	// Postprocessing on the returned logits, then telemetry accounting —
+	// energy is what the device actually spent (prefix + radio, or the
+	// full pass when the plan stayed local).
+	label, err := d.postLabelLocked(append([]float32(nil), res.Logits...), res.Label)
+	if err != nil {
+		return OffloadOutcome{}, err
+	}
+	d.recordServedLocked(features, res.Latency, res.DeviceEnergyJ*1e3)
+
+	drift := d.Monitor != nil && d.Monitor.Drifted()
+	return OffloadOutcome{
+		InferenceResult: InferenceResult{Label: label, Latency: res.Latency, DriftAlarm: drift},
+		Split:           res,
+	}, nil
+}

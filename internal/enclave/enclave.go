@@ -1,15 +1,3 @@
-// Package enclave simulates a Secure Processing Environment (Intel SGX /
-// ARM TrustZone class) for the protection mechanisms of §V and §VI:
-// sealed (encrypted-at-rest) model storage, remote attestation of what the
-// enclave is running, and a cost model for the measured slowdown of
-// executing inside the protected world (MLCapsule reports ≈2× for
-// MobileNet-class models; Slalom mitigates it by keeping linear layers
-// outside).
-//
-// The cryptography is real (AES-GCM, HMAC-SHA-256 from the standard
-// library); the isolation is simulated — there is no actual hardware
-// boundary, only the protocol and its costs, which is what the paper's
-// operational argument depends on.
 package enclave
 
 import (

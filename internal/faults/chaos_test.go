@@ -27,6 +27,7 @@ func TestChaosRollout10kBitIdenticalAcrossWorkerCounts(t *testing.T) {
 	for _, workers := range []int{1, 4, 16} {
 		res, err := RunScenario(ScenarioConfig{
 			Devices: 10_000, Workers: workers, Seed: 1001, Chaos: chaos,
+			OffloadQueries: 2,
 		})
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
@@ -61,6 +62,9 @@ func TestChaosRollout10kBitIdenticalAcrossWorkerCounts(t *testing.T) {
 		if res.TelemetryLost == 0 {
 			t.Fatalf("workers=%d: no telemetry lost at 10%% loss rate", workers)
 		}
+		if o := res.Offload; o == nil || o.Mismatches != 0 || o.Split == 0 || o.Local == 0 {
+			t.Fatalf("workers=%d: offload phase %+v — want bit-exact split and local traffic", workers, o)
+		}
 		if first == nil {
 			first = res
 			t.Logf("10k chaos: fingerprint=%s crashes=%d attempts=%d retried=%d reconciled=%d telemetry_lost=%d",
@@ -75,6 +79,59 @@ func TestChaosRollout10kBitIdenticalAcrossWorkerCounts(t *testing.T) {
 		if res.Crashes != first.Crashes || res.InstallAttempts != first.InstallAttempts {
 			t.Fatalf("workers=%d: fault accounting diverged (crashes %d vs %d, attempts %d vs %d)",
 				workers, res.Crashes, first.Crashes, res.InstallAttempts, first.InstallAttempts)
+		}
+	}
+}
+
+// TestChaosOffloadPhaseDeterministicSmall is the fast (non -short-skipped)
+// version of the offload acceptance: a 120-device fleet serves split
+// queries under weather at 1, 4 and 16 workers; every answer must be
+// bit-exact, the audit must stay clean, and the fingerprint — which
+// covers the offload tallies — must be identical across worker counts.
+func TestChaosOffloadPhaseDeterministicSmall(t *testing.T) {
+	chaos := ChaosConfig{
+		Seed:          2002,
+		PDrop:         0.25, // frequent outages migrate cuts to full-edge
+		PSpike:        0.20,
+		PBatteryDeath: 0.05,
+	}
+	var first *ScenarioResult
+	for _, workers := range []int{1, 4, 16} {
+		res, err := RunScenario(ScenarioConfig{
+			Devices: 120, Workers: workers, Seed: 2001, Chaos: chaos,
+			OffloadQueries: 3, OffloadRounds: 4,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		o := res.Offload
+		if o == nil {
+			t.Fatalf("workers=%d: no offload report", workers)
+		}
+		if o.Mismatches != 0 {
+			t.Fatalf("workers=%d: %d non-bit-exact offloaded answers", workers, o.Mismatches)
+		}
+		if o.Split == 0 || o.Local == 0 {
+			t.Fatalf("workers=%d: offload modes unexercised: %+v", workers, o)
+		}
+		if o.Replans == 0 {
+			t.Fatalf("workers=%d: weather never moved a cut: %+v", workers, o)
+		}
+		if o.CloudServed != o.Split {
+			t.Fatalf("workers=%d: cloud served %d vs %d splits", workers, o.CloudServed, o.Split)
+		}
+		if !res.Audit.OK() {
+			t.Fatalf("workers=%d: audit violations after offload phase: %v", workers, res.Audit.Violations)
+		}
+		if first == nil {
+			first = res
+			t.Logf("offload phase: queries=%d split=%d local=%d fallback=%d replans=%d errors=%d activation=%dB batches=%d",
+				o.Queries, o.Split, o.Local, o.Fallback, o.Replans, o.Errors, o.ActivationBytes, o.CloudBatches)
+			continue
+		}
+		if res.Fingerprint != first.Fingerprint {
+			t.Fatalf("workers=%d: fingerprint %s != %s — offload outcome depends on scheduling",
+				workers, res.Fingerprint, first.Fingerprint)
 		}
 	}
 }

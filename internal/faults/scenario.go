@@ -38,6 +38,17 @@ type ScenarioConfig struct {
 	// PrepaidQueries per device (default 1<<20 so metering never gates
 	// the chaos traffic; conservation is still audited).
 	PrepaidQueries uint64
+	// OffloadQueries, when positive, appends an offload phase after
+	// convergence: every deployment opens a split-execution session
+	// against a shared cloud tier and serves this many queries per
+	// weather round, the cut re-planning as the fault plane moves
+	// connectivity and batteries. Every answer is checked bit-exact
+	// against the device's own monolithic forward, and the terminal audit
+	// covers the phase's metering.
+	OffloadQueries int
+	// OffloadRounds is how many weather rounds the offload phase spans
+	// (default 3 when OffloadQueries > 0).
+	OffloadRounds int
 }
 
 // ScenarioResult is one chaos experiment's record.
@@ -63,6 +74,9 @@ type ScenarioResult struct {
 	// TelemetryLost counts records dropped in transit by injected
 	// telemetry loss.
 	TelemetryLost int
+	// Offload is the offload phase's record (nil when the phase was not
+	// configured).
+	Offload *OffloadReport
 	// Audit is the terminal deep audit (no partial slots tolerated).
 	Audit *AuditReport
 	// Fingerprint digests the terminal fleet state (per-device version,
@@ -256,6 +270,17 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		return nil, fmt.Errorf("faults: %d/%d devices converged to %s", res.Converged, fleet.Size(), v2.ID)
 	}
 
+	// Offload phase: the converged fleet serves split queries under fresh
+	// weather rounds. Runs before the terminal audit so the phase's meter
+	// charges are inside the conservation check.
+	if cfg.OffloadQueries > 0 {
+		report, oerr := runOffloadPhase(p, plane, &round, cfg, rows)
+		if oerr != nil {
+			return nil, oerr
+		}
+		res.Offload = report
+	}
+
 	res.Audit = Audit(p, AuditConfig{Deep: true})
 	res.Fingerprint = fingerprint(p, res)
 	return res, nil
@@ -326,6 +351,13 @@ func fingerprint(p *core.Platform, res *ScenarioResult) string {
 		res.Rollout.DeltaTransfers, res.Rollout.FullTransfers)
 	fmt.Fprintf(h, "chaos|%d|%d|%d|%d\n", res.Crashes, res.InstallAttempts,
 		res.RetriedUpdates, res.TelemetryLost)
+	if o := res.Offload; o != nil {
+		// CloudBatches/MaxCloudBatch are scheduling-dependent coalescing
+		// detail and deliberately excluded.
+		fmt.Fprintf(h, "offload|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d\n",
+			o.Queries, o.Denied, o.Errors, o.Split, o.Local, o.Fallback,
+			o.Replans, o.ActivationBytes, o.Mismatches, o.CloudServed)
+	}
 	fmt.Fprintf(h, "audit|%d|%d|%d\n", res.Audit.ViolationCount,
 		res.Audit.ArtifactsVerified, res.Audit.TelemetryRecords)
 	return hex.EncodeToString(h.Sum(nil)[:16])

@@ -1,12 +1,3 @@
-// Package ipprot implements the model intellectual-property protections of
-// §V: encryption at rest with per-model wrapped keys (the OpenVINO/CoreML
-// mechanism the paper cites), static white-box watermarking (Uchida-style
-// projection embedding), dynamic black-box watermarking (trigger sets),
-// the indirect model-stealing attack itself (student-teacher extraction
-// against a black-box API) with the prediction-poisoning defenses the
-// paper lists (rounding, top-1, noise, deceptive perturbation), a
-// PRADA-style stealing-query detector, and key-gated weight scrambling
-// (ref [83]).
 package ipprot
 
 import (

@@ -1,9 +1,3 @@
-// Package market implements the §IV vision of orchestrated edge workloads:
-// devices advertise spare capacity at a price (owners "receive a monetary
-// compensation"), workloads declare requirements (ops, memory, latency,
-// sandbox capabilities) and a broker matches them; and a model can be split
-// between edge and cloud at the layer granularity that minimizes end-to-end
-// latency for the current network bandwidth (refs [62]-[65]).
 package market
 
 import (
@@ -157,15 +151,25 @@ type SplitPlan struct {
 }
 
 // BestSplit finds the layer cut minimizing end-to-end latency for one
-// request. bandwidthBps is the device's uplink in bytes/second; rtt is the
-// fixed network round-trip added to any plan that touches the cloud;
+// request. bandwidthBps is the device's uplink in bytes/second (0 means no
+// connectivity, forcing the full-edge plan; negative is rejected); rtt is
+// the fixed network round-trip added to any plan that touches the cloud;
 // inputBytes is the size of the raw input (transferred when Cut = 0).
 // It returns the best plan and the full per-cut curve (for the E7 sweep).
 func BestSplit(costs []nn.LayerCost, dev, cloud device.Capabilities, bits int, bandwidthBps float64, rtt time.Duration, inputBytes int64) (SplitPlan, []SplitPlan, error) {
 	if len(costs) == 0 {
 		return SplitPlan{}, nil, fmt.Errorf("market: empty layer costs")
 	}
-	if bandwidthBps <= 0 {
+	if bandwidthBps < 0 {
+		return SplitPlan{}, nil, fmt.Errorf("market: negative bandwidth %v B/s", bandwidthBps)
+	}
+	if inputBytes < 0 {
+		return SplitPlan{}, nil, fmt.Errorf("market: negative input size %d bytes", inputBytes)
+	}
+	if rtt < 0 {
+		return SplitPlan{}, nil, fmt.Errorf("market: negative rtt %v", rtt)
+	}
+	if bandwidthBps == 0 {
 		// No connectivity: the only valid plan is fully on-device.
 		var devLat time.Duration
 		for _, c := range costs {

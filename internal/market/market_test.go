@@ -194,3 +194,75 @@ func TestBestSplitCurveConsistency(t *testing.T) {
 		t.Fatal("accepted empty layer costs")
 	}
 }
+
+// TestBestSplitRejectsNonsenseInputs pins the input validation: negative
+// bandwidth, input size or RTT are configuration bugs, not conditions, and
+// must error rather than produce a plan.
+func TestBestSplitRejectsNonsenseInputs(t *testing.T) {
+	costs := splitFixture(t)
+	m4, _ := device.ProfileByName("m4-wearable")
+	cloud, _ := device.ProfileByName("edge-gateway")
+	cases := []struct {
+		name  string
+		bw    float64
+		rtt   time.Duration
+		input int64
+	}{
+		{"negative bandwidth", -1, 0, 64},
+		{"negative input bytes", 1e6, 0, -64},
+		{"negative rtt", 1e6, -time.Millisecond, 64},
+	}
+	for _, c := range cases {
+		if _, _, err := BestSplit(costs, m4, cloud, 32, c.bw, c.rtt, c.input); err == nil {
+			t.Fatalf("%s accepted", c.name)
+		}
+	}
+	// Zero bandwidth is a condition (offline), not nonsense: it forces the
+	// full-edge plan rather than erroring.
+	p, curve, err := BestSplit(costs, m4, cloud, 32, 0, 0, 64)
+	if err != nil || p.Cut != len(costs) || len(curve) != 1 {
+		t.Fatalf("offline plan = %+v (curve %d), err %v", p, len(curve), err)
+	}
+}
+
+// TestBestSplitZeroAndSingleLayerModels covers the degenerate model
+// shapes: an empty cost list errors, and a single-layer model yields
+// exactly the two valid plans (all-cloud and all-edge).
+func TestBestSplitZeroAndSingleLayerModels(t *testing.T) {
+	m4, _ := device.ProfileByName("m4-wearable")
+	cloud, _ := device.ProfileByName("edge-gateway")
+	if _, _, err := BestSplit([]nn.LayerCost{}, m4, cloud, 32, 1e6, 0, 64); err == nil {
+		t.Fatal("accepted zero-layer model")
+	}
+	rng := tensor.NewRNG(3)
+	net := nn.NewNetwork([]int{16}, nn.NewDense(16, 4, rng))
+	costs, err := net.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, curve, err := BestSplit(costs, m4, cloud, 32, 1e9, time.Microsecond, 16*4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 2 {
+		t.Fatalf("single-layer curve has %d plans, want 2", len(curve))
+	}
+	if curve[0].Cut != 0 || curve[1].Cut != 1 {
+		t.Fatalf("curve cuts %d,%d", curve[0].Cut, curve[1].Cut)
+	}
+	// Cut 1 keeps the single layer on-device: no network terms at all.
+	if curve[1].TxLatency != 0 || curve[1].CloudLatency != 0 {
+		t.Fatalf("full-edge plan touches the network: %+v", curve[1])
+	}
+	// Cut 0 ships the raw input: its transfer time must include the RTT.
+	if curve[0].TxLatency < time.Microsecond {
+		t.Fatalf("all-cloud plan ignores rtt: %+v", curve[0])
+	}
+	if best.Total != curve[0].Total && best.Total != curve[1].Total {
+		t.Fatalf("best %+v not on the curve", best)
+	}
+	// On a fat pipe the fast cloud wins the single-layer model.
+	if best.Cut != 0 {
+		t.Fatalf("fat pipe should offload the single layer, cut %d", best.Cut)
+	}
+}

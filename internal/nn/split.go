@@ -1,0 +1,86 @@
+package nn
+
+import (
+	"fmt"
+
+	"tinymlops/internal/tensor"
+)
+
+// checkCut validates a layer cut point for partitioned execution.
+func (n *Network) checkCut(cut int) error {
+	if cut < 0 || cut > len(n.layers) {
+		return fmt.Errorf("nn: cut %d out of range [0,%d]", cut, len(n.layers))
+	}
+	return nil
+}
+
+// Subnet returns a view over layers [lo,hi) of the network: the returned
+// Network shares the receiver's layer objects (weights included — no copy),
+// with its InputShape set to the per-example shape entering layer lo. It is
+// the execution form of a partitioned model: Subnet(0, cut) is the device
+// prefix and Subnet(cut, len) is the cloud suffix, and because the layers
+// are shared, running both in sequence performs exactly the floating-point
+// operations Forward would. The view must not outlive mutations of the
+// parent's layer list.
+func (n *Network) Subnet(lo, hi int) (*Network, error) {
+	if lo < 0 || hi > len(n.layers) || lo > hi {
+		return nil, fmt.Errorf("nn: subnet [%d,%d) out of range [0,%d]", lo, hi, len(n.layers))
+	}
+	in := append([]int(nil), n.InputShape...)
+	if lo > 0 {
+		cs, err := n.Summary()
+		if err != nil {
+			return nil, err
+		}
+		in = append([]int(nil), cs[lo-1].Info.OutShape...)
+	}
+	return &Network{InputShape: in, layers: n.layers[lo:hi]}, nil
+}
+
+// ForwardPrefix runs layers [0,cut) on x in inference mode and returns the
+// boundary activation — the tensor an edge–cloud split ships over the
+// network. cut = 0 returns x unchanged; cut = len(layers) computes the full
+// forward pass. The result is bit-identical to stopping Forward(x, false)
+// after cut layers, so ForwardSuffix(ForwardPrefix(x, c), c) reproduces the
+// monolithic output exactly for any c.
+func (n *Network) ForwardPrefix(x *tensor.Tensor, cut int) (*tensor.Tensor, error) {
+	if err := n.checkCut(cut); err != nil {
+		return nil, err
+	}
+	for _, l := range n.layers[:cut] {
+		x = l.Forward(x, false)
+	}
+	return x, nil
+}
+
+// ForwardSuffix runs layers [cut,len) on a boundary activation in
+// inference mode — the cloud half of a partitioned forward pass. cut = 0
+// runs the whole network (the activation is the raw input); cut =
+// len(layers) returns x unchanged (the device already finished).
+func (n *Network) ForwardSuffix(x *tensor.Tensor, cut int) (*tensor.Tensor, error) {
+	if err := n.checkCut(cut); err != nil {
+		return nil, err
+	}
+	for _, l := range n.layers[cut:] {
+		x = l.Forward(x, false)
+	}
+	return x, nil
+}
+
+// PrefixShape returns the per-example shape of the activation crossing a
+// cut: the network input shape at cut 0, otherwise layer cut-1's output
+// shape. It is what a cloud suffix endpoint validates incoming activations
+// against.
+func (n *Network) PrefixShape(cut int) ([]int, error) {
+	if err := n.checkCut(cut); err != nil {
+		return nil, err
+	}
+	if cut == 0 {
+		return append([]int(nil), n.InputShape...), nil
+	}
+	cs, err := n.Summary()
+	if err != nil {
+		return nil, err
+	}
+	return append([]int(nil), cs[cut-1].Info.OutShape...), nil
+}

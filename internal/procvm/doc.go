@@ -1,0 +1,16 @@
+// Package procvm is the portable pre/post-processing sandbox of §IV: a
+// tiny stack-based virtual machine whose modules (windowing, scaling,
+// spectral features, thresholding, argmax) travel with a model version
+// through the registry and run identically on every device class — the
+// answer to processing pipelines being even less portable than the
+// models they wrap.
+//
+// Modules are built with a validating Builder (pool references, operand
+// encoding and stack balance are checked statically), serialized in a
+// versioned binary format, and executed under a capability gate: an
+// owner grants CapSensor/CapNetwork-style permissions per runtime, so a
+// marketplace host can run a stranger's pipeline without trusting it —
+// the §IV orchestration story's sandbox requirement. The interpreter is
+// deliberately allocation-light and branch-simple, standing in for the
+// WebAssembly-class runtimes the paper points at.
+package procvm

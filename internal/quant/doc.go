@@ -1,0 +1,17 @@
+// Package quant derives the optimized model variants of §III-A: post-
+// training quantization to int8/int4/ternary/binary with per-tensor
+// scales (stored as exact float32 artifacts, shipped at packed size),
+// integer-kernel executables (QModel) for targets with native low-bit
+// support, fake-quantization for accuracy evaluation, global magnitude
+// pruning, and teacher→student distillation for recovering accuracy in
+// the smallest variants.
+//
+// The paper's pipeline observation is that every published model fans
+// out into a matrix of precision × sparsity variants, and which one a
+// device gets is a deployment-time decision, not a training-time one:
+// the registry (internal/registry) calls into this package on publish to
+// materialize the matrix, and per-device selection (internal/selector)
+// scores the results against each device's memory, latency and native
+// bit-width support — where §III-A's warning lands that low precision
+// buys nothing without hardware kernels (see E3).
+package quant

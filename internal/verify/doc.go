@@ -1,0 +1,16 @@
+// Package verify implements the verifiable-execution layer of §VI: an
+// untrusted edge device produces, next to each inference result, a short
+// mathematical proof that the result came from the unmodified model; a
+// cheap verifier (the payment authorizer, the cloud) checks the proof
+// without re-executing the network.
+//
+// The construction follows SafetyNets/Thaler: the network's dense layers
+// are lifted to exact arithmetic over the Mersenne prime field
+// F_p (p = 2⁶¹−1) after int8 quantization, each matrix product is proven
+// with the sum-check protocol for matrix multiplication (logarithmic
+// rounds, O(m·k + k·n) verifier work versus O(m·n·k) re-execution),
+// Fiat-Shamir makes it non-interactive, and the (cheap, O(n)) nonlinear
+// layers are recomputed by the verifier directly — the same split Slalom
+// makes. Freivalds' check is included as the one-shot randomized
+// baseline.
+package verify

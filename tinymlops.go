@@ -22,13 +22,17 @@
 package tinymlops
 
 import (
+	"time"
+
 	"tinymlops/internal/core"
 	"tinymlops/internal/dataset"
 	"tinymlops/internal/device"
 	"tinymlops/internal/engine"
 	"tinymlops/internal/faults"
 	"tinymlops/internal/fed"
+	"tinymlops/internal/market"
 	"tinymlops/internal/nn"
+	"tinymlops/internal/offload"
 	"tinymlops/internal/registry"
 	"tinymlops/internal/rollout"
 	"tinymlops/internal/selector"
@@ -169,6 +173,93 @@ func RunChaosScenario(cfg ChaosScenarioConfig) (*ChaosScenarioResult, error) {
 // ClientFault is one federated client's injected failure for a round
 // (dropout or straggler); see FedConfig's Faults hook.
 type ClientFault = fed.ClientFault
+
+// Edge–cloud offload plane (§IV: partitioned execution, live).
+
+// LayerCost is one layer's static cost summary (MACs, activation size) —
+// what split planning consumes; see Network.Summary.
+type LayerCost = nn.LayerCost
+
+// SplitPlan describes running layers [0,Cut) on the device and [Cut,n) in
+// the cloud, with the latency decomposition that justified the cut.
+type SplitPlan = market.SplitPlan
+
+// BestSplit finds the layer cut minimizing end-to-end latency for the
+// given device/cloud pair, uplink bandwidth (bytes/second; 0 forces the
+// full-edge plan), round-trip time and raw input size. It returns the
+// best plan and the full per-cut curve.
+func BestSplit(costs []LayerCost, dev, cloud DeviceCapabilities, bits int, bandwidthBps float64, rtt time.Duration, inputBytes int64) (SplitPlan, []SplitPlan, error) {
+	return market.BestSplit(costs, dev, cloud, bits, bandwidthBps, rtt, inputBytes)
+}
+
+// OffloadCloud is the cloud half of the offload plane: a bounded, batched
+// admission queue that coalesces concurrent suffix requests into single
+// ForwardBatch calls with per-tenant fair scheduling.
+type OffloadCloud = offload.CloudTier
+
+// OffloadCloudConfig sizes an OffloadCloud (modeled hardware, batch
+// coalescing limit, queue bound, dispatcher count).
+type OffloadCloudConfig = offload.CloudConfig
+
+// OffloadCloudStats aggregates a tier's serving counters (submitted,
+// served, shed, batches, high-water marks).
+type OffloadCloudStats = offload.CloudStats
+
+// NewOffloadCloud returns a cloud tier; call Start to begin serving and
+// Close to drain and stop.
+func NewOffloadCloud(cfg OffloadCloudConfig) *OffloadCloud { return offload.NewCloud(cfg) }
+
+// OffloadConfig controls Platform.Offload (cloud tier, RTT, shed retry
+// policy, re-planning thresholds, optional pinned plan).
+type OffloadConfig = core.OffloadConfig
+
+// OffloadSession is a deployment serving queries through the split
+// runtime — metering, drift monitoring and telemetry stay the
+// deployment's own; only the forward pass moves.
+type OffloadSession = core.OffloadSession
+
+// OffloadOutcome is one offloaded query's result: the deployment-level
+// view plus the split execution detail.
+type OffloadOutcome = core.OffloadOutcome
+
+// OffloadResult is the split runtime's per-query record (mode, cut,
+// boundary bytes, energy, cloud batch).
+type OffloadResult = offload.Result
+
+// OffloadMode records how an offloaded query executed.
+type OffloadMode = offload.Mode
+
+// Offload execution modes: the plan kept the query local, the split ran
+// prefix-on-device / suffix-in-cloud, or a failed split fell back to full
+// on-device execution.
+const (
+	OffloadLocal    = offload.ModeLocal
+	OffloadSplit    = offload.ModeSplit
+	OffloadFallback = offload.ModeFallback
+)
+
+// OffloadStats aggregates a session's execution counters.
+type OffloadStats = offload.Stats
+
+// OffloadReplanConfig tunes when a session re-runs BestSplit and how
+// reluctant it is to move the cut (two-stage hysteresis).
+type OffloadReplanConfig = offload.ReplanConfig
+
+// OffloadConditions is the live telemetry a replanner watches: uplink
+// bandwidth, battery fraction, cloud queue depth.
+type OffloadConditions = offload.Conditions
+
+// OffloadReport is the chaos scenario's offload-phase record.
+type OffloadReport = faults.OffloadReport
+
+// ErrOffloadShed is returned by OffloadCloud.Submit when the bounded
+// admission queue is full; sessions retry it on the deterministic backoff
+// schedule and fall back to local execution if it persists.
+var ErrOffloadShed = offload.ErrShed
+
+// ErrOffloadStale is returned after an OTA update invalidates an offload
+// session; open a new session against the updated deployment.
+var ErrOffloadStale = core.ErrOffloadStale
 
 // TransientUpdateError reports whether an update failure is worth
 // retrying: the device was offline, or the install crashed mid-flash and
