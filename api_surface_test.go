@@ -1,6 +1,7 @@
 package tinymlops_test
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -342,6 +343,72 @@ func TestChaosSurface(t *testing.T) {
 	}
 	if rep := tinymlops.AuditPlatform(p, tinymlops.AuditConfig{Deep: true}); !rep.OK() {
 		t.Fatalf("empty platform fails audit: %v", rep.Violations)
+	}
+}
+
+// TestIntegerServingSurface pins the integer-serving facade: QModel with
+// its batched scratch path, the selection policy's scheme allowlist, the
+// deployment's reported execution scheme, and the offload refusal
+// sentinel — all reached through re-exports only.
+func TestIntegerServingSurface(t *testing.T) {
+	rng := tinymlops.NewRNG(51)
+	net := tinymlops.NewNetwork([]int{4}, tinymlops.Dense(4, 8, rng), tinymlops.ReLU(), tinymlops.Dense(8, 2, rng))
+
+	// QModel + QScratch through the facade, bit-identical to Predict.
+	var qm *tinymlops.QModel
+	qm, err := tinymlops.Quantize(net, tinymlops.Int8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scratch *tinymlops.QScratch = tinymlops.NewQScratch()
+	in := tinymlops.FromSlice([]float32{1, -2, 0.5, 3, 0, 0, -1, 2}, 2, 4)
+	got := qm.ForwardBatch(in, scratch)
+	want := qm.Predict(in)
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("ForwardBatch diverged from Predict at %d", i)
+		}
+	}
+
+	// An int8-pinned deployment on NPU hardware reports int8 execution
+	// and refuses to offload.
+	fleet, err := tinymlops.NewStandardFleet(tinymlops.FleetSpec{CountPerProfile: 1, Seed: 51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range fleet.Devices() {
+		d.SetBehavior(1, 1, 0)
+	}
+	fleet.Tick()
+	platform, err := tinymlops.NewPlatform(fleet, tinymlops.PlatformConfig{
+		VendorKey: []byte("surface-test-key-0123456789abcde"), Seed: 51,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := tinymlops.Blobs(rng, 200, 4, 2, 4)
+	if _, err := platform.Publish("surface-int", net, ds, tinymlops.OptimizationSpec{
+		Schemes:  []tinymlops.Scheme{tinymlops.Int8},
+		Evaluate: func(n *tinymlops.Network) float64 { return tinymlops.Evaluate(n, ds.X, ds.Y) },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	policy := tinymlops.SelectionPolicy{Schemes: []tinymlops.Scheme{tinymlops.Int8}}
+	dep, err := platform.Deploy("npu-board-00", "surface-int", tinymlops.DeployConfig{
+		PrepaidQueries: 10, Policy: policy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sch tinymlops.Scheme = dep.ExecutionScheme()
+	if sch != tinymlops.Int8 {
+		t.Fatalf("execution scheme %v, want int8", sch)
+	}
+	cloud := tinymlops.NewOffloadCloud(tinymlops.OffloadCloudConfig{MaxBatch: 4})
+	cloud.Start()
+	defer cloud.Close()
+	if _, err := platform.Offload("npu-board-00", tinymlops.OffloadConfig{Cloud: cloud}); !errors.Is(err, tinymlops.ErrOffloadInteger) {
+		t.Fatalf("offload on integer deployment: %v, want ErrOffloadInteger", err)
 	}
 }
 

@@ -504,6 +504,48 @@ func BenchmarkForwardBatch16(b *testing.B) {
 	}
 }
 
+// --- integer serving: batched QModel vs batched float -----------------------
+
+// precisionBenchFixture builds the shared topology and batch of the
+// integer-vs-float serving benchmarks: identical model, identical input,
+// so the ratio isolates the kernels.
+func precisionBenchFixture() (*nn.Network, *tensor.Tensor) {
+	rng := tensor.NewRNG(32)
+	net := nn.NewNetwork([]int{64},
+		nn.NewDense(64, 128, rng), nn.NewReLU(), nn.NewDense(128, 10, rng))
+	return net, tensor.Randn(rng, 1, 16, 64)
+}
+
+// BenchmarkInferBatchFloat32 is the float serving baseline: one batch-16
+// ForwardBatch per iteration with reused scratch.
+func BenchmarkInferBatchFloat32(b *testing.B) {
+	net, in := precisionBenchFixture()
+	scratch := nn.NewScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ForwardBatch(in, scratch)
+	}
+}
+
+// BenchmarkInferBatchInt8 runs the same topology and batch through the
+// integer runtime (dynamic per-example activation quantization + blocked
+// int8 matmul) with reused QScratch — the hot path an NPU-class
+// deployment serves.
+func BenchmarkInferBatchInt8(b *testing.B) {
+	net, in := precisionBenchFixture()
+	qm, err := quant.NewQModel(net, quant.Int8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scratch := quant.NewQScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qm.ForwardBatch(in, scratch)
+	}
+}
+
 // --- staged OTA rollout: delta vs full transfer ------------------------------
 
 // rolloutBenchSetup builds a platform over 8 wall-powered gateways, all

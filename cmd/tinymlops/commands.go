@@ -119,7 +119,7 @@ func cmdVariants(args []string) error {
 	}
 	_, test := ds.Split(0.8, rng)
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "scheme\tsize bytes\taccuracy")
+	fmt.Fprintln(tw, "scheme\tsize bytes\taccuracy\tnative exec on")
 	for _, scheme := range []tinymlops.Scheme{tinymlops.Float32, tinymlops.Int8, tinymlops.Int4, tinymlops.Ternary, tinymlops.Binary} {
 		candidate := net
 		if scheme != tinymlops.Float32 {
@@ -128,8 +128,9 @@ func cmdVariants(args []string) error {
 				return err
 			}
 		}
-		fmt.Fprintf(tw, "%s\t%d\t%.3f\n", scheme,
-			quantSize(net, scheme), tinymlops.Evaluate(candidate, test.X, test.Y))
+		fmt.Fprintf(tw, "%s\t%d\t%.3f\t%s\n", scheme,
+			quantSize(net, scheme), tinymlops.Evaluate(candidate, test.X, test.Y),
+			nativeExecProfiles(scheme))
 	}
 	return tw.Flush()
 }
@@ -271,17 +272,18 @@ func cmdSimulate(args []string) error {
 	})
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "device\tvariant\tserved\tdenied\tbattery")
+	fmt.Fprintln(tw, "device\tvariant\texec\tserved\tdenied\tbattery")
 	for i, d := range devs {
 		// A nil dep with a nil err means the deploy task died before
 		// recording a result (the engine contains panics per task).
 		if states[i].err != nil || states[i].dep == nil {
-			fmt.Fprintf(tw, "%s\t(deploy failed: %v)\t\t\t\n", d.ID, states[i].err)
+			fmt.Fprintf(tw, "%s\t(deploy failed: %v)\t\t\t\t\n", d.ID, states[i].err)
 			continue
 		}
 		dep := states[i].dep
-		fmt.Fprintf(tw, "%s\t%s/%s\t%d\t%d\t%.0f%%\n",
-			d.ID, dep.Version.ID[:8], dep.Version.Scheme, stats[i].served, stats[i].denied, 100*d.BatteryLevel())
+		fmt.Fprintf(tw, "%s\t%s/%s\t%s\t%d\t%d\t%.0f%%\n",
+			d.ID, dep.Version.ID[:8], dep.Version.Scheme, dep.ExecutionScheme(),
+			stats[i].served, stats[i].denied, 100*d.BatteryLevel())
 	}
 	if err := tw.Flush(); err != nil {
 		return err

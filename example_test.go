@@ -99,3 +99,60 @@ func ExamplePlatform_Offload() {
 	// label matches on-device forward: true
 	// meter used: 1
 }
+
+// ExamplePlatform_integerServing deploys the same model line to two
+// policy cohorts: an int8-pinned deployment on NPU-class hardware serves
+// through the native integer kernels (and the cost model charges the
+// native int8 rate), while a float32-pinned deployment stays on the float
+// engine.
+func ExamplePlatform_integerServing() {
+	rng := tinymlops.NewRNG(7)
+	fleet, err := tinymlops.NewStandardFleet(tinymlops.FleetSpec{CountPerProfile: 1, Seed: 7})
+	if err != nil {
+		panic(err)
+	}
+	for _, d := range fleet.Devices() {
+		d.SetBehavior(1, 1, 0)
+	}
+	fleet.Tick()
+	platform, err := tinymlops.NewPlatform(fleet, tinymlops.PlatformConfig{
+		VendorKey: []byte("example-vendor-key-0123456789abc"), Seed: 7,
+	})
+	if err != nil {
+		panic(err)
+	}
+	ds := tinymlops.Blobs(rng, 200, 4, 2, 4)
+	net := tinymlops.NewNetwork([]int{4}, tinymlops.Dense(4, 8, rng), tinymlops.ReLU(), tinymlops.Dense(8, 2, rng))
+	if _, err := platform.Publish("kw", net, ds, tinymlops.OptimizationSpec{
+		Schemes:  []tinymlops.Scheme{tinymlops.Int8},
+		Evaluate: func(n *tinymlops.Network) float64 { return tinymlops.Evaluate(n, ds.X, ds.Y) },
+	}); err != nil {
+		panic(err)
+	}
+
+	depInt, err := platform.Deploy("npu-board-00", "kw", tinymlops.DeployConfig{
+		PrepaidQueries: 10,
+		Policy:         tinymlops.SelectionPolicy{Schemes: []tinymlops.Scheme{tinymlops.Int8}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	depFloat, err := platform.Deploy("phone-00", "kw", tinymlops.DeployConfig{
+		PrepaidQueries: 10,
+		Policy:         tinymlops.SelectionPolicy{Schemes: []tinymlops.Scheme{tinymlops.Float32}},
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("npu-board-00: variant %s, executes %s\n", depInt.Version.Scheme, depInt.ExecutionScheme())
+	fmt.Printf("phone-00: variant %s, executes %s\n", depFloat.Version.Scheme, depFloat.ExecutionScheme())
+	caps := depInt.Device().Caps
+	macs := depInt.Version.Metrics.MACs
+	fmt.Printf("npu charges %v natively vs %v at float32\n",
+		caps.InferenceLatency(macs, 8), caps.InferenceLatency(macs, 32))
+	// Output:
+	// npu-board-00: variant int8, executes int8
+	// phone-00: variant float32, executes float32
+	// npu charges 3ns natively vs 400ns at float32
+}

@@ -11,10 +11,72 @@ import (
 	"tinymlops/internal/nn"
 	"tinymlops/internal/observe"
 	"tinymlops/internal/procvm"
+	"tinymlops/internal/quant"
 	"tinymlops/internal/registry"
 	"tinymlops/internal/selector"
 	"tinymlops/internal/tensor"
 )
+
+// runnable is the executable behind a deployment's forward passes: the
+// float network, or the integer-kernel QModel when the selected variant's
+// scheme has native hardware support on the device (§III-A: low precision
+// buys nothing unless the device runs real integer kernels).
+type runnable interface {
+	// forwardBatch runs inference on a [batch, features] tensor. The
+	// result aliases internal scratch storage; the caller must hold d.mu
+	// and consume it before the next call.
+	forwardBatch(x *tensor.Tensor) *tensor.Tensor
+	// execScheme is the weight precision of the kernels actually running.
+	execScheme() quant.Scheme
+	// execBits is the bit width charged to the device cost model.
+	execBits() int
+}
+
+// floatRunnable serves a deployment from the float engine. For integer
+// variants without native hardware support the weights are already
+// fake-quantized in the artifact, and bits keeps the variant's width so
+// the device cost model charges the emulation penalty.
+type floatRunnable struct {
+	net     *nn.Network
+	scratch *nn.Scratch
+	bits    int
+}
+
+func (r *floatRunnable) forwardBatch(x *tensor.Tensor) *tensor.Tensor {
+	return r.net.ForwardBatch(x, r.scratch)
+}
+func (r *floatRunnable) execScheme() quant.Scheme { return quant.Float32 }
+func (r *floatRunnable) execBits() int            { return r.bits }
+
+// intRunnable serves a deployment from the integer kernels at the
+// variant's native bit width.
+type intRunnable struct {
+	qm      *quant.QModel
+	scratch *quant.QScratch
+}
+
+func (r *intRunnable) forwardBatch(x *tensor.Tensor) *tensor.Tensor {
+	return r.qm.ForwardBatch(x, r.scratch)
+}
+func (r *intRunnable) execScheme() quant.Scheme { return r.qm.Scheme }
+func (r *intRunnable) execBits() int            { return r.qm.Scheme.Bits() }
+
+// newRunnable builds the executable for (device, version, model): a
+// variant with an integer scheme the device supports natively executes on
+// the quant integer kernels; everything else — float bases, devices
+// without the bit width, models the integer runtime cannot lower — runs
+// the float engine over the artifact's (fake-quantized) weights, charged
+// at the variant's bit width so unsupported widths pay the emulation
+// penalty. The registry artifact stays the source of truth: the QModel is
+// re-derived from the decrypted model after every update or rollback.
+func newRunnable(dev *device.Device, v *registry.ModelVersion, model *nn.Network) runnable {
+	if v.Scheme != quant.Float32 && dev.Caps.SupportsBits(v.Scheme.Bits()) {
+		if qm, err := quant.NewQModel(model, v.Scheme); err == nil {
+			return &intRunnable{qm: qm, scratch: quant.NewQScratch()}
+		}
+	}
+	return &floatRunnable{net: model, scratch: nn.NewScratch(), bits: v.Scheme.Bits()}
+}
 
 // image is one installed model generation: what a rollback restores.
 type image struct {
@@ -24,10 +86,13 @@ type image struct {
 }
 
 // Deployment is one model running on one device: the decrypted model, the
-// metering gate, the drift monitor, the telemetry buffer and the optional
-// procvm pipeline stages. Deployments are updatable: Update hot-swaps the
-// model to a new registry version (keeping meter and telemetry buffer) and
-// Rollback reverts to the previous image, A/B-slot style.
+// executable serving it (the float engine, or the integer-kernel QModel
+// when the variant's scheme has native hardware support — see
+// ExecutionScheme), the metering gate, the drift monitor, the telemetry
+// buffer and the optional procvm pipeline stages. Deployments are
+// updatable: Update hot-swaps the model to a new registry version (keeping
+// meter and telemetry buffer) and Rollback reverts to the previous image,
+// A/B-slot style; both re-derive the executable from the swapped-in model.
 type Deployment struct {
 	DeviceID string
 	Version  *registry.ModelVersion
@@ -39,6 +104,7 @@ type Deployment struct {
 	platform  *Platform
 	device    *device.Device
 	model     *nn.Network
+	run       runnable
 	policy    selector.Policy
 	watermark string
 	pre       *procvm.Module
@@ -58,7 +124,6 @@ type Deployment struct {
 	winLatency  observe.Welford
 	winEnergyMJ float64
 	featStats   []observe.Welford
-	scratch     *nn.Scratch // reusable ForwardBatch buffers, guarded by mu
 }
 
 // ErrQueryDenied wraps metering denial at the inference entry point.
@@ -155,14 +220,15 @@ func (d *Deployment) Infer(x []float32) (InferenceResult, error) {
 		return InferenceResult{}, err
 	}
 
-	// Inference on the device cost model.
-	lat, err := d.device.RunInference(d.Version.Metrics.MACs, d.Version.Scheme.Bits())
+	// Inference on the device cost model, charged at the bit width of the
+	// kernels that actually execute (native integer or float/emulated).
+	lat, err := d.device.RunInference(d.Version.Metrics.MACs, d.run.execBits())
 	if err != nil {
 		d.winFailed++
 		return InferenceResult{}, fmt.Errorf("core: device: %w", err)
 	}
 	in := tensor.FromSlice(append([]float32(nil), features...), 1, len(features))
-	logits := d.model.Predict(in)
+	logits := d.run.forwardBatch(in)
 
 	// Postprocessing and telemetry accounting.
 	label, err := d.postLabelLocked(logits.Data, logits.ArgMaxRows()[0])
@@ -239,7 +305,7 @@ func (d *Deployment) InferBatch(rows [][]float32) []BatchOutcome {
 		if d.Monitor != nil {
 			d.Monitor.Observe(features)
 		}
-		lat, err := d.device.RunInference(d.Version.Metrics.MACs, d.Version.Scheme.Bits())
+		lat, err := d.device.RunInference(d.Version.Metrics.MACs, d.run.execBits())
 		if err != nil {
 			d.winFailed++
 			out[qi].Err = fmt.Errorf("core: device: %w", err)
@@ -252,10 +318,7 @@ func (d *Deployment) InferBatch(rows [][]float32) []BatchOutcome {
 		return out
 	}
 
-	if d.scratch == nil {
-		d.scratch = nn.NewScratch()
-	}
-	logits := d.model.ForwardBatch(tensor.FromSlice(feats, len(adm), fdim), d.scratch)
+	logits := d.run.forwardBatch(tensor.FromSlice(feats, len(adm), fdim))
 	labels := logits.ArgMaxRows()
 	cols := logits.Dim(1)
 	drift := d.Monitor != nil && d.Monitor.Drifted()
@@ -339,6 +402,17 @@ func (d *Deployment) rollWindowLocked() {
 // Model exposes the deployed network for white-box operations (ownership
 // verification in disputes). The caller must not mutate it.
 func (d *Deployment) Model() *nn.Network { return d.model }
+
+// ExecutionScheme reports the weight precision of the kernels actually
+// serving this deployment: the variant's integer scheme when the device
+// executes the QModel natively, Float32 when the float engine serves it
+// (float bases, and integer variants falling back to fake-quantized float
+// on hardware without the bit width).
+func (d *Deployment) ExecutionScheme() quant.Scheme {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.run.execScheme()
+}
 
 // Device returns the underlying simulated device.
 func (d *Deployment) Device() *device.Device { return d.device }

@@ -8,6 +8,7 @@ import (
 	"tinymlops/internal/engine"
 	"tinymlops/internal/market"
 	"tinymlops/internal/offload"
+	"tinymlops/internal/quant"
 )
 
 // ErrOffloadStale is returned by OffloadSession.Infer after the underlying
@@ -15,6 +16,15 @@ import (
 // the session's plan and the cloud's registered suffix no longer describe
 // the device's model. Re-create the session against the new version.
 var ErrOffloadStale = errors.New("core: offload session is stale (deployment was updated)")
+
+// ErrOffloadInteger is returned by Platform.Offload for deployments served
+// by the integer kernels: the split runtime's boundary activations move
+// through the float32 tensor codec and the cloud suffix executes the float
+// artifact, so a split answer could not be bit-exact with the device's own
+// integer forward. Callers keep such deployments fully on-device (their
+// native kernels are the fast path anyway) or redeploy with a float
+// selection policy before offloading.
+var ErrOffloadInteger = errors.New("core: integer-kernel deployment cannot offload (boundary activations are float-codec only)")
 
 // OffloadConfig controls Platform.Offload.
 type OffloadConfig struct {
@@ -61,7 +71,9 @@ type OffloadOutcome struct {
 //
 // Watermarked deployments are refused: the per-customer mark perturbs the
 // on-device weights, so a cloud suffix computed from the registry artifact
-// could not be bit-exact with the device's own model.
+// could not be bit-exact with the device's own model. Integer-kernel
+// deployments are refused with ErrOffloadInteger for the symmetric reason
+// — the boundary codec and the cloud tier are float32-only.
 func (p *Platform) Offload(deviceID string, cfg OffloadConfig) (*OffloadSession, error) {
 	dep, ok := p.Deployment(deviceID)
 	if !ok {
@@ -72,6 +84,9 @@ func (p *Platform) Offload(deviceID string, cfg OffloadConfig) (*OffloadSession,
 	}
 	if dep.Watermarked() {
 		return nil, fmt.Errorf("core: deployment on %s is watermarked; offload would break bit-exactness", deviceID)
+	}
+	if sch := dep.ExecutionScheme(); sch != quant.Float32 {
+		return nil, fmt.Errorf("%w: %s executes %s", ErrOffloadInteger, deviceID, sch)
 	}
 	version, model, _ := dep.StateSnapshot()
 	// The cloud serves the registry's own artifact — for an unwatermarked

@@ -155,6 +155,7 @@ func (p *Platform) Deploy(deviceID, modelName string, cfg DeployConfig) (*Deploy
 		platform:  p,
 		device:    dev,
 		model:     model,
+		run:       newRunnable(dev, version, model),
 		policy:    cfg.Policy,
 		watermark: cfg.Watermark,
 		Meter:     metering.NewMeter(voucher),

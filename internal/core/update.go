@@ -210,7 +210,9 @@ func (d *Deployment) Rollback() (*UpdateReport, error) {
 	if d.Monitor != nil {
 		d.Monitor.Reset()
 	}
-	d.scratch = nil
+	// Re-derive the executable from the restored image: an integer variant
+	// goes back onto the integer kernels with fresh scratch.
+	d.run = newRunnable(d.device, d.Version, d.model)
 	d.featStats = nil
 	return rep, nil
 }
@@ -222,6 +224,10 @@ func (d *Deployment) swapLocked(v *registry.ModelVersion, m *nn.Network, calib *
 	d.prev = &image{version: d.Version, model: d.model, monitor: d.Monitor}
 	d.Version = v
 	d.model = m
+	// The registry artifact stays the source of truth: deltas patched the
+	// float model, and the executable (QModel included) is re-instantiated
+	// from the result.
+	d.run = newRunnable(d.device, v, m)
 	if calib != nil {
 		mon, err := buildMonitor(calib)
 		if err != nil {
@@ -234,7 +240,6 @@ func (d *Deployment) swapLocked(v *registry.ModelVersion, m *nn.Network, calib *
 		// image shares this monitor; Rollback resets it again.
 		d.Monitor.Reset()
 	}
-	d.scratch = nil
 	d.featStats = nil
 	return nil
 }

@@ -65,6 +65,17 @@ func TestChaosRollout10kBitIdenticalAcrossWorkerCounts(t *testing.T) {
 		if o := res.Offload; o == nil || o.Mismatches != 0 || o.Split == 0 || o.Local == 0 {
 			t.Fatalf("workers=%d: offload phase %+v — want bit-exact split and local traffic", workers, o)
 		}
+		// The serving matrix must actually be mixed: half the fleet pins
+		// the int8 variant and executes the integer kernels, half pins
+		// float32 — and the integer cohort is the one the offload phase
+		// refused (float boundary codec only).
+		if res.IntServing == 0 || res.FloatServing == 0 {
+			t.Fatalf("workers=%d: serving cohorts int=%d float=%d — want both", workers, res.IntServing, res.FloatServing)
+		}
+		if res.Offload.IntegerSkipped != int64(res.IntServing) {
+			t.Fatalf("workers=%d: offload skipped %d integer deployments, fleet serves %d",
+				workers, res.Offload.IntegerSkipped, res.IntServing)
+		}
 		if first == nil {
 			first = res
 			t.Logf("10k chaos: fingerprint=%s crashes=%d attempts=%d retried=%d reconciled=%d telemetry_lost=%d",

@@ -40,6 +40,11 @@ type OffloadReport struct {
 	CloudServed   int64
 	CloudBatches  int64
 	MaxCloudBatch int
+	// IntegerSkipped counts deployments the phase refused to offload
+	// because they serve through the integer kernels (the boundary codec
+	// is float32-only — core.ErrOffloadInteger): those devices keep
+	// serving natively and sit out the split traffic by design.
+	IntegerSkipped int64
 }
 
 // runOffloadPhase opens a split session on every deployment against one
@@ -61,10 +66,18 @@ func runOffloadPhase(p *core.Platform, plane *Plane, round *uint64, cfg Scenario
 	defer cloud.Close()
 
 	// Sessions are created serially under the calm terminal weather, so
-	// every initial plan derives from (profile, calm link) alone.
+	// every initial plan derives from (profile, calm link) alone. The
+	// integer cohort is refused by design — those devices' answers come
+	// from their native kernels, which the float boundary codec cannot
+	// reproduce — and sits the phase out.
+	report := &OffloadReport{}
 	sessions := make([]*core.OffloadSession, len(deps))
 	for i, d := range deps {
 		s, err := p.Offload(d.DeviceID, core.OffloadConfig{Cloud: cloud})
+		if errors.Is(err, core.ErrOffloadInteger) {
+			report.IntegerSkipped++
+			continue
+		}
 		if err != nil {
 			return nil, fmt.Errorf("faults: offload session for %s: %w", d.DeviceID, err)
 		}
@@ -75,11 +88,13 @@ func runOffloadPhase(p *core.Platform, plane *Plane, round *uint64, cfg Scenario
 	for i, d := range deps {
 		devs[i] = &deviceHandle{dep: d}
 	}
-	report := &OffloadReport{}
 	for r := 0; r < rounds; r++ {
 		*round++
 		plane.ApplyRound(*round, fleetDevices(deps))
 		err := p.Engine().ForEach(len(deps), func(i int) error {
+			if sessions[i] == nil {
+				return nil // integer cohort: no split session
+			}
 			h := devs[i]
 			for q := 0; q < cfg.OffloadQueries; q++ {
 				x := rows[q%len(rows)]

@@ -10,8 +10,10 @@ import (
 	"tinymlops/internal/device"
 	"tinymlops/internal/engine"
 	"tinymlops/internal/nn"
+	"tinymlops/internal/quant"
 	"tinymlops/internal/registry"
 	"tinymlops/internal/rollout"
+	"tinymlops/internal/selector"
 	"tinymlops/internal/tensor"
 )
 
@@ -58,9 +60,15 @@ type ScenarioResult struct {
 	Rollout   *rollout.Result
 	// WaveWeather is the fault weather imposed before each wave.
 	WaveWeather []RoundReport
-	// Converged counts devices on V2 at the end; the scenario errors if
-	// any device failed to converge.
+	// Converged counts devices on V2's family (the base or one of its
+	// derived variants) at the end; the scenario errors if any device
+	// failed to converge.
 	Converged int
+	// IntServing and FloatServing count terminal deployments by executing
+	// scheme: the fleet deploys in two policy cohorts (integer-pinned and
+	// float-pinned), so a healthy run reports both nonzero — the mixed
+	// float/int serving matrix under one rollout.
+	IntServing, FloatServing int
 	// RetriedUpdates counts devices that needed more than one update
 	// attempt in some wave; Crashes counts injected mid-flash power
 	// losses; InstallAttempts counts all install attempts observed.
@@ -133,19 +141,44 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	}); err != nil {
 		return nil, err
 	}
-	spec := registry.OptimizationSpec{Evaluate: func(n *nn.Network) float64 { return nn.Evaluate(n, ds.X, ds.Y) }}
+	spec := registry.OptimizationSpec{
+		Schemes:  []quant.Scheme{quant.Int8},
+		Evaluate: func(n *nn.Network) float64 { return nn.Evaluate(n, ds.X, ds.Y) },
+	}
 	v1s, err := p.Publish("chaos", net, ds, spec)
 	if err != nil {
 		return nil, err
 	}
 	res := &ScenarioResult{FleetSize: fleet.Size(), V1: v1s[0]}
 
+	// The fleet splits into two selection-policy cohorts: alternating
+	// devices pin the int8 variant (every standard profile retires int8
+	// MACs natively, so these serve through the integer kernels) and the
+	// rest pin float32. The chaos therefore exercises the full mixed
+	// serving matrix — QModel and float deployments crash, resume, update
+	// and roll back side by side — and the fingerprint pins both cohorts'
+	// executing schemes at every worker count.
 	ids := make([]string, 0, len(devs))
 	for _, d := range devs {
 		ids = append(ids, d.ID)
 	}
-	if _, err := p.DeployMany(ids, "chaos", core.DeployConfig{
+	var intIDs, floatIDs []string
+	for i, id := range ids {
+		if i%2 == 0 {
+			intIDs = append(intIDs, id)
+		} else {
+			floatIDs = append(floatIDs, id)
+		}
+	}
+	if _, err := p.DeployMany(intIDs, "chaos", core.DeployConfig{
 		PrepaidQueries: cfg.PrepaidQueries, Calibration: ds,
+		Policy: selector.Policy{Schemes: []quant.Scheme{quant.Int8}},
+	}); err != nil {
+		return nil, err
+	}
+	if _, err := p.DeployMany(floatIDs, "chaos", core.DeployConfig{
+		PrepaidQueries: cfg.PrepaidQueries, Calibration: ds,
+		Policy: selector.Policy{Schemes: []quant.Scheme{quant.Float32}},
 	}); err != nil {
 		return nil, err
 	}
@@ -215,13 +248,18 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	// weather, then one terminal sweep under calm skies. Interrupted
 	// installs resume their half-written slots here.
 	opts := core.UpdateOptions{Calibration: ds}
+	// A device has converged when it runs v2's family: the base for the
+	// float cohort, the derived int8 variant for the integer cohort.
+	onV2 := func(v *registry.ModelVersion) bool {
+		return v.ID == v2.ID || v.ParentID == v2.ID
+	}
 	reconcile := func() (int, error) {
 		deps := p.Deployments()
 		updated := make([]bool, len(deps))
 		err := p.Engine().ForEach(len(deps), func(i int) error {
 			d := deps[i]
 			_, _, _, partial := d.Device().Staging()
-			if d.Version.ID == v2.ID && !partial {
+			if onV2(d.Version) && !partial {
 				return nil
 			}
 			_, uerr := engine.Retry(
@@ -262,12 +300,20 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	res.Crashes = plane.Crashes()
 	res.InstallAttempts = plane.InstallAttempts()
 	for _, d := range p.Deployments() {
-		if d.Version.ID == v2.ID {
+		if onV2(d.Version) {
 			res.Converged++
+		}
+		if d.ExecutionScheme() == quant.Float32 {
+			res.FloatServing++
+		} else {
+			res.IntServing++
 		}
 	}
 	if res.Converged != fleet.Size() {
-		return nil, fmt.Errorf("faults: %d/%d devices converged to %s", res.Converged, fleet.Size(), v2.ID)
+		return nil, fmt.Errorf("faults: %d/%d devices converged to %s's family", res.Converged, fleet.Size(), v2.ID)
+	}
+	if len(intIDs) > 0 && res.IntServing == 0 {
+		return nil, fmt.Errorf("faults: integer cohort of %d devices ended with no QModel deployments", len(intIDs))
 	}
 
 	// Offload phase: the converged fleet serves split queries under fresh
@@ -341,8 +387,8 @@ func fingerprint(p *core.Platform, res *ScenarioResult) string {
 	h := sha256.New()
 	for _, d := range p.Deployments() {
 		c := d.Device().Snapshot()
-		fmt.Fprintf(h, "%s|%s|%d|%d|%d|%d|%d|%d|%d|%d\n",
-			d.DeviceID, d.Version.ID, d.Meter.Used(), d.Meter.Remaining(),
+		fmt.Fprintf(h, "%s|%s|%s|%d|%d|%d|%d|%d|%d|%d|%d\n",
+			d.DeviceID, d.Version.ID, d.ExecutionScheme(), d.Meter.Used(), d.Meter.Remaining(),
 			c.RxBytes, c.FlashedBytes, c.TxBytes, c.Inferences, c.DeniedQueries,
 			d.CurrentWindow())
 	}
@@ -354,9 +400,10 @@ func fingerprint(p *core.Platform, res *ScenarioResult) string {
 	if o := res.Offload; o != nil {
 		// CloudBatches/MaxCloudBatch are scheduling-dependent coalescing
 		// detail and deliberately excluded.
-		fmt.Fprintf(h, "offload|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d\n",
+		fmt.Fprintf(h, "offload|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d\n",
 			o.Queries, o.Denied, o.Errors, o.Split, o.Local, o.Fallback,
-			o.Replans, o.ActivationBytes, o.Mismatches, o.CloudServed)
+			o.Replans, o.ActivationBytes, o.Mismatches, o.CloudServed,
+			o.IntegerSkipped)
 	}
 	fmt.Fprintf(h, "audit|%d|%d|%d\n", res.Audit.ViolationCount,
 		res.Audit.ArtifactsVerified, res.Audit.TelemetryRecords)

@@ -1,10 +1,20 @@
-// Package quant derives the optimized model variants of §III-A: post-
-// training quantization to int8/int4/ternary/binary with per-tensor
-// scales (stored as exact float32 artifacts, shipped at packed size),
-// integer-kernel executables (QModel) for targets with native low-bit
-// support, fake-quantization for accuracy evaluation, global magnitude
-// pruning, and teacher→student distillation for recovering accuracy in
-// the smallest variants.
+// Package quant derives the optimized model variants of §III-A and
+// executes them: post-training quantization to int8/int4/ternary/binary
+// with per-channel scales (stored as exact float32 artifacts, shipped at
+// packed size), the QModel integer runtime, fake-quantization for
+// accuracy evaluation, global magnitude pruning, and teacher→student
+// distillation for recovering accuracy in the smallest variants.
+//
+// QModel is a first-class servable, not an evaluation aid: dense and
+// convolutional layers run on the blocked int8 kernel in internal/tensor
+// with dynamic per-example activation quantization, and ForwardBatch
+// serves whole bursts through reusable QScratch buffers — allocation-free
+// in the steady state, bit-identical to per-example Predict, and safe for
+// any number of goroutines over one shared model (one scratch each). The
+// serving layer (internal/core) instantiates a QModel automatically
+// whenever the selected variant's scheme has native hardware support on
+// the target device, so the variant matrix governs the executing kernels,
+// not just artifact sizes.
 //
 // The paper's pipeline observation is that every published model fans
 // out into a matrix of precision × sparsity variants, and which one a
@@ -13,5 +23,6 @@
 // materialize the matrix, and per-device selection (internal/selector)
 // scores the results against each device's memory, latency and native
 // bit-width support — where §III-A's warning lands that low precision
-// buys nothing without hardware kernels (see E3).
+// buys nothing without hardware kernels (see E3, and the emulation
+// penalty devices without a bit width pay at serving time).
 package quant

@@ -7,10 +7,21 @@ import (
 	"tinymlops/internal/tensor"
 )
 
-// QModel is a quantized executable derived from an nn.Network: dense layers
-// run on the integer kernel with dynamically quantized activations, all
-// other layers run in float32. It mirrors what an int8 deployment of an MLP
-// looks like on a microcontroller runtime.
+// QModel is a quantized executable derived from an nn.Network: dense and
+// convolutional layers run on the blocked integer kernel with dynamically
+// quantized activations (one symmetric int8 scale per example, like a
+// microcontroller runtime quantizing each incoming sample), everything
+// else runs in float32 through the stateless inference fast paths. A
+// QModel never writes to itself during inference, so one model may serve
+// any number of goroutines as long as each brings its own QScratch.
+//
+// Numerical contract: every example is quantized and executed
+// independently, so ForwardBatch over a batch, Predict row by row, and a
+// naive scalar int8 reference all produce bit-identical outputs. Against
+// the fake-quantized float reference (FakeQuantizeNetwork at the same
+// scheme) the only deviation is dynamic activation quantization: each
+// quantized activation differs from its float value by at most half the
+// example's activation scale, i.e. absMax(example)/254 per element.
 type QModel struct {
 	InputShape []int
 	Scheme     Scheme
@@ -18,23 +29,100 @@ type QModel struct {
 	stages []qStage
 }
 
-// qStage is one executable stage of a QModel.
+// qStage is one executable stage of a QModel. run may use s's reusable
+// buffers keyed by idx; the returned tensor is valid until the next call
+// with the same scratch.
 type qStage interface {
-	run(x *tensor.Tensor) *tensor.Tensor
+	run(x *tensor.Tensor, s *QScratch, idx int) *tensor.Tensor
 	sizeBytes() int
 }
 
-// qDense runs y = dequant(quant(x) ⊗ Wq) + b on the integer kernel.
+// QScratch holds the reusable buffers behind QModel.ForwardBatch: one
+// float activation buffer per stage plus shared int8 code, im2col and
+// scale workspaces. One QScratch serves one goroutine and one model;
+// buffers grow on first use and are reused while shapes repeat, so in
+// the steady state a serving loop's only allocations are the int8
+// kernel's small per-worker accumulator tiles.
+type QScratch struct {
+	bufs      []*tensor.Tensor
+	codes     []int8
+	cols      []int8
+	rowScales []float32
+	colScales []float32
+}
+
+// NewQScratch returns an empty scratch space for integer-kernel inference.
+func NewQScratch() *QScratch { return &QScratch{} }
+
+// buffer returns the cached float buffer for stage idx reshaped to shape,
+// reallocating only when the element count changed.
+func (s *QScratch) buffer(idx int, shape []int) *tensor.Tensor {
+	for len(s.bufs) <= idx {
+		s.bufs = append(s.bufs, nil)
+	}
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if b := s.bufs[idx]; b != nil && b.Size() == n {
+		if !shapeEq(b.Shape(), shape) {
+			b = tensor.FromSlice(b.Data, shape...)
+			s.bufs[idx] = b
+		}
+		return b
+	}
+	b := tensor.New(shape...)
+	s.bufs[idx] = b
+	return b
+}
+
+func shapeEq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// grow8 grows one of the scratch's int8 workspaces to at least n codes.
+func grow8(buf *[]int8, n int) []int8 {
+	if cap(*buf) < n {
+		*buf = make([]int8, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// growf grows a float32 workspace to at least n entries.
+func growf(buf *[]float32, n int) []float32 {
+	if cap(*buf) < n {
+		*buf = make([]float32, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// qDense runs y = dequant(quant(x) ⊗ Wq) + b on the integer kernel with
+// one dynamic activation scale per example row.
 type qDense struct {
 	w    *QTensor
 	bias []float32
 }
 
-func (d *qDense) run(x *tensor.Tensor) *tensor.Tensor {
-	qx, sx := QuantizeActivations(x)
+func (d *qDense) run(x *tensor.Tensor, s *QScratch, idx int) *tensor.Tensor {
+	if x.Rank() != 2 || x.Dim(1) != d.w.Rows {
+		panic(fmt.Sprintf("quant: qdense(%d→%d) got input shape %v", d.w.Rows, d.w.Cols, x.Shape()))
+	}
 	rows := x.Dim(0)
-	out := tensor.New(rows, d.w.Cols)
-	MatMulInt8(out.Data, qx, d.w.Data, rows, d.w.Rows, d.w.Cols, sx, d.w.Scales)
+	codes := grow8(&s.codes, rows*d.w.Rows)
+	scales := growf(&s.rowScales, rows)
+	QuantizeActivationsRows(x, codes, scales)
+	out := s.buffer(idx, []int{rows, d.w.Cols})
+	tensor.MatMulInt8(out.Data, codes, d.w.Data, rows, d.w.Rows, d.w.Cols, scales, d.w.Scales)
 	for i := 0; i < rows; i++ {
 		row := out.Data[i*d.w.Cols : (i+1)*d.w.Cols]
 		for j := range row {
@@ -46,25 +134,184 @@ func (d *qDense) run(x *tensor.Tensor) *tensor.Tensor {
 
 func (d *qDense) sizeBytes() int { return d.w.SizeBytes() + 4*len(d.bias) }
 
-// qFloat wraps a float layer (activation, pooling, flatten, ...).
+// qConv2D runs a convolution on the integer kernel: each example's
+// activations are quantized with one dynamic scale, unrolled to int8
+// im2col columns (zero padding is exact in the integer domain), and
+// multiplied against per-output-channel quantized kernels.
+type qConv2D struct {
+	inC, outC   int
+	kh, kw      int
+	stride, pad int
+	w           []int8    // [outC, inC*kh*kw] row-major codes
+	wScales     []float32 // per output channel
+	bias        []float32
+	scheme      Scheme
+}
+
+func (c *qConv2D) outHW(h, w int) (int, int) {
+	return (h+2*c.pad-c.kh)/c.stride + 1, (w+2*c.pad-c.kw)/c.stride + 1
+}
+
+// im2colInt8 unrolls one example's int8 codes [inC, h, w] into a
+// [inC*kh*kw, oh*ow] column matrix, zeroing padded taps.
+func (c *qConv2D) im2colInt8(cols, x []int8, h, w, oh, ow int) {
+	idx := 0
+	for ch := 0; ch < c.inC; ch++ {
+		plane := x[ch*h*w : (ch+1)*h*w]
+		for ki := 0; ki < c.kh; ki++ {
+			for kj := 0; kj < c.kw; kj++ {
+				row := cols[idx*oh*ow : (idx+1)*oh*ow]
+				idx++
+				p := 0
+				for oi := 0; oi < oh; oi++ {
+					si := oi*c.stride + ki - c.pad
+					for oj := 0; oj < ow; oj++ {
+						sj := oj*c.stride + kj - c.pad
+						if si >= 0 && si < h && sj >= 0 && sj < w {
+							row[p] = plane[si*w+sj]
+						} else {
+							row[p] = 0
+						}
+						p++
+					}
+				}
+			}
+		}
+	}
+}
+
+func (c *qConv2D) run(x *tensor.Tensor, s *QScratch, idx int) *tensor.Tensor {
+	if x.Rank() != 4 || x.Dim(1) != c.inC {
+		panic(fmt.Sprintf("quant: qconv2d(%d→%d) got input shape %v", c.inC, c.outC, x.Shape()))
+	}
+	b, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	oh, ow := c.outHW(h, w)
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("quant: qconv2d output would be empty for input %v", x.Shape()))
+	}
+	ex := c.inC * h * w
+	k := c.inC * c.kh * c.kw
+	codes := grow8(&s.codes, b*ex)
+	scales := growf(&s.rowScales, b)
+	QuantizeActivationsRows(x, codes, scales)
+	cols := grow8(&s.cols, k*oh*ow)
+	colScales := growf(&s.colScales, oh*ow)
+	out := s.buffer(idx, []int{b, c.outC, oh, ow})
+	for n := 0; n < b; n++ {
+		c.im2colInt8(cols, codes[n*ex:(n+1)*ex], h, w, oh, ow)
+		for j := range colScales {
+			colScales[j] = scales[n]
+		}
+		dst := out.Data[n*c.outC*oh*ow : (n+1)*c.outC*oh*ow]
+		tensor.MatMulInt8(dst, c.w, cols, c.outC, k, oh*ow, c.wScales, colScales)
+		for oc := 0; oc < c.outC; oc++ {
+			bias := c.bias[oc]
+			seg := dst[oc*oh*ow : (oc+1)*oh*ow]
+			for i := range seg {
+				seg[i] += bias
+			}
+		}
+	}
+	return out
+}
+
+func (c *qConv2D) sizeBytes() int {
+	wBits := len(c.w) * c.scheme.Bits()
+	return (wBits+7)/8 + 4*len(c.wScales) + 4*len(c.bias)
+}
+
+// inferInto matches the stateless fast-path contract nn layers export; the
+// interface is structural, so quant can drive it without nn exporting it.
+type inferInto interface {
+	InferInto(dst, x *tensor.Tensor)
+}
+
+// qFloat wraps a layer that stays in float32 (activation, pooling,
+// normalization with frozen statistics, ...). It prefers the layer's
+// stateless InferInto fast path into a scratch buffer; shape-only layers
+// are handled inline. NewQModel's kind allowlist guarantees every layer
+// that reaches here takes one of those stateless paths (the Forward
+// fallback is only reachable on a shape mismatch, which panics in the
+// layer anyway) — a new nn layer kind must be added to that switch before
+// a QModel will carry it, which is where its dispatch gets decided.
 type qFloat struct {
 	layer nn.Layer
 	bytes int
 }
 
-func (f *qFloat) run(x *tensor.Tensor) *tensor.Tensor { return f.layer.Forward(x, false) }
-func (f *qFloat) sizeBytes() int                      { return f.bytes }
+func (f *qFloat) run(x *tensor.Tensor, s *QScratch, idx int) *tensor.Tensor {
+	b := x.Dim(0)
+	switch f.layer.(type) {
+	case *nn.Flatten:
+		per := 1
+		for _, d := range x.Shape()[1:] {
+			per *= d
+		}
+		return x.Reshape(b, per)
+	case *nn.Dropout:
+		return x // inverted dropout is the identity at inference time
+	}
+	if fast, ok := f.layer.(inferInto); ok {
+		if info, err := f.layer.Describe(x.Shape()[1:]); err == nil {
+			dst := s.buffer(idx, append([]int{b}, info.OutShape...))
+			fast.InferInto(dst, x)
+			return dst
+		}
+	}
+	return f.layer.Forward(x, false)
+}
 
-// NewQModel quantizes net's dense layers under the scheme and returns an
-// integer-kernel executable. Convolutional layers are currently executed in
-// float32 with fake-quantized weights (the dominant cost on MLP-scale
-// TinyML models is the dense stack).
+func (f *qFloat) sizeBytes() int { return f.bytes }
+
+// quantizeRowChannels quantizes a [rows, cols] matrix with one scale per
+// ROW (the per-output-channel layout convolution kernels need), returning
+// row-major codes and the row scales. It reuses QuantizeMatrix's
+// per-column logic on the transpose so every scheme shares one rounding
+// implementation.
+func quantizeRowChannels(w *tensor.Tensor, scheme Scheme) ([]int8, []float32, error) {
+	rows, cols := w.Dim(0), w.Dim(1)
+	wt := tensor.New(cols, rows)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			wt.Set2(j, i, w.At2(i, j))
+		}
+	}
+	qt, err := QuantizeMatrix(wt, scheme)
+	if err != nil {
+		return nil, nil, err
+	}
+	codes := make([]int8, rows*cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			codes[i*cols+j] = qt.Data[j*rows+i]
+		}
+	}
+	return codes, qt.Scales, nil
+}
+
+// floatStageBytes accounts a float stage's parameters at full precision.
+func floatStageBytes(l nn.Layer) int {
+	total := 0
+	for _, p := range l.Params() {
+		total += 4 * p.Value.Size()
+	}
+	return total
+}
+
+// NewQModel lowers net into an integer-kernel executable under the scheme:
+// dense and convolutional layers quantize their weights (per output
+// channel) and run on tensor.MatMulInt8; activations, pooling, batch norm
+// (frozen statistics), flatten and dropout execute in float32 through
+// their stateless fast paths. Layer kinds outside that set have no kernel
+// in the integer runtime and are rejected — the caller falls back to
+// fake-quantized float execution, exactly what a device without the
+// operator would do.
 func NewQModel(net *nn.Network, scheme Scheme) (*QModel, error) {
 	if scheme == Float32 {
 		return nil, fmt.Errorf("quant: NewQModel requires an integer scheme, got %v", scheme)
 	}
 	m := &QModel{InputShape: append([]int(nil), net.InputShape...), Scheme: scheme}
-	for _, l := range net.Layers() {
+	for i, l := range net.Layers() {
 		switch v := l.(type) {
 		case *nn.Dense:
 			qw, err := QuantizeMatrix(v.W.Value, scheme)
@@ -74,29 +321,48 @@ func NewQModel(net *nn.Network, scheme Scheme) (*QModel, error) {
 			bias := append([]float32(nil), v.B.Value.Data...)
 			m.stages = append(m.stages, &qDense{w: qw, bias: bias})
 		case *nn.Conv2D:
-			qw, err := QuantizeMatrix(v.W.Value, scheme)
+			codes, scales, err := quantizeRowChannels(v.W.Value, scheme)
 			if err != nil {
 				return nil, err
 			}
-			// Run in float with quantized weights; account size at scheme width.
-			clone := &nn.Conv2D{InC: v.InC, OutC: v.OutC, KH: v.KH, KW: v.KW,
-				Stride: v.Stride, Pad: v.Pad,
-				W: &nn.Param{Name: "weight", Value: qw.Dequantize(), Grad: tensor.New(v.W.Value.Shape()...)},
-				B: &nn.Param{Name: "bias", Value: v.B.Value.Clone(), Grad: tensor.New(v.B.Value.Shape()...)}}
-			m.stages = append(m.stages, &qFloat{layer: clone, bytes: qw.SizeBytes() + 4*v.B.Value.Size()})
+			m.stages = append(m.stages, &qConv2D{
+				inC: v.InC, outC: v.OutC, kh: v.KH, kw: v.KW,
+				stride: v.Stride, pad: v.Pad,
+				w: codes, wScales: scales,
+				bias:   append([]float32(nil), v.B.Value.Data...),
+				scheme: scheme,
+			})
+		case *nn.ReLU, *nn.Tanh, *nn.Sigmoid, *nn.Softmax, *nn.Flatten,
+			*nn.MaxPool2D, *nn.BatchNorm1D, *nn.Dropout:
+			m.stages = append(m.stages, &qFloat{layer: l, bytes: floatStageBytes(l)})
 		default:
-			m.stages = append(m.stages, &qFloat{layer: l, bytes: 0})
+			return nil, fmt.Errorf("quant: layer %d (%s) has no integer-runtime kernel", i, l.Kind())
 		}
 	}
 	return m, nil
 }
 
-// Predict runs quantized inference on a batch.
-func (m *QModel) Predict(x *tensor.Tensor) *tensor.Tensor {
-	for _, s := range m.stages {
-		x = s.run(x)
+// ForwardBatch runs quantized inference on a [batch, example shape...]
+// tensor through reusable scratch buffers: the steady state allocates
+// nothing. Every example is quantized with its own dynamic activation
+// scale, so the output is bit-identical to running the rows one at a time
+// — the property the serving layer's batched admission path relies on. A
+// nil scratch allocates fresh buffers; an empty batch returns an empty
+// output without touching any kernel. The result aliases scratch storage
+// and is valid until the next call with the same QScratch.
+func (m *QModel) ForwardBatch(x *tensor.Tensor, s *QScratch) *tensor.Tensor {
+	if s == nil {
+		s = NewQScratch()
+	}
+	for i, st := range m.stages {
+		x = st.run(x, s, i)
 	}
 	return x
+}
+
+// Predict runs quantized inference on a batch with one-shot buffers.
+func (m *QModel) Predict(x *tensor.Tensor) *tensor.Tensor {
+	return m.ForwardBatch(x, nil)
 }
 
 // SizeBytes returns the total weight footprint of the quantized model.
@@ -109,59 +375,82 @@ func (m *QModel) SizeBytes() int {
 }
 
 // QuantizeActivations quantizes a float32 batch to int8 with one dynamic
-// per-tensor symmetric scale, returning the codes and the scale.
+// per-tensor symmetric scale, returning the codes and the scale. Rounding
+// is half away from zero; NaN quantizes to 0, and a tensor with no finite
+// nonzero magnitude (or an infinite one) falls back to scale 1.
 func QuantizeActivations(x *tensor.Tensor) ([]int8, float32) {
-	absMax := x.AbsMax()
-	scale := absMax / 127
-	if scale == 0 {
-		scale = 1
-	}
 	out := make([]int8, x.Size())
-	inv := 1 / scale
-	for i, v := range x.Data {
-		c := v * inv
-		if c > 127 {
-			c = 127
-		} else if c < -127 {
-			c = -127
-		}
-		// round half away from zero
-		if c >= 0 {
-			out[i] = int8(c + 0.5)
-		} else {
-			out[i] = int8(c - 0.5)
-		}
-	}
+	scale := quantizeBlock(x.Data, out)
 	return out, scale
 }
 
+// QuantizeActivationsRows quantizes each example of a [rows, ...] batch to
+// int8 with its own dynamic symmetric scale — the layout the integer
+// serving path uses, because it keeps every example's result independent
+// of its batch-mates. codes must have x.Size() entries and scales one per
+// row. Rounding and edge-case handling match QuantizeActivations.
+func QuantizeActivationsRows(x *tensor.Tensor, codes []int8, scales []float32) {
+	rows := x.Dim(0)
+	if rows == 0 {
+		return
+	}
+	rl := x.Size() / rows
+	for r := 0; r < rows; r++ {
+		scales[r] = quantizeBlock(x.Data[r*rl:(r+1)*rl], codes[r*rl:(r+1)*rl])
+	}
+}
+
+// quantizeBlock quantizes one contiguous block with a single symmetric
+// scale, writing int8 codes and returning the scale.
+func quantizeBlock(data []float32, codes []int8) float32 {
+	var absMax float32
+	for _, v := range data {
+		if v < 0 {
+			v = -v
+		}
+		if v > absMax { // NaN compares false: ignored for the scale
+			absMax = v
+		}
+	}
+	scale := absMax / 127
+	// Zero blocks and non-finite magnitudes fall back to scale 1: codes
+	// stay deterministic (zeros, or saturated ±127 for infinities).
+	if !(scale > 0) || scale > maxFinite {
+		scale = 1
+	}
+	inv := 1 / scale
+	for i, v := range data {
+		c := v * inv
+		switch {
+		case c != c: // NaN activations quantize to zero
+			codes[i] = 0
+		case c > 127:
+			codes[i] = 127
+		case c < -127:
+			codes[i] = -127
+		case c >= 0: // round half away from zero; -0 lands here and yields 0
+			codes[i] = int8(c + 0.5)
+		default:
+			codes[i] = int8(c - 0.5)
+		}
+	}
+	return scale
+}
+
+// maxFinite is math.MaxFloat32; spelled out to keep the hot file's import
+// set minimal.
+const maxFinite = 0x1.fffffep127
+
 // MatMulInt8 computes dst[i,j] = sx*scales[j] * Σ_k a[i,k]·b[k,j] with
 // int32 accumulation — the "hardware supports int8 dot product" fast path
-// of experiment E3.
+// of experiment E3, now delegating to the blocked kernel in tensor (one
+// shared activation scale sx broadcast over the rows).
 func MatMulInt8(dst []float32, a, b []int8, m, k, n int, sx float32, scales []float32) {
-	tensor.Parallel(m, func(lo, hi int) {
-		acc := make([]int32, n) // one accumulator row per worker, reused
-		for i := lo; i < hi; i++ {
-			arow := a[i*k : (i+1)*k]
-			drow := dst[i*n : (i+1)*n]
-			for j := range acc {
-				acc[j] = 0
-			}
-			for p, av := range arow {
-				if av == 0 {
-					continue
-				}
-				brow := b[p*n : (p+1)*n]
-				a32 := int32(av)
-				for j, bv := range brow {
-					acc[j] += a32 * int32(bv)
-				}
-			}
-			for j := range drow {
-				drow[j] = float32(acc[j]) * sx * scales[j]
-			}
-		}
-	})
+	rs := make([]float32, m)
+	for i := range rs {
+		rs[i] = sx
+	}
+	tensor.MatMulInt8(dst, a, b, m, k, n, rs, scales)
 }
 
 // MatMulInt8Emulated computes the same result as MatMulInt8 but the way a

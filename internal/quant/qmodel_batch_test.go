@@ -1,0 +1,297 @@
+package quant
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"tinymlops/internal/engine"
+	"tinymlops/internal/nn"
+	"tinymlops/internal/tensor"
+)
+
+// refForward executes a QModel with naive scalar loops: per-example
+// activation quantization, a scalar triple-loop int8 matmul for dense
+// stages, a direct (non-im2col) integer convolution for conv stages, and
+// the layers' own Forward for float stages. Integer accumulation is exact,
+// so the blocked kernels must reproduce this reference bit for bit.
+func refForward(m *QModel, x *tensor.Tensor) *tensor.Tensor {
+	for _, st := range m.stages {
+		switch s := st.(type) {
+		case *qDense:
+			rows := x.Dim(0)
+			codes := make([]int8, x.Size())
+			scales := make([]float32, rows)
+			QuantizeActivationsRows(x, codes, scales)
+			out := tensor.New(rows, s.w.Cols)
+			for i := 0; i < rows; i++ {
+				for j := 0; j < s.w.Cols; j++ {
+					var acc int32
+					for p := 0; p < s.w.Rows; p++ {
+						acc += int32(codes[i*s.w.Rows+p]) * int32(s.w.Data[p*s.w.Cols+j])
+					}
+					out.Data[i*s.w.Cols+j] = float32(acc)*scales[i]*s.w.Scales[j] + s.bias[j]
+				}
+			}
+			x = out
+		case *qConv2D:
+			b, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+			oh, ow := s.outHW(h, w)
+			ex := s.inC * h * w
+			codes := make([]int8, x.Size())
+			scales := make([]float32, b)
+			QuantizeActivationsRows(x, codes, scales)
+			out := tensor.New(b, s.outC, oh, ow)
+			for n := 0; n < b; n++ {
+				for oc := 0; oc < s.outC; oc++ {
+					for oi := 0; oi < oh; oi++ {
+						for oj := 0; oj < ow; oj++ {
+							var acc int32
+							for ic := 0; ic < s.inC; ic++ {
+								for ki := 0; ki < s.kh; ki++ {
+									for kj := 0; kj < s.kw; kj++ {
+										si, sj := oi*s.stride+ki-s.pad, oj*s.stride+kj-s.pad
+										if si < 0 || si >= h || sj < 0 || sj >= w {
+											continue
+										}
+										wc := s.w[oc*s.inC*s.kh*s.kw+(ic*s.kh+ki)*s.kw+kj]
+										xc := codes[n*ex+(ic*h+si)*w+sj]
+										acc += int32(wc) * int32(xc)
+									}
+								}
+							}
+							out.Data[((n*s.outC+oc)*oh+oi)*ow+oj] =
+								float32(acc)*s.wScales[oc]*scales[n] + s.bias[oc]
+						}
+					}
+				}
+			}
+			x = out
+		case *qFloat:
+			x = s.layer.Forward(x, false)
+		default:
+			panic(fmt.Sprintf("unknown stage %T", st))
+		}
+	}
+	return x
+}
+
+// perSample runs every example of x through m.Predict individually and
+// concatenates the outputs — the single-sample reference path (mirrors
+// nn/batch_test.go's rowByRow).
+func perSample(t *testing.T, m *QModel, x *tensor.Tensor) *tensor.Tensor {
+	t.Helper()
+	n := x.Dim(0)
+	es := x.Size() / n
+	var out *tensor.Tensor
+	for i := 0; i < n; i++ {
+		shape := append([]int{1}, x.Shape()[1:]...)
+		row := tensor.FromSlice(x.Data[i*es:(i+1)*es], shape...)
+		y := m.Predict(row)
+		if out == nil {
+			out = tensor.New(append([]int{n}, y.Shape()[1:]...)...)
+		}
+		copy(out.Data[i*y.Size():(i+1)*y.Size()], y.Data)
+	}
+	return out
+}
+
+func mustIdentical(t *testing.T, name string, got, want *tensor.Tensor) {
+	t.Helper()
+	if !tensor.SameShape(got, want) {
+		t.Fatalf("%s: shape %v vs %v", name, got.Shape(), want.Shape())
+	}
+	for i := range got.Data {
+		if math.Float32bits(got.Data[i]) != math.Float32bits(want.Data[i]) {
+			t.Fatalf("%s: element %d differs: %v vs %v (outputs must be bit-identical)",
+				name, i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// qmodelFixtures returns the (network, input) pairs the bit-exactness
+// property is checked over: a dense stack with batch norm, a conv stack,
+// and a dense stack fed NaN and signed-zero payloads.
+func qmodelFixtures(t *testing.T) []struct {
+	name string
+	net  *nn.Network
+	in   *tensor.Tensor
+} {
+	t.Helper()
+	rng := tensor.NewRNG(91)
+	mlp := nn.NewNetwork([]int{12},
+		nn.NewDense(12, 24, rng), nn.NewBatchNorm1D(24), nn.NewReLU(),
+		nn.NewDropout(0.3, rng), nn.NewDense(24, 16, rng), nn.NewTanh(),
+		nn.NewDense(16, 5, rng), nn.NewSoftmax())
+	// Train a little so batch-norm running statistics are non-trivial.
+	x := tensor.Randn(rng, 1, 96, 12)
+	labels := make([]int, 96)
+	for i := range labels {
+		labels[i] = rng.Intn(5)
+	}
+	if _, err := nn.Train(mlp, x, labels, nn.TrainConfig{
+		Epochs: 2, BatchSize: 16, Optimizer: nn.NewSGD(0.05), RNG: rng,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	conv := nn.NewNetwork([]int{1, 10, 10},
+		nn.NewConv2D(1, 4, 3, 3, 1, 1, rng), nn.NewReLU(),
+		nn.NewMaxPool2D(2, 2), nn.NewConv2D(4, 6, 3, 3, 1, 0, rng), nn.NewReLU(),
+		nn.NewFlatten(), nn.NewDense(6*3*3, 4, rng), nn.NewSoftmax())
+
+	weird := tensor.Randn(rng, 1, 7, 12)
+	weird.Data[0] = float32(math.NaN())
+	weird.Data[5] = float32(math.Copysign(0, -1))
+	weird.Data[17] = float32(math.NaN())
+
+	return []struct {
+		name string
+		net  *nn.Network
+		in   *tensor.Tensor
+	}{
+		{"mlp-batchnorm", mlp, tensor.Randn(rng, 1, 17, 12)},
+		{"conv", conv, tensor.Randn(rng, 1, 9, 1, 10, 10)},
+		{"nan-negzero", mlp, weird},
+	}
+}
+
+// TestQModelForwardBatchBitExact is the integer runtime's acceptance
+// property: for every fixture and every scheme, ForwardBatch over a
+// batch, Predict example by example, and the naive scalar reference all
+// produce bit-identical outputs — including scratch reuse, nil scratch,
+// NaN/-0 payloads and the empty batch.
+func TestQModelForwardBatchBitExact(t *testing.T) {
+	for _, fx := range qmodelFixtures(t) {
+		for _, scheme := range []Scheme{Int8, Int4, Ternary, Binary} {
+			qm, err := NewQModel(fx.net, scheme)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", fx.name, scheme, err)
+			}
+			name := fmt.Sprintf("%s/%v", fx.name, scheme)
+			want := refForward(qm, fx.in)
+			scratch := NewQScratch()
+			got := qm.ForwardBatch(fx.in, scratch)
+			mustIdentical(t, name+" batched vs scalar reference", got, want)
+			// Scratch reuse must not change results.
+			mustIdentical(t, name+" scratch reuse", qm.ForwardBatch(fx.in, scratch), want)
+			// Nil scratch allocates per call but computes the same values.
+			mustIdentical(t, name+" nil scratch", qm.ForwardBatch(fx.in, nil), want)
+			// Per-example dynamic quantization makes per-sample Predict
+			// bit-identical to the batched pass.
+			mustIdentical(t, name+" per-sample Predict", perSample(t, qm, fx.in), want)
+
+			// Empty batches flow through without touching a kernel.
+			empty := tensor.New(append([]int{0}, fx.in.Shape()[1:]...)...)
+			out := qm.ForwardBatch(empty, scratch)
+			if out.Dim(0) != 0 {
+				t.Fatalf("%s: empty batch produced %v", name, out.Shape())
+			}
+		}
+	}
+}
+
+// TestQModelConcurrentServing drives one shared QModel from 64 goroutines
+// with per-goroutine scratches, fanned out over engine pools of 1, 4 and
+// 16 workers — the serving topology a fleet round uses. The race detector
+// guards the no-state-writes contract; the values guard bit-exactness.
+func TestQModelConcurrentServing(t *testing.T) {
+	rng := tensor.NewRNG(97)
+	net := nn.NewNetwork([]int{8},
+		nn.NewDense(8, 32, rng), nn.NewReLU(), nn.NewBatchNorm1D(32), nn.NewDense(32, 3, rng))
+	qm, err := NewQModel(net, Int8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.Randn(rng, 1, 10, 8)
+	want := qm.Predict(in)
+	for _, workers := range []int{1, 4, 16} {
+		eng := engine.New(engine.Config{Workers: workers})
+		var mu sync.Mutex
+		var diverged string
+		err := eng.ForEach(64, func(i int) error {
+			scratch := NewQScratch()
+			for k := 0; k < 20; k++ {
+				got := qm.ForwardBatch(in, scratch)
+				for j := range got.Data {
+					if math.Float32bits(got.Data[j]) != math.Float32bits(want.Data[j]) {
+						mu.Lock()
+						diverged = fmt.Sprintf("goroutine %d iteration %d element %d", i, k, j)
+						mu.Unlock()
+						return nil
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diverged != "" {
+			t.Fatalf("workers=%d: concurrent ForwardBatch diverged at %s", workers, diverged)
+		}
+	}
+}
+
+// opaqueLayer is a layer kind the integer runtime has no kernel for.
+type opaqueLayer struct{}
+
+func (opaqueLayer) Kind() string                                        { return "opaque" }
+func (opaqueLayer) Forward(x *tensor.Tensor, train bool) *tensor.Tensor { return x }
+func (opaqueLayer) Backward(grad *tensor.Tensor) *tensor.Tensor         { return grad }
+func (opaqueLayer) Params() []*nn.Param                                 { return nil }
+func (opaqueLayer) Describe(in []int) (nn.LayerInfo, error) {
+	return nn.LayerInfo{OutShape: append([]int(nil), in...)}, nil
+}
+
+// TestNewQModelErrorPaths is the table-driven error contract: float
+// schemes and unknown layer kinds are rejected with errors, never lowered
+// silently.
+func TestNewQModelErrorPaths(t *testing.T) {
+	rng := tensor.NewRNG(98)
+	plain := nn.NewNetwork([]int{4}, nn.NewDense(4, 2, rng))
+	exotic := nn.NewNetwork([]int{4}, nn.NewDense(4, 4, rng), opaqueLayer{}, nn.NewDense(4, 2, rng))
+	cases := []struct {
+		name   string
+		net    *nn.Network
+		scheme Scheme
+		ok     bool
+	}{
+		{"float32 scheme rejected", plain, Float32, false},
+		{"unsupported layer kind rejected", exotic, Int8, false},
+		{"plain dense int8 accepted", plain, Int8, true},
+		{"plain dense binary accepted", plain, Binary, true},
+	}
+	for _, c := range cases {
+		qm, err := NewQModel(c.net, c.scheme)
+		if c.ok && (err != nil || qm == nil) {
+			t.Fatalf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Fatalf("%s: error expected", c.name)
+		}
+	}
+}
+
+// TestQScratchBufferReuse pins the steady-state reuse contract: repeated
+// same-shape batches through one scratch hand back the same storage.
+func TestQScratchBufferReuse(t *testing.T) {
+	rng := tensor.NewRNG(99)
+	net := nn.NewNetwork([]int{6}, nn.NewDense(6, 8, rng), nn.NewReLU(), nn.NewDense(8, 3, rng))
+	qm, err := NewQModel(net, Int8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewQScratch()
+	in := tensor.Randn(rng, 1, 5, 6)
+	first := qm.ForwardBatch(in, s)
+	second := qm.ForwardBatch(in, s)
+	if &first.Data[0] != &second.Data[0] {
+		t.Fatal("same-shape batches did not reuse the scratch output buffer")
+	}
+	// A different batch size regrows cleanly.
+	wide := qm.ForwardBatch(tensor.Randn(rng, 1, 11, 6), s)
+	if wide.Dim(0) != 11 {
+		t.Fatalf("regrown batch shape %v", wide.Shape())
+	}
+}

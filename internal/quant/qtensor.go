@@ -126,22 +126,26 @@ func QuantizeMatrix(w *tensor.Tensor, scheme Scheme) (*QTensor, error) {
 				if v < 0 {
 					v = -v
 				}
-				if v > absMax {
+				if v > absMax { // NaN compares false: ignored for the scale
 					absMax = v
 				}
 			}
 			scale := absMax / mc
-			if scale == 0 {
+			// All-zero columns and non-finite magnitudes fall back to
+			// scale 1: codes stay deterministic (zeros, or saturated ±mc).
+			if !(scale > 0) || math.IsInf(float64(scale), 0) {
 				scale = 1
 			}
 			q.Scales[j] = scale
 			for i := 0; i < rows; i++ {
 				code := float64(w.At2(i, j) / scale)
 				c := math.Round(code)
-				if c > float64(mc) {
+				switch {
+				case c != c: // NaN weights quantize to zero
+					c = 0
+				case c > float64(mc):
 					c = float64(mc)
-				}
-				if c < -float64(mc) {
+				case c < -float64(mc):
 					c = -float64(mc)
 				}
 				q.Data[i*cols+j] = int8(c)

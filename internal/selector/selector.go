@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"tinymlops/internal/device"
+	"tinymlops/internal/quant"
 	"tinymlops/internal/registry"
 )
 
@@ -16,6 +17,11 @@ type Policy struct {
 	// MaxLatency rejects variants whose modeled inference latency exceeds
 	// this bound (0 = unbounded).
 	MaxLatency time.Duration
+	// Schemes, when non-empty, restricts candidates to these weight
+	// precisions — the operational knob for pinning a cohort to a runtime
+	// (e.g. Float32 only while the integer serving path canaries, or Int8
+	// only to force native execution on capable hardware).
+	Schemes []quant.Scheme
 
 	// LatencyRef and DownloadRef are the absolute budgets that make the
 	// latency and download penalties unit-free: a candidate at the
@@ -55,6 +61,7 @@ func (p Policy) normalized() Policy {
 	if p.WAccuracy == 0 && p.WLatency == 0 && p.WDownload == 0 && p.WEnergy == 0 {
 		d := DefaultPolicy()
 		d.MinAccuracy, d.MaxLatency, d.BatteryAware = p.MinAccuracy, p.MaxLatency, p.BatteryAware
+		d.Schemes = p.Schemes
 		p = d
 	}
 	if p.LatencyRef <= 0 {
@@ -177,6 +184,18 @@ func capAt1(v float64) float64 {
 }
 
 func feasibility(dev *device.Device, v *registry.ModelVersion, policy Policy) string {
+	if len(policy.Schemes) > 0 {
+		allowed := false
+		for _, s := range policy.Schemes {
+			if v.Scheme == s {
+				allowed = true
+				break
+			}
+		}
+		if !allowed {
+			return fmt.Sprintf("scheme %v excluded by policy", v.Scheme)
+		}
+	}
 	for _, op := range v.OpKinds {
 		if !dev.Caps.SupportsOp(op) {
 			return fmt.Sprintf("op %q unsupported", op)

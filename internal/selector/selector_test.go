@@ -233,3 +233,29 @@ func TestZeroPolicyGetsDefaults(t *testing.T) {
 		t.Fatalf("zero policy produced no scored decision: %+v", dec.Chosen)
 	}
 }
+
+// TestPolicySchemeAllowlist pins the cohort-pinning knob: a non-empty
+// Schemes list makes every other precision infeasible, for both explicit
+// and zero-weight (defaulted) policies.
+func TestPolicySchemeAllowlist(t *testing.T) {
+	_, cands := buildCandidates(t)
+	gw := deviceOf(t, "edge-gateway", 13)
+	for _, scheme := range []quant.Scheme{quant.Float32, quant.Int8, quant.Binary} {
+		dec, err := Select(gw, cands, Policy{Schemes: []quant.Scheme{scheme}})
+		if err != nil {
+			t.Fatalf("scheme %v: %v", scheme, err)
+		}
+		if got := dec.Chosen.Version.Scheme; got != scheme {
+			t.Fatalf("pinned %v, selected %v", scheme, got)
+		}
+		for _, ev := range dec.Evaluations {
+			if ev.Version.Scheme != scheme && ev.Feasible {
+				t.Fatalf("scheme %v feasible under a %v-only policy", ev.Version.Scheme, scheme)
+			}
+		}
+	}
+	// An allowlist no candidate matches fails selection outright.
+	if _, err := Select(gw, cands, Policy{Schemes: []quant.Scheme{quant.Ternary}}); err == nil {
+		t.Fatal("selection succeeded with an unsatisfiable scheme allowlist")
+	}
+}

@@ -1,0 +1,60 @@
+package tensor
+
+// MatMulInt8 computes dst[i,j] = rowScales[i] * colScales[j] * Σ_p a[i,p]·b[p,j]
+// for int8 operands a ([m,k] row-major) and b ([k,n] row-major) with exact
+// int32 accumulation — the integer-serving hot path behind quant.QModel.
+// rowScales has length m (one dequantization scale per output row, e.g. a
+// dynamically quantized activation row) and colScales has length n (one
+// per output column, e.g. a per-output-channel weight scale).
+//
+// The kernel mirrors the float matmul's layout choices: ikj ordering keeps
+// both operands sequential, the j dimension is processed in column tiles
+// so one accumulator row stays resident in L1 across the whole k-loop, and
+// rows fan out across the bounded worker pool for large problems. Because
+// the accumulation is integer (and therefore exact and order-independent),
+// the blocked, parallel result is bit-identical to a naive scalar triple
+// loop at any worker count.
+//
+// The accumulator is int32, like the DSP/NPU MAC units this models: the
+// caller must keep k·127² inside int32 range (k < ~2^17), which every
+// TinyML-scale layer does.
+func MatMulInt8(dst []float32, a, b []int8, m, k, n int, rowScales, colScales []float32) {
+	body := func(lo, hi int) {
+		width := n
+		if width > colBlock {
+			width = colBlock
+		}
+		acc := make([]int32, width)
+		for jb := 0; jb < n; jb += colBlock {
+			jhi := min(jb+colBlock, n)
+			w := jhi - jb
+			for i := lo; i < hi; i++ {
+				arow := a[i*k : (i+1)*k]
+				tile := acc[:w]
+				for j := range tile {
+					tile[j] = 0
+				}
+				for p, av := range arow {
+					if av == 0 {
+						continue
+					}
+					brow := b[p*n+jb : p*n+jhi]
+					a32 := int32(av)
+					for j, bv := range brow {
+						tile[j] += a32 * int32(bv)
+					}
+				}
+				rs := rowScales[i]
+				drow := dst[i*n+jb : i*n+jhi]
+				for j := range drow {
+					drow[j] = float32(tile[j]) * rs * colScales[jb+j]
+				}
+			}
+		}
+	}
+	if m*n*k < parallelThreshold {
+		body(0, m)
+		return
+	}
+	Parallel(m, body)
+}

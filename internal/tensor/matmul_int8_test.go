@@ -1,0 +1,98 @@
+package tensor
+
+import (
+	"runtime"
+	"testing"
+)
+
+// refMatMulInt8 is the naive scalar triple loop the blocked kernel must
+// reproduce bit for bit.
+func refMatMulInt8(a, b []int8, m, k, n int, rowScales, colScales []float32) []float32 {
+	out := make([]float32, m*n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var acc int32
+			for p := 0; p < k; p++ {
+				acc += int32(a[i*k+p]) * int32(b[p*n+j])
+			}
+			out[i*n+j] = float32(acc) * rowScales[i] * colScales[j]
+		}
+	}
+	return out
+}
+
+func int8Fixture(rng *RNG, m, k, n int) (a, b []int8, rs, cs []float32) {
+	a = make([]int8, m*k)
+	b = make([]int8, k*n)
+	for i := range a {
+		a[i] = int8(rng.Intn(255) - 127)
+	}
+	for i := range b {
+		b[i] = int8(rng.Intn(255) - 127)
+	}
+	rs = make([]float32, m)
+	for i := range rs {
+		rs[i] = 0.001 * float32(i+1)
+	}
+	cs = make([]float32, n)
+	for j := range cs {
+		cs[j] = 0.01 * float32(j%7+1)
+	}
+	return a, b, rs, cs
+}
+
+// TestMatMulInt8MatchesNaive pins the blocked parallel kernel to the
+// scalar reference across shapes that cross the column-block and
+// parallelism thresholds, including degenerate empty dimensions.
+func TestMatMulInt8MatchesNaive(t *testing.T) {
+	rng := NewRNG(71)
+	for _, dims := range [][3]int{{1, 1, 1}, {3, 7, 5}, {17, 23, 11}, {4, 9, 2*colBlock + 3}, {64, 128, 96}, {0, 4, 4}, {4, 0, 4}, {4, 4, 0}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a, b, rs, cs := int8Fixture(rng, m, k, n)
+		want := refMatMulInt8(a, b, m, k, n, rs, cs)
+		got := make([]float32, m*n)
+		MatMulInt8(got, a, b, m, k, n, rs, cs)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("[%d,%d,%d]: element %d = %v, want %v (must be bit-identical)", m, k, n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestMatMulInt8WorkerCountIndependent forces the serial path via the pool
+// guard and compares against the parallel result: integer accumulation
+// makes them bit-identical.
+func TestMatMulInt8WorkerCountIndependent(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("single-core environment exercises only the serial kernel")
+	}
+	rng := NewRNG(72)
+	m, k, n := 96, 64, 80 // above parallelThreshold
+	a, b, rs, cs := int8Fixture(rng, m, k, n)
+	parallel := make([]float32, m*n)
+	MatMulInt8(parallel, a, b, m, k, n, rs, cs)
+	exit := EnterPool() // degrades the kernel to serial
+	serial := make([]float32, m*n)
+	MatMulInt8(serial, a, b, m, k, n, rs, cs)
+	exit()
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("element %d: serial %v != parallel %v", i, serial[i], parallel[i])
+		}
+	}
+}
+
+// BenchmarkMatMulInt8Blocked measures the blocked integer kernel on the
+// same shape as the float matmul benchmarks in the root bench suite.
+func BenchmarkMatMulInt8Blocked(b *testing.B) {
+	rng := NewRNG(73)
+	m, k, n := 128, 256, 128
+	a, bb, rs, cs := int8Fixture(rng, m, k, n)
+	dst := make([]float32, m*n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulInt8(dst, a, bb, m, k, n, rs, cs)
+	}
+}

@@ -116,8 +116,20 @@ const (
 	Binary  = quant.Binary
 )
 
-// QModel is an integer-kernel executable derived from a Network.
+// QModel is an integer-kernel executable derived from a Network: dense
+// and convolutional layers run on the blocked int8 kernel with dynamic
+// per-example activation quantization. Deployments instantiate one
+// automatically when the selected variant's scheme has native hardware
+// support on the device (see Deployment.ExecutionScheme).
 type QModel = quant.QModel
+
+// QScratch holds the reusable buffers behind QModel.ForwardBatch; keep
+// one per goroutine.
+type QScratch = quant.QScratch
+
+// NewQScratch returns an empty scratch space for integer-kernel batched
+// inference.
+func NewQScratch() *QScratch { return quant.NewQScratch() }
 
 // Quantize derives an integer-kernel executable from a network.
 func Quantize(net *Network, scheme Scheme) (*QModel, error) { return quant.NewQModel(net, scheme) }

@@ -8,7 +8,8 @@
 //   - model training and serialization (the nn engine),
 //   - the registry with its automatic optimization pipeline (§III-A),
 //   - per-device variant selection and deployment over a simulated
-//     heterogeneous fleet (§III-A, §IV),
+//     heterogeneous fleet, serving integer variants through native
+//     int8/int4 kernels on capable hardware (§III-A, §IV),
 //   - on-device observability and store-and-forward telemetry (§III-B),
 //   - offline pay-per-query metering with tamper-evident settlement
 //     (§III-C),
@@ -260,6 +261,11 @@ var ErrOffloadShed = offload.ErrShed
 // ErrOffloadStale is returned after an OTA update invalidates an offload
 // session; open a new session against the updated deployment.
 var ErrOffloadStale = core.ErrOffloadStale
+
+// ErrOffloadInteger is returned by Platform.Offload for deployments served
+// by the integer kernels: the split runtime's boundary activations move
+// through the float32 codec, so such deployments stay fully on-device.
+var ErrOffloadInteger = core.ErrOffloadInteger
 
 // TransientUpdateError reports whether an update failure is worth
 // retrying: the device was offline, or the install crashed mid-flash and
