@@ -2,6 +2,8 @@ package tinymlops_test
 
 import (
 	"errors"
+	"net"
+	"strings"
 	"testing"
 	"time"
 
@@ -511,5 +513,146 @@ func TestOffloadSurface(t *testing.T) {
 	var orep *tinymlops.OffloadReport = scen.Offload
 	if orep == nil || orep.Mismatches != 0 || orep.Queries == 0 {
 		t.Fatalf("offload phase report %+v", orep)
+	}
+}
+
+// TestVerifiedBillingSurface pins the verifiable pay-per-query facade:
+// the verified-billing platform config, attestations riding the
+// settlement report, TCP settlement with batch proof verification, the
+// billing-fraud profile fields with the tamper helper, and the batch
+// verifier — all reached through re-exports only.
+func TestVerifiedBillingSurface(t *testing.T) {
+	rng := tinymlops.NewRNG(61)
+	ds := tinymlops.Blobs(rng, 300, 4, 3, 5)
+	model := tinymlops.NewNetwork([]int{4},
+		tinymlops.Dense(4, 8, rng), tinymlops.ReLU(), tinymlops.Dense(8, 3, rng))
+	if _, err := tinymlops.Train(model, ds.X, ds.Y, tinymlops.TrainConfig{
+		Epochs: 2, BatchSize: 32, Optimizer: tinymlops.SGD(0.1), RNG: rng,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := tinymlops.NewStandardFleet(tinymlops.FleetSpec{CountPerProfile: 1, Seed: 61})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range fleet.Devices() {
+		d.SetBehavior(1, 1, 0)
+	}
+	fleet.Tick()
+	p, err := tinymlops.NewPlatform(fleet, tinymlops.PlatformConfig{
+		VendorKey: []byte("surface-test-key-0123456789abcde"), Seed: 61, MinCohort: 1,
+		VerifiedBilling: true, AttestationRate: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Publish("vb", model, ds, tinymlops.DefaultOptimizationSpec(ds)); err != nil {
+		t.Fatal(err)
+	}
+	dep, err := p.Deploy("phone-00", "vb", tinymlops.DeployConfig{PrepaidQueries: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float32, 4)
+	serve := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			for f := 0; f < 4; f++ {
+				x[f] = ds.X.At2(i, f)
+			}
+			if _, err := dep.Infer(x); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	serve(6)
+
+	// An attested report through the facade, settled over real TCP.
+	var rep tinymlops.AttestedReport
+	rep, err = dep.Meter.BuildAttestedReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var atts []tinymlops.Attestation = rep.Attestations
+	if len(atts) == 0 {
+		t.Fatal("rate-1 attestation produced no proofs")
+	}
+	var proof tinymlops.MatMulProof
+	if err := proof.UnmarshalBinary(atts[0].Proof); err != nil {
+		t.Fatalf("attestation carries an undecodable proof: %v", err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := tinymlops.ServeSettlement(l, p)
+	defer srv.Close()
+	var rc tinymlops.SettlementReceipt
+	rc, err = tinymlops.SettleAttestedOverTCP(srv.Addr(), rep)
+	if err != nil || !rc.OK || rc.ProofsChecked == 0 {
+		t.Fatalf("honest settlement: receipt %+v, %v", rc, err)
+	}
+	dep.Meter.Acknowledge(rc.AckSeq)
+
+	// Billing-fraud profile fields and the tamper helper: a tampered
+	// report must be rejected for a proof reason.
+	serve(4)
+	rep2, err := dep.Meter.BuildAttestedReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := tinymlops.FaultProfile{Overclaim: true, ProofReplay: true}
+	if !prof.Fraudulent() {
+		t.Fatal("fraud profile not fraudulent")
+	}
+	eff := tinymlops.TamperAttestedReport(prof, &rep2)
+	if !eff.Overclaim || !eff.Fraudulent() {
+		t.Fatalf("tamper applied %+v", eff)
+	}
+	rc2, err := tinymlops.SettleAttestedOverTCP(srv.Addr(), rep2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc2.OK || !strings.Contains(rc2.Reason, "proof") {
+		t.Fatalf("tampered settlement: receipt %+v", rc2)
+	}
+	if tinymlops.ErrProofInvalid == nil {
+		t.Fatal("ErrProofInvalid sentinel missing")
+	}
+
+	// The batch verifier: the platform's own, plus a standalone one that
+	// rejects claims against an unprepared class.
+	var bv *tinymlops.BatchVerifier = p.BatchVerifier()
+	if bv == nil {
+		t.Fatal("verified platform exposes no batch verifier")
+	}
+	standalone := tinymlops.NewBatchVerifier(nil)
+	results, _, err := standalone.VerifyBatch([]tinymlops.BatchItem{
+		{ClassID: "ghost", A: []int32{1}, M: 1, C: []int64{1}, Proof: &proof},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res tinymlops.BatchResult = results[0]
+	if res.OK || res.Err == nil {
+		t.Fatalf("unprepared class verified: %+v", res)
+	}
+
+	// The chaos scenario surfaces its settlement phase.
+	scen, err := tinymlops.RunChaosScenario(tinymlops.ChaosScenarioConfig{
+		Devices: 12, Workers: 2, Seed: 63,
+		Chaos: tinymlops.ChaosConfig{Seed: 64, POverclaim: 0.3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var srep *tinymlops.SettlementPhaseReport = scen.Settlement
+	if srep == nil || srep.Devices == 0 {
+		t.Fatalf("settlement phase report %+v", srep)
+	}
+	var vd tinymlops.SettleVerdict = srep.Verdicts[0]
+	_ = vd
+	if srep.FraudInjected != srep.FraudCaught {
+		t.Fatalf("scenario missed fraud: %+v", srep)
 	}
 }

@@ -373,6 +373,98 @@ func BenchmarkE10DirectReexecution(b *testing.B) {
 	}
 }
 
+// --- verified settlement: prove, verify, batch-amortized verify --------------
+
+// settleK/settleN mirror a deployment's proved layer at settlement
+// shape: one quantized input row against a k×n weight matrix.
+const settleK, settleN = 256, 64
+
+func settleOperands(rng *tensor.RNG) (a, wq []int32) {
+	a = make([]int32, settleK)
+	wq = make([]int32, settleK*settleN)
+	for i := range a {
+		a[i] = int32(rng.Intn(255) - 127)
+	}
+	for i := range wq {
+		wq[i] = int32(rng.Intn(255) - 127)
+	}
+	return a, wq
+}
+
+func BenchmarkProveMatMul(b *testing.B) {
+	a, wq := settleOperands(tensor.NewRNG(50))
+	var proofBytes int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, proof, _, err := verify.ProveMatMul(a, 1, settleK, wq, settleN)
+		if err != nil {
+			b.Fatal(err)
+		}
+		proofBytes = proof.SizeBytes()
+	}
+	b.ReportMetric(float64(proofBytes), "proof-bytes/op")
+}
+
+// BenchmarkVerifyMatMul is the naive per-proof path: every verification
+// re-digests the full weight matrix into its transcript.
+func BenchmarkVerifyMatMul(b *testing.B) {
+	a, wq := settleOperands(tensor.NewRNG(51))
+	c, proof, _, err := verify.ProveMatMul(a, 1, settleK, wq, settleN)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, _, verr := verify.VerifyMatMul(a, 1, settleK, wq, settleN, c, proof)
+		if verr != nil || !ok {
+			b.Fatalf("verify failed: %v %v", ok, verr)
+		}
+	}
+	b.ReportMetric(float64(proof.SizeBytes()), "proof-bytes/op")
+}
+
+// BenchmarkBatchVerifySettlement amortizes a 16-proof settlement window
+// through the BatchVerifier: the weight encoding is prepared once per
+// class, so per-proof cost drops below BenchmarkVerifyMatMul's —
+// divide ns/op by proofs/op to compare.
+func BenchmarkBatchVerifySettlement(b *testing.B) {
+	const window = 16
+	rng := tensor.NewRNG(52)
+	_, wq := settleOperands(rng)
+	bv := verify.NewBatchVerifier(engine.Default())
+	if err := bv.Prepare("bench-class", wq, settleK, settleN); err != nil {
+		b.Fatal(err)
+	}
+	items := make([]verify.BatchItem, window)
+	proofBytes := 0
+	for i := range items {
+		a := make([]int32, settleK)
+		for j := range a {
+			a[j] = int32(rng.Intn(255) - 127)
+		}
+		c, proof, _, err := verify.ProveMatMul(a, 1, settleK, wq, settleN)
+		if err != nil {
+			b.Fatal(err)
+		}
+		items[i] = verify.BatchItem{ClassID: "bench-class", A: a, M: 1, C: c, Proof: proof}
+		proofBytes += proof.SizeBytes()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, _, err := bv.VerifyBatch(items)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if !r.OK {
+				b.Fatalf("batch rejected an honest proof: %v", r.Err)
+			}
+		}
+	}
+	b.ReportMetric(window, "proofs/op")
+	b.ReportMetric(float64(proofBytes)/window, "proof-bytes/proof")
+}
+
 // --- E11: encryption -------------------------------------------------------------
 
 func BenchmarkE11EncryptModel(b *testing.B) {

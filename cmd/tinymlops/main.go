@@ -13,6 +13,7 @@
 //	tinymlops rollout  -devices 2 -drift
 //	tinymlops chaos    -devices 600 -churn 0.05 -crash 0.2
 //	tinymlops offload  -devices 2 -queries 12 -rtt 200us
+//	tinymlops settle   -devices 90 -overclaim 0.1 -replay 0.1 -wrong-version 0.1
 package main
 
 import (
@@ -46,6 +47,8 @@ func main() {
 		err = cmdChaos(os.Args[2:])
 	case "offload":
 		err = cmdOffload(os.Args[2:])
+	case "settle":
+		err = cmdSettle(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -77,6 +80,9 @@ subcommands:
   offload    serve queries through the live edge-cloud offload plane
              (split execution, batched cloud suffix service, replanning
              as connectivity changes), verified bit-exact
+  settle     run verified pay-per-query settlement across a fleet with
+             injected billing fraud (overclaimed ticks, replayed proofs,
+             wrong-version relabeling) and print per-device verdicts
 
 run 'tinymlops <subcommand> -h' for flags`)
 }

@@ -2,6 +2,7 @@ package tinymlops_test
 
 import (
 	"fmt"
+	"net"
 	"time"
 
 	"tinymlops"
@@ -155,4 +156,90 @@ func ExamplePlatform_integerServing() {
 	// npu-board-00: variant int8, executes int8
 	// phone-00: variant float32, executes float32
 	// npu charges 3ns natively vs 400ns at float32
+}
+
+// ExamplePlatform_verifiedSettlement runs the verifiable pay-per-query
+// loop: a verified-billing deployment attests a deterministic sample of
+// its metered charges with sum-check proofs, the settlement report
+// carries them over TCP, and the vendor's settler batch-verifies every
+// proof before accepting the usage claim. A report whose tick count was
+// inflated afterwards is rejected — the forged chain entries re-root the
+// proof sample onto charges the device cannot prove.
+func ExamplePlatform_verifiedSettlement() {
+	rng := tinymlops.NewRNG(11)
+	fleet, err := tinymlops.NewStandardFleet(tinymlops.FleetSpec{CountPerProfile: 1, Seed: 11})
+	if err != nil {
+		panic(err)
+	}
+	for _, d := range fleet.Devices() {
+		d.SetBehavior(1, 1, 0)
+	}
+	fleet.Tick()
+	platform, err := tinymlops.NewPlatform(fleet, tinymlops.PlatformConfig{
+		VendorKey: []byte("example-vendor-key-0123456789abc"), Seed: 11,
+		VerifiedBilling: true, AttestationRate: 2, // prove every ~2nd charge
+	})
+	if err != nil {
+		panic(err)
+	}
+	ds := tinymlops.Blobs(rng, 200, 4, 2, 4)
+	model := tinymlops.NewNetwork([]int{4},
+		tinymlops.Dense(4, 8, rng), tinymlops.ReLU(), tinymlops.Dense(8, 2, rng))
+	if _, err := platform.Publish("vb", model, ds, tinymlops.DefaultOptimizationSpec(ds)); err != nil {
+		panic(err)
+	}
+	dep, err := platform.Deploy("phone-00", "vb", tinymlops.DeployConfig{PrepaidQueries: 100})
+	if err != nil {
+		panic(err)
+	}
+	x := make([]float32, 4)
+	for i := 0; i < 8; i++ {
+		for f := 0; f < 4; f++ {
+			x[f] = ds.X.At2(i, f)
+		}
+		if _, err := dep.Infer(x); err != nil {
+			panic(err)
+		}
+	}
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	srv := tinymlops.ServeSettlement(l, platform)
+	defer srv.Close()
+
+	report, err := dep.Meter.BuildAttestedReport()
+	if err != nil {
+		panic(err)
+	}
+	receipt, err := tinymlops.SettleAttestedOverTCP(srv.Addr(), report)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("honest: ok=%v acked=%d proofs-verified=%d\n",
+		receipt.OK, receipt.AckSeq, receipt.ProofsChecked)
+	dep.Meter.Acknowledge(receipt.AckSeq)
+
+	// A fresh window, inflated before submission: chain-valid forged
+	// entries, but the re-rooted proof sample demands inference the
+	// device never ran.
+	for i := 0; i < 4; i++ {
+		if _, err := dep.Infer(x); err != nil {
+			panic(err)
+		}
+	}
+	forged, err := dep.Meter.BuildAttestedReport()
+	if err != nil {
+		panic(err)
+	}
+	tinymlops.TamperAttestedReport(tinymlops.FaultProfile{Overclaim: true}, &forged)
+	rejected, err := tinymlops.SettleAttestedOverTCP(srv.Addr(), forged)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("inflated: ok=%v reason=%q\n", rejected.OK, rejected.Reason)
+	// Output:
+	// honest: ok=true acked=8 proofs-verified=6
+	// inflated: ok=false reason="inference proof rejected"
 }

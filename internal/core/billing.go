@@ -1,0 +1,219 @@
+package core
+
+import (
+	"fmt"
+
+	"tinymlops/internal/metering"
+	"tinymlops/internal/nn"
+	"tinymlops/internal/quant"
+	"tinymlops/internal/tensor"
+	"tinymlops/internal/verify"
+)
+
+// Verified pay-per-query billing (§III-C + §VI). With
+// Config.VerifiedBilling on, every deployment retains lightweight
+// evidence (the quantized input row and the serving model version) for
+// each charged query; at settlement the meter's attestor proves the
+// deterministic sample of those charges against the deployment's first
+// dense layer with a sum-check bound to (voucher, model version,
+// sequence, chain entry). The platform arms the settler with a
+// BatchVerifier-backed checker that re-derives the proved layer from the
+// registry artifact — never the (possibly watermarked) deployed copy —
+// so proofs amortize per (model-version, shape) class across the window
+// and a report with any missing or failing proof is rejected whole.
+
+// retainedCharge is the per-charge evidence the attestor proves later:
+// which model version served it, and the claimed quantized input row. A
+// zero-length input means "charged but not served" (preprocess failure,
+// battery death) — the attestor proves a zero row, which is honest: the
+// query was charged, and the vendor never sees real inputs anyway.
+type retainedCharge struct {
+	modelID string
+	input   []int8
+}
+
+// provedLayer extracts the settlement-proved layer of a network: the
+// first dense layer's deterministically quantized weights and shape.
+func provedLayer(net *nn.Network) ([]int32, int, int, error) {
+	for _, l := range net.Layers() {
+		if dl, ok := l.(*nn.Dense); ok {
+			wq, _ := verify.QuantizeWeights(dl.W.Value)
+			return wq, dl.In, dl.Out, nil
+		}
+	}
+	return nil, 0, 0, fmt.Errorf("core: model has no dense layer to prove")
+}
+
+// refreshAttestorLocked re-derives the attestor's weight snapshot for
+// the live version from the registry artifact. Called at deploy and
+// after every update or rollback; caller holds d.mu (or owns d
+// exclusively).
+func (d *Deployment) refreshAttestorLocked() error {
+	art, err := d.platform.Registry.Load(d.Version.ID)
+	if err != nil {
+		return fmt.Errorf("core: load attestor artifact for %s: %w", d.Version.ID, err)
+	}
+	wq, k, n, err := provedLayer(art)
+	if err != nil {
+		return err
+	}
+	d.attWq, d.attK, d.attN, d.attModelID = wq, k, n, d.Version.ID
+	if d.retained == nil {
+		d.retained = make(map[uint64]retainedCharge)
+	}
+	return nil
+}
+
+// retainLocked stores the evidence for one charged query. Caller holds
+// d.mu. Settled sequences are swept opportunistically so the map stays
+// bounded by the unsettled window.
+func (d *Deployment) retainLocked(seq uint64, features []float32) {
+	if d.retained == nil {
+		return
+	}
+	if len(d.retained) >= 1024 {
+		settled := d.Meter.SettledSeq()
+		for s := range d.retained {
+			if s <= settled {
+				delete(d.retained, s)
+			}
+		}
+	}
+	rc := retainedCharge{modelID: d.attModelID}
+	if len(features) == d.attK && d.attK > 0 {
+		x := tensor.FromSlice(append([]float32(nil), features...), 1, len(features))
+		codes, _ := quant.QuantizeActivations(x)
+		rc.input = codes
+	}
+	d.retained[seq] = rc
+}
+
+// attest is the metering.Attestor for this deployment: it proves one
+// sampled charge. Runs without d.mu held (the meter calls it from
+// BuildAttestedReport).
+func (d *Deployment) attest(seq uint64, entryHash [32]byte) (metering.Attestation, error) {
+	d.mu.Lock()
+	rc, ok := d.retained[seq]
+	if !ok {
+		rc = retainedCharge{modelID: d.attModelID}
+	}
+	wq, k, n := d.attWq, d.attK, d.attN
+	curModel := d.attModelID
+	voucherID := d.Meter.Voucher().ID
+	d.mu.Unlock()
+
+	if rc.modelID == "" {
+		rc.modelID = curModel
+	}
+	if rc.modelID != curModel {
+		// The charge was served by a version this deployment has since
+		// moved off (update or rollback mid-window): prove it against that
+		// version's artifact, which the registry still holds.
+		art, err := d.platform.Registry.Load(rc.modelID)
+		if err != nil {
+			return metering.Attestation{}, fmt.Errorf("core: attest against retired version %s: %w", rc.modelID, err)
+		}
+		wq, k, n, err = provedLayer(art)
+		if err != nil {
+			return metering.Attestation{}, err
+		}
+	}
+	input := rc.input
+	if len(input) != k {
+		input = make([]int8, k)
+	}
+	a := make([]int32, k)
+	for i, c := range input {
+		a[i] = int32(c)
+	}
+	ctx := metering.AttestationContext(voucherID, rc.modelID, seq, entryHash)
+	claimed, proof, _, err := verify.ProveMatMulCtx(ctx, a, 1, k, wq, n)
+	if err != nil {
+		return metering.Attestation{}, fmt.Errorf("core: prove charge %d: %w", seq, err)
+	}
+	blob, err := proof.MarshalBinary()
+	if err != nil {
+		return metering.Attestation{}, err
+	}
+	return metering.Attestation{ModelID: rc.modelID, Input: input, Claimed: claimed, Proof: blob}, nil
+}
+
+// ensureClass lazily prepares the verifier's weight class for a model
+// version, re-deriving the proved layer from the registry artifact.
+// Idempotent and safe concurrently (identical weights prepare equal).
+func (p *Platform) ensureClass(modelID string) error {
+	if p.verifier.Prepared(modelID) {
+		return nil
+	}
+	if _, err := p.Registry.Get(modelID); err != nil {
+		return fmt.Errorf("core: attestation names unknown model: %w", err)
+	}
+	art, err := p.Registry.Load(modelID)
+	if err != nil {
+		return err
+	}
+	wq, k, n, err := provedLayer(art)
+	if err != nil {
+		return err
+	}
+	return p.verifier.Prepare(modelID, wq, k, n)
+}
+
+// verifyAttestations is the metering.AttestationVerifier the platform
+// installs on its settler: one batch-amortized sum-check pass over a
+// report's proof sample.
+func (p *Platform) verifyAttestations(v metering.Voucher, items []metering.AttestationCheck) []error {
+	errs := make([]error, len(items))
+	batch := make([]verify.BatchItem, len(items))
+	for i, it := range items {
+		if err := p.ensureClass(it.Att.ModelID); err != nil {
+			errs[i] = err
+			continue
+		}
+		var proof verify.Proof
+		if err := proof.UnmarshalBinary(it.Att.Proof); err != nil {
+			errs[i] = fmt.Errorf("%w: %v", metering.ErrProofInvalid, err)
+			continue
+		}
+		a := make([]int32, len(it.Att.Input))
+		for j, c := range it.Att.Input {
+			a[j] = int32(c)
+		}
+		batch[i] = verify.BatchItem{
+			ClassID: it.Att.ModelID,
+			Ctx:     metering.AttestationContext(v.ID, it.Att.ModelID, it.Att.Seq, it.EntryHash),
+			A:       a,
+			M:       1,
+			C:       it.Att.Claimed,
+			Proof:   &proof,
+		}
+	}
+	results, _, err := p.verifier.VerifyBatch(batch)
+	if err != nil {
+		for i := range errs {
+			if errs[i] == nil {
+				errs[i] = err
+			}
+		}
+		return errs
+	}
+	for i, r := range results {
+		if errs[i] != nil {
+			continue
+		}
+		if r.Err != nil {
+			errs[i] = fmt.Errorf("%w: %v", metering.ErrProofInvalid, r.Err)
+		} else if !r.OK {
+			errs[i] = fmt.Errorf("%w: sum-check rejected charge %d", metering.ErrProofInvalid, items[i].Att.Seq)
+		}
+	}
+	return errs
+}
+
+// BatchVerifier exposes the settlement proof verifier (nil unless
+// VerifiedBilling is on) for audit tooling.
+func (p *Platform) BatchVerifier() *verify.BatchVerifier { return p.verifier }
+
+// AttestationRate returns the billing sample rate (0 when verified
+// billing is off).
+func (p *Platform) AttestationRate() int { return p.attRate }

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"net"
+	"strings"
+	"testing"
+
+	"tinymlops/internal/dataset"
+	"tinymlops/internal/device"
+	"tinymlops/internal/metering"
+	"tinymlops/internal/nn"
+	"tinymlops/internal/registry"
+	"tinymlops/internal/tensor"
+)
+
+// verifiedFixture is fixture with verified billing armed at rate.
+func verifiedFixture(t *testing.T, seed uint64, rate int) (*Platform, *dataset.Dataset, []*registry.ModelVersion) {
+	t.Helper()
+	rng := tensor.NewRNG(seed)
+	fleet, err := device.NewStandardFleet(device.FleetSpec{CountPerProfile: 2, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range fleet.Devices() {
+		d.SetBehavior(1, 1, 0)
+	}
+	fleet.Tick()
+	p, err := New(fleet, Config{
+		VendorKey: vendorKey, Seed: seed, MinCohort: 1,
+		VerifiedBilling: true, AttestationRate: rate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := dataset.Blobs(rng, 600, 4, 3, 5)
+	net := nn.NewNetwork([]int{4}, nn.NewDense(4, 16, rng), nn.NewReLU(), nn.NewDense(16, 3, rng))
+	if _, err := nn.Train(net, ds.X, ds.Y, nn.TrainConfig{
+		Epochs: 6, BatchSize: 32, Optimizer: nn.NewSGD(0.1).WithMomentum(0.9), RNG: rng,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	versions, err := p.Publish("clf", net, ds, DefaultOptimizationSpec(ds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, ds, versions
+}
+
+func settlementServer(t *testing.T, p *Platform) *metering.Server {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := metering.Serve(l, p.Settler)
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+// The tentpole path end to end: charged queries → sampled proofs in the
+// settlement report → batch verification → receipt, over real TCP, with
+// a watermarked deployment in the mix (proofs must come from the registry
+// artifact, so the watermark must not break them).
+func TestVerifiedBillingEndToEnd(t *testing.T) {
+	p, ds, _ := verifiedFixture(t, 21, 2)
+	srv := settlementServer(t, p)
+
+	devs := []string{"phone-00", "edge-gateway-00"}
+	if _, err := p.Deploy(devs[0], "clf", DeployConfig{PrepaidQueries: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Deploy(devs[1], "clf", DeployConfig{PrepaidQueries: 100, Watermark: "customer-7"}); err != nil {
+		t.Fatal(err)
+	}
+
+	x := make([]float32, 4)
+	for _, id := range devs {
+		dep, _ := p.Deployment(id)
+		for i := 0; i < 17; i++ {
+			for f := 0; f < 4; f++ {
+				x[f] = ds.X.At2(i, f)
+			}
+			if _, err := dep.Infer(x); err != nil {
+				t.Fatalf("%s query %d: %v", id, i, err)
+			}
+		}
+	}
+
+	for id, err := range p.SettleAll(srv.Addr()) {
+		if err != nil {
+			t.Fatalf("settle %s: %v", id, err)
+		}
+	}
+	proofs := 0
+	for _, id := range devs {
+		dep, _ := p.Deployment(id)
+		rc, ok := p.Settler.LastReceipt(dep.Meter.Voucher().ID)
+		if !ok || !rc.OK {
+			t.Fatalf("%s receipt = %+v (ok=%v)", id, rc, ok)
+		}
+		if rc.AckSeq != 17 {
+			t.Fatalf("%s acked %d charges, want 17", id, rc.AckSeq)
+		}
+		proofs += rc.ProofsChecked
+		if dep.Meter.SettledSeq() != 17 {
+			t.Fatalf("%s meter settled seq %d", id, dep.Meter.SettledSeq())
+		}
+	}
+	if proofs == 0 {
+		t.Fatal("no proofs were checked across the fleet")
+	}
+}
+
+// A device that inflates its tick count cannot settle: the fabricated
+// entries are chain-valid, but the settlement sample (rooted at the new
+// terminal head) demands proofs of real inference it never ran.
+func TestVerifiedBillingRejectsInflatedUsage(t *testing.T) {
+	p, ds, _ := verifiedFixture(t, 22, 2)
+	dep, err := p.Deploy("phone-00", "clf", DeployConfig{PrepaidQueries: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float32, 4)
+	for i := 0; i < 10; i++ {
+		for f := 0; f < 4; f++ {
+			x[f] = ds.X.At2(i, f)
+		}
+		if _, err := dep.Infer(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := dep.Meter.BuildAttestedReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := dep.Meter.Voucher()
+	head := rep.Entries[len(rep.Entries)-1].Hash
+	for i := 0; i < 8; i++ {
+		e := metering.NextEntry(head, rep.Used+1, 999, v.ID)
+		rep.Entries = append(rep.Entries, e)
+		rep.Used++
+		head = e.Hash
+	}
+	rc := p.Settler.SettleAttested(rep)
+	if rc.OK {
+		t.Fatal("inflated report settled")
+	}
+	if rc.Reason != metering.ReasonProofMissing && rc.Reason != metering.ReasonProofInvalid {
+		t.Fatalf("inflation rejected for the wrong reason: %s", rc.Reason)
+	}
+	// The honest report still settles afterwards.
+	honest, err := dep.Meter.BuildAttestedReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc := p.Settler.SettleAttested(honest); !rc.OK {
+		t.Fatalf("honest report rejected after fraud attempt: %s", rc.Reason)
+	}
+}
+
+// Charges served by a version the deployment has since updated off must
+// still prove at settlement — and a proof relabeled to another version
+// must fail even when that version shares the proved layer's weights
+// (the context binds the model identity, not just the weights).
+func TestVerifiedBillingAcrossUpdate(t *testing.T) {
+	p, ds, versions := verifiedFixture(t, 23, 1)
+	dep, err := p.Deploy("phone-00", "clf", DeployConfig{PrepaidQueries: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float32, 4)
+	serve := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			for f := 0; f < 4; f++ {
+				x[f] = ds.X.At2(i, f)
+			}
+			if _, err := dep.Infer(x); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	serve(6)
+	v1 := dep.Version.ID
+
+	// Publish a v2 whose first dense layer is IDENTICAL to v1's — a
+	// head-only fine-tune. Weight comparison alone cannot tell them apart.
+	art, err := p.Registry.Load(versions[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range art.Layers() {
+		if d, ok := l.(*nn.Dense); ok && d.In == 16 {
+			for i := range d.W.Value.Data {
+				d.W.Value.Data[i] += 0.01
+			}
+		}
+	}
+	v2s, err := p.Publish("clf2", art, ds, DefaultOptimizationSpec(ds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dep.Update(v2s[0], UpdateOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	serve(5)
+
+	rep, err := dep.Meter.BuildAttestedReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawV1, sawV2 := false, false
+	for _, att := range rep.Attestations {
+		sawV1 = sawV1 || att.ModelID == v1
+		sawV2 = sawV2 || att.ModelID == dep.Version.ID
+	}
+	if !sawV1 || !sawV2 {
+		t.Fatalf("report should attest both versions (v1=%v v2=%v)", sawV1, sawV2)
+	}
+	rcOK := p.Settler.SettleAttested(rep)
+	if !rcOK.OK {
+		t.Fatalf("cross-version report rejected: %s", rcOK.Reason)
+	}
+	dep.Meter.Acknowledge(rcOK.AckSeq)
+
+	// Relabel: produce a fresh window, then claim v1 charges were served
+	// by v2 (same first-dense weights). Must be rejected via the context.
+	serve(4)
+	rep2, err := dep.Meter.BuildAttestedReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	relabeled := false
+	for i := range rep2.Attestations {
+		if rep2.Attestations[i].ModelID == dep.Version.ID {
+			rep2.Attestations[i].ModelID = v1
+			relabeled = true
+			break
+		}
+	}
+	if !relabeled {
+		t.Fatal("nothing to relabel in second window")
+	}
+	rc := p.Settler.SettleAttested(rep2)
+	if rc.OK {
+		t.Fatal("relabeled model version settled")
+	}
+	if !strings.Contains(rc.Reason, "proof") {
+		t.Fatalf("relabeling rejected for the wrong reason: %s", rc.Reason)
+	}
+}

@@ -115,7 +115,16 @@ type Deployment struct {
 	// slot): Rollback restores it without re-downloading anything.
 	prev *image
 
-	mu          sync.Mutex
+	mu sync.Mutex
+
+	// Verified-billing attestor state (billing.go): the proved layer
+	// snapshot from the registry artifact and per-charge retained
+	// evidence. retained is non-nil iff verified billing is on.
+	attWq      []int32
+	attK, attN int
+	attModelID string
+	retained   map[uint64]retainedCharge
+
 	tick        uint64
 	window      uint32
 	winCount    uint32
@@ -149,7 +158,8 @@ type InferenceResult struct {
 // look unhealthy to a rollout gate. Caller holds d.mu.
 func (d *Deployment) admitLocked(x []float32) ([]float32, error) {
 	d.tick++
-	if err := d.Meter.Charge(d.tick); err != nil {
+	seq, err := d.Meter.ChargeSeq(d.tick)
+	if err != nil {
 		d.device.DenyQuery()
 		d.winDenied++
 		return nil, fmt.Errorf("%w: %v", ErrQueryDenied, err)
@@ -159,10 +169,12 @@ func (d *Deployment) admitLocked(x []float32) ([]float32, error) {
 		res, err := d.runtime.Run(d.pre, x)
 		if err != nil {
 			d.winFailed++
+			d.retainLocked(seq, nil)
 			return nil, fmt.Errorf("core: preprocess: %w", err)
 		}
 		if !res.Output.IsVec {
 			d.winFailed++
+			d.retainLocked(seq, nil)
 			return nil, fmt.Errorf("core: preprocess must produce a vector")
 		}
 		features = res.Output.Vec
@@ -170,6 +182,9 @@ func (d *Deployment) admitLocked(x []float32) ([]float32, error) {
 	if d.Monitor != nil {
 		d.Monitor.Observe(features)
 	}
+	// Every charged sequence keeps evidence — even if a later pipeline
+	// stage fails, the charge stands and must stay provable.
+	d.retainLocked(seq, features)
 	return features, nil
 }
 
@@ -273,7 +288,8 @@ func (d *Deployment) InferBatch(rows [][]float32) []BatchOutcome {
 	fdim := -1
 	for qi, x := range rows {
 		d.tick++
-		if err := d.Meter.Charge(d.tick); err != nil {
+		seq, err := d.Meter.ChargeSeq(d.tick)
+		if err != nil {
 			d.device.DenyQuery()
 			d.winDenied++
 			out[qi].Err = fmt.Errorf("%w: %v", ErrQueryDenied, err)
@@ -284,16 +300,21 @@ func (d *Deployment) InferBatch(rows [][]float32) []BatchOutcome {
 			res, err := d.runtime.Run(d.pre, x)
 			if err != nil {
 				d.winFailed++
+				d.retainLocked(seq, nil)
 				out[qi].Err = fmt.Errorf("core: preprocess: %w", err)
 				continue
 			}
 			if !res.Output.IsVec {
 				d.winFailed++
+				d.retainLocked(seq, nil)
 				out[qi].Err = fmt.Errorf("core: preprocess must produce a vector")
 				continue
 			}
 			features = res.Output.Vec
 		}
+		// Charged sequences keep evidence regardless of how the rest of
+		// the pipeline fares — mirror of admitLocked.
+		d.retainLocked(seq, features)
 		if fdim < 0 {
 			fdim = len(features)
 		}

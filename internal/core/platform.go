@@ -17,6 +17,7 @@ import (
 	"tinymlops/internal/registry"
 	"tinymlops/internal/selector"
 	"tinymlops/internal/tensor"
+	"tinymlops/internal/verify"
 )
 
 // Config provisions a Platform.
@@ -30,6 +31,15 @@ type Config struct {
 	// Workers bounds the platform's parallel fleet operations (deployment
 	// fan-out, telemetry sync, settlement); values ≤ 0 mean GOMAXPROCS.
 	Workers int
+	// VerifiedBilling arms pay-per-query proof settlement: deployments
+	// attach sum-check proofs for a deterministic sample of their charges
+	// and the settler rejects any report whose sample is missing or fails
+	// verification (billing.go).
+	VerifiedBilling bool
+	// AttestationRate is the billing sample density — roughly 1 in N
+	// charges carries a proof; 0 means the default of 4, 1 proves every
+	// charge. Only meaningful with VerifiedBilling.
+	AttestationRate int
 }
 
 // Platform is the TinyMLOps control plane plus the simulated data plane.
@@ -43,6 +53,10 @@ type Platform struct {
 	vendorKey []byte
 	rng       *tensor.RNG
 	eng       *engine.Engine
+	// verifier and attRate drive verified billing (billing.go); verifier
+	// is nil when the feature is off.
+	verifier *verify.BatchVerifier
+	attRate  int
 
 	mu          sync.Mutex
 	deployments map[string]*Deployment
@@ -65,7 +79,7 @@ func New(fleet *device.Fleet, cfg Config) (*Platform, error) {
 	if minCohort < 1 {
 		minCohort = 1
 	}
-	return &Platform{
+	p := &Platform{
 		Registry:    registry.New(),
 		Fleet:       fleet,
 		Issuer:      issuer,
@@ -75,7 +89,16 @@ func New(fleet *device.Fleet, cfg Config) (*Platform, error) {
 		rng:         tensor.NewRNG(cfg.Seed),
 		eng:         engine.New(engine.Config{Workers: cfg.Workers}),
 		deployments: make(map[string]*Deployment),
-	}, nil
+	}
+	if cfg.VerifiedBilling {
+		p.attRate = cfg.AttestationRate
+		if p.attRate == 0 {
+			p.attRate = 4
+		}
+		p.verifier = verify.NewBatchVerifier(p.eng)
+		p.Settler.SetAttestation(p.attRate, p.verifyAttestations)
+	}
+	return p, nil
 }
 
 // Publish registers a trained model and derives its optimized variants,
@@ -170,6 +193,15 @@ func (p *Platform) Deploy(deviceID, modelName string, cfg DeployConfig) (*Deploy
 			return nil, err
 		}
 		d.Monitor = mon
+	}
+	if p.verifier != nil {
+		// d is not yet published, so no lock is needed for the "Locked"
+		// snapshot; the attestor proves against the registry artifact, not
+		// the (possibly watermarked) deployed copy.
+		if err := d.refreshAttestorLocked(); err != nil {
+			return nil, err
+		}
+		d.Meter.SetAttestor(p.attRate, d.attest)
 	}
 	p.mu.Lock()
 	p.deployments[deviceID] = d

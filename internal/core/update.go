@@ -213,6 +213,11 @@ func (d *Deployment) Rollback() (*UpdateReport, error) {
 	// Re-derive the executable from the restored image: an integer variant
 	// goes back onto the integer kernels with fresh scratch.
 	d.run = newRunnable(d.device, d.Version, d.model)
+	if d.retained != nil {
+		if err := d.refreshAttestorLocked(); err != nil {
+			return nil, err
+		}
+	}
 	d.featStats = nil
 	return rep, nil
 }
@@ -228,6 +233,11 @@ func (d *Deployment) swapLocked(v *registry.ModelVersion, m *nn.Network, calib *
 	// float model, and the executable (QModel included) is re-instantiated
 	// from the result.
 	d.run = newRunnable(d.device, v, m)
+	if d.retained != nil {
+		if err := d.refreshAttestorLocked(); err != nil {
+			return err
+		}
+	}
 	if calib != nil {
 		mon, err := buildMonitor(calib)
 		if err != nil {

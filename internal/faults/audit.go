@@ -44,6 +44,15 @@ type AuditReport struct {
 	TelemetryRecords int
 	// PartialInstalls counts devices holding a half-written staging slot.
 	PartialInstalls int
+	// SettlementsChecked counts vouchers whose latest settlement receipt
+	// was inspected; FraudFlagged counts those whose latest settlement
+	// was rejected — the settler's verdict that the device's report could
+	// not be verified. FraudDevices lists them in device-ID order. A
+	// flagged device is attempted fraud caught by the billing plane, not
+	// a platform invariant violation, so it does not affect OK().
+	SettlementsChecked int
+	FraudFlagged       int
+	FraudDevices       []string
 	// ViolationCount is the true number of invariant violations found;
 	// Violations lists the first MaxViolations of them.
 	ViolationCount int
@@ -149,6 +158,19 @@ func Audit(p *core.Platform, cfg AuditConfig) *AuditReport {
 				rep.violate(max, "%s: %v", id, err)
 			} else {
 				rep.ChainsVerified++
+			}
+		}
+
+		// Settlement verdicts: surface the billing plane's judgment of
+		// this voucher's latest settlement. A rejected receipt means the
+		// settler could not verify the device's report — the audit's
+		// billing-fraud flag. (The receipt survives the rejection
+		// precisely so an audit can attribute it.)
+		if rc, rok := p.Settler.LastReceipt(v.ID); rok {
+			rep.SettlementsChecked++
+			if !rc.OK {
+				rep.FraudFlagged++
+				rep.FraudDevices = append(rep.FraudDevices, id)
 			}
 		}
 

@@ -42,6 +42,15 @@ type ChaosConfig struct {
 	PDropout        float64
 	PStraggler      float64
 	StragglerFactor float64
+
+	// Billing-fraud faults (the settlement phase's adversaries). Each is
+	// the chance a device tampers with its settlement report in one of
+	// the three canonical ways: inflating its tick count with fabricated
+	// chain entries, replaying stale proofs over the sampled charges, or
+	// relabeling its proofs to a different model version.
+	POverclaim         float64
+	PProofReplay       float64
+	PWrongVersionProof float64
 }
 
 // FaultProfile is the set of faults one device draws for one round — a
@@ -63,6 +72,20 @@ type FaultProfile struct {
 	Dropout         bool
 	Straggler       bool
 	StragglerFactor float64
+
+	// Billing-fraud faults: the device tampers with its settlement report
+	// (see TamperAttestedReport). Overclaim inflates the tick count with
+	// fabricated chain entries; ProofReplay substitutes stale proofs for
+	// the sampled charges; WrongVersionProof relabels proofs to another
+	// model version.
+	Overclaim         bool
+	ProofReplay       bool
+	WrongVersionProof bool
+}
+
+// Fraudulent reports whether the profile tampers with settlement.
+func (f FaultProfile) Fraudulent() bool {
+	return f.Overclaim || f.ProofReplay || f.WrongVersionProof
 }
 
 // churnSpan is how many rounds a churned device stays away (the draw
@@ -118,6 +141,9 @@ func (p *Plane) Profile(round uint64, id string) FaultProfile {
 	f.TelemetryLoss = p.draw("telemetry", round, id) < p.cfg.PTelemetryLoss
 	f.Dropout = p.draw("dropout", round, id) < p.cfg.PDropout
 	f.Straggler = p.draw("straggler", round, id) < p.cfg.PStraggler
+	f.Overclaim = p.draw("overclaim", round, id) < p.cfg.POverclaim
+	f.ProofReplay = p.draw("proofreplay", round, id) < p.cfg.PProofReplay
+	f.WrongVersionProof = p.draw("wrongproof", round, id) < p.cfg.PWrongVersionProof
 	return f
 }
 

@@ -1,0 +1,81 @@
+package faults
+
+import (
+	"tinymlops/internal/metering"
+)
+
+// overclaimEntries is how many fabricated chain links an overclaiming
+// device appends to its settlement report.
+const overclaimEntries = 24
+
+// TamperAttestedReport applies the profile's billing frauds to a built
+// settlement report, in place — the adversary model of the settlement
+// phase. Overclaim extends the tamper-evident chain with fabricated but
+// chain-valid entries and inflates the claimed usage; the chain math is
+// self-consistent, so only the proof-of-inference sample (re-rooted at
+// the new terminal head) can catch it. ProofReplay keeps each
+// attestation's charge binding but substitutes a proof produced for a
+// different charge — the stale-replay shape; with a single attestation
+// it corrupts the proof bytes instead. WrongVersionProof relabels every
+// attestation to the first altModels entry that differs from its current
+// claim (altModels are other registered version IDs), defeating any
+// verifier that checks weights rather than bound model identity.
+//
+// The returned profile keeps only the fraud bits that actually modified
+// the report: a draw with nothing to tamper (relabeling when the window
+// sampled no charges, say) is reported as not injected.
+func TamperAttestedReport(f FaultProfile, rep *metering.AttestedReport, altModels ...string) FaultProfile {
+	var eff FaultProfile
+	if f.Overclaim {
+		head := metering.GenesisHead(rep.Voucher)
+		if n := len(rep.Entries); n > 0 {
+			head = rep.Entries[n-1].Hash
+		}
+		if len(rep.Entries) > 0 || rep.FromSeq == 1 {
+			for i := 0; i < overclaimEntries; i++ {
+				e := metering.NextEntry(head, rep.Used+1, uint64(i+1), rep.Voucher.ID)
+				rep.Entries = append(rep.Entries, e)
+				rep.Used++
+				head = e.Hash
+			}
+		} else {
+			// Mid-window report with no settled-head knowledge: bare
+			// inflation (caught by the chain accounting instead).
+			rep.Used += overclaimEntries
+		}
+		eff.Overclaim = true
+	}
+	if f.ProofReplay {
+		atts := rep.Attestations
+		switch {
+		case len(atts) >= 2:
+			// Rotate the proof payloads one slot while keeping each
+			// attestation's sequence: every proof now attests a charge it
+			// was not produced for.
+			first := atts[0]
+			for i := 0; i < len(atts)-1; i++ {
+				atts[i].ModelID, atts[i].Input = atts[i+1].ModelID, atts[i+1].Input
+				atts[i].Claimed, atts[i].Proof = atts[i+1].Claimed, atts[i+1].Proof
+			}
+			last := len(atts) - 1
+			atts[last].ModelID, atts[last].Input = first.ModelID, first.Input
+			atts[last].Claimed, atts[last].Proof = first.Claimed, first.Proof
+			eff.ProofReplay = true
+		case len(atts) == 1 && len(atts[0].Proof) > 0:
+			atts[0].Proof[len(atts[0].Proof)/2] ^= 0x40
+			eff.ProofReplay = true
+		}
+	}
+	if f.WrongVersionProof {
+		for i := range rep.Attestations {
+			for _, alt := range altModels {
+				if alt != "" && alt != rep.Attestations[i].ModelID {
+					rep.Attestations[i].ModelID = alt
+					eff.WrongVersionProof = true
+					break
+				}
+			}
+		}
+	}
+	return eff
+}

@@ -85,6 +85,12 @@ type ScenarioResult struct {
 	// Offload is the offload phase's record (nil when the phase was not
 	// configured).
 	Offload *OffloadReport
+	// Settlement is the verified-billing settlement phase's record: every
+	// deployment settles its metered window over TCP, with the round's
+	// fraud draws tampering the configured fraction of reports. The
+	// scenario errors unless every tampered report was rejected and every
+	// honest one accepted.
+	Settlement *SettlementReport
 	// Audit is the terminal deep audit (no partial slots tolerated).
 	Audit *AuditReport
 	// Fingerprint digests the terminal fleet state (per-device version,
@@ -124,6 +130,7 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	p, err := core.New(fleet, core.Config{
 		VendorKey: []byte("chaos-scenario-key-0123456789abcdef"),
 		Seed:      cfg.Seed, MinCohort: 1, Workers: cfg.Workers,
+		VerifiedBilling: true,
 	})
 	if err != nil {
 		return nil, err
@@ -327,6 +334,17 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		res.Offload = report
 	}
 
+	// Settlement phase: every device settles its metered window against
+	// the verifying settler, fraud draws tampering some reports. Runs
+	// before the terminal audit so the audit sees the settlement verdicts
+	// (and the post-acknowledge chain state) — the audit's fraud flags
+	// must reproduce exactly the set of tampered devices.
+	settle, serr := runSettlementPhase(p, plane, &round, res)
+	if serr != nil {
+		return nil, serr
+	}
+	res.Settlement = settle
+
 	res.Audit = Audit(p, AuditConfig{Deep: true})
 	res.Fingerprint = fingerprint(p, res)
 	return res, nil
@@ -405,7 +423,18 @@ func fingerprint(p *core.Platform, res *ScenarioResult) string {
 			o.Replans, o.ActivationBytes, o.Mismatches, o.CloudServed,
 			o.IntegerSkipped)
 	}
-	fmt.Fprintf(h, "audit|%d|%d|%d\n", res.Audit.ViolationCount,
-		res.Audit.ArtifactsVerified, res.Audit.TelemetryRecords)
+	if s := res.Settlement; s != nil {
+		for _, vd := range s.Verdicts {
+			fmt.Fprintf(h, "settle|%s|%v|%v|%v|%v|%v|%s|%d|%d\n",
+				vd.DeviceID, vd.Injected, vd.Overclaim, vd.ProofReplay,
+				vd.WrongVersionProof, vd.OK, vd.Reason, vd.ProofsChecked, vd.AckSeq)
+		}
+		fmt.Fprintf(h, "settlement|%d|%d|%d|%d|%d|%d|%d|%d\n",
+			s.Devices, s.Settled, s.FraudInjected, s.FraudCaught,
+			s.Overclaims, s.Replays, s.WrongVersions, s.ProofsChecked)
+	}
+	fmt.Fprintf(h, "audit|%d|%d|%d|%d|%d\n", res.Audit.ViolationCount,
+		res.Audit.ArtifactsVerified, res.Audit.TelemetryRecords,
+		res.Audit.SettlementsChecked, res.Audit.FraudFlagged)
 	return hex.EncodeToString(h.Sum(nil)[:16])
 }

@@ -1,0 +1,84 @@
+package faults
+
+import (
+	"testing"
+)
+
+// TestChaosSettlementFraudCaughtDeterministic is the verified-billing
+// acceptance scenario: a fleet settles under injected billing fraud —
+// overclaimed tick counts, replayed stale proofs, wrong-model-version
+// relabeling — and every tampered report must be rejected while every
+// honest report settles, with the audit's fraud flags reproducing the
+// injected set exactly and the fingerprint identical at 1, 4 and 16
+// workers.
+func TestChaosSettlementFraudCaughtDeterministic(t *testing.T) {
+	chaos := ChaosConfig{
+		Seed:               3002,
+		PDrop:              0.10,
+		PSpike:             0.10,
+		POverclaim:         0.12,
+		PProofReplay:       0.12,
+		PWrongVersionProof: 0.12,
+	}
+	var first *ScenarioResult
+	for _, workers := range []int{1, 4, 16} {
+		res, err := RunScenario(ScenarioConfig{
+			Devices: 90, Workers: workers, Seed: 3001, Chaos: chaos,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		s := res.Settlement
+		if s == nil {
+			t.Fatalf("workers=%d: no settlement report", workers)
+		}
+		// The adversaries must actually have shown up — all three classes.
+		if s.FraudInjected == 0 || s.Overclaims == 0 || s.Replays == 0 || s.WrongVersions == 0 {
+			t.Fatalf("workers=%d: fraud classes unexercised: %+v", workers, s)
+		}
+		// The phase itself enforces these, but pin them in the report too.
+		if s.FraudCaught != s.FraudInjected {
+			t.Fatalf("workers=%d: caught %d of %d injected frauds", workers, s.FraudCaught, s.FraudInjected)
+		}
+		if s.Settled != s.Devices-s.FraudInjected {
+			t.Fatalf("workers=%d: %d honest settlements of %d expected", workers, s.Settled, s.Devices-s.FraudInjected)
+		}
+		if s.ProofsChecked == 0 {
+			t.Fatalf("workers=%d: settler verified no inference proofs", workers)
+		}
+		// Platform invariants hold even with fraud in the air: rejection
+		// leaves device and settler state untouched.
+		if !res.Audit.OK() {
+			t.Fatalf("workers=%d: audit violations: %v", workers, res.Audit.Violations)
+		}
+		// The audit's fraud flags must be exactly the injected set — every
+		// fraud caught, zero false positives on honest devices.
+		if res.Audit.SettlementsChecked != s.Devices {
+			t.Fatalf("workers=%d: audit inspected %d/%d settlements", workers, res.Audit.SettlementsChecked, s.Devices)
+		}
+		injected := make(map[string]bool)
+		for _, vd := range s.Verdicts {
+			if vd.Injected {
+				injected[vd.DeviceID] = true
+			}
+		}
+		if res.Audit.FraudFlagged != len(injected) {
+			t.Fatalf("workers=%d: audit flagged %d devices, %d injected", workers, res.Audit.FraudFlagged, len(injected))
+		}
+		for _, id := range res.Audit.FraudDevices {
+			if !injected[id] {
+				t.Fatalf("workers=%d: audit flagged honest device %s", workers, id)
+			}
+		}
+		if first == nil {
+			first = res
+			t.Logf("settlement phase: devices=%d settled=%d fraud=%d (overclaim=%d replay=%d wrong-version=%d) proofs=%d",
+				s.Devices, s.Settled, s.FraudInjected, s.Overclaims, s.Replays, s.WrongVersions, s.ProofsChecked)
+			continue
+		}
+		if res.Fingerprint != first.Fingerprint {
+			t.Fatalf("workers=%d: fingerprint %s != %s — settlement outcome depends on scheduling",
+				workers, res.Fingerprint, first.Fingerprint)
+		}
+	}
+}

@@ -35,6 +35,12 @@ type Meter struct {
 	unsettled []Entry
 	// settledSeq is the last charge sequence the server has acknowledged.
 	settledSeq uint64
+	// settledHead is the chain head at settledSeq — the root both sides
+	// use when a report carries no entries.
+	settledHead [32]byte
+	// attestor and attRate drive verified billing (see attest.go).
+	attestor Attestor
+	attRate  int
 }
 
 // NewMeter binds a meter to a voucher on a device. The genesis hash chains
@@ -43,6 +49,7 @@ type Meter struct {
 func NewMeter(v Voucher) *Meter {
 	m := &Meter{voucher: v}
 	m.head = sha256.Sum256([]byte("genesis|" + v.ID + "|" + v.DeviceID))
+	m.settledHead = m.head
 	return m
 }
 
@@ -77,17 +84,24 @@ func (m *Meter) Head() [32]byte {
 // Charge admits one query at the device-local tick, or returns
 // ErrQuotaExhausted. The charge is appended to the tamper-evident chain.
 func (m *Meter) Charge(tick uint64) error {
+	_, err := m.ChargeSeq(tick)
+	return err
+}
+
+// ChargeSeq is Charge returning the assigned chain sequence, so callers
+// retaining per-charge evidence (verified billing) can key it.
+func (m *Meter) ChargeSeq(tick uint64) (uint64, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.used >= m.voucher.Queries {
-		return fmt.Errorf("%w: %d/%d", ErrQuotaExhausted, m.used, m.voucher.Queries)
+		return 0, fmt.Errorf("%w: %d/%d", ErrQuotaExhausted, m.used, m.voucher.Queries)
 	}
 	m.used++
 	e := Entry{Seq: m.used, Tick: tick}
 	e.Hash = chainHash(m.head, e.Seq, e.Tick, m.voucher.ID)
 	m.head = e.Hash
 	m.unsettled = append(m.unsettled, e)
-	return nil
+	return e.Seq, nil
 }
 
 func chainHash(prev [32]byte, seq, tick uint64, voucherID string) [32]byte {
@@ -145,7 +159,8 @@ func (m *Meter) BuildReport() Report {
 	}
 }
 
-// Acknowledge prunes entries the server has accepted through seq.
+// Acknowledge prunes entries the server has accepted through seq and
+// advances the settled head to the last pruned entry's hash.
 func (m *Meter) Acknowledge(throughSeq uint64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -156,10 +171,26 @@ func (m *Meter) Acknowledge(throughSeq uint64) {
 	for _, e := range m.unsettled {
 		if e.Seq > throughSeq {
 			keep = append(keep, e)
+		} else if e.Seq == throughSeq {
+			m.settledHead = e.Hash
 		}
 	}
 	m.unsettled = keep
 	m.settledSeq = throughSeq
+}
+
+// SettledSeq returns the last server-acknowledged charge sequence.
+func (m *Meter) SettledSeq() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.settledSeq
+}
+
+// SettledHead returns the chain head as of the last acknowledgment.
+func (m *Meter) SettledHead() [32]byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.settledHead
 }
 
 // GenesisHead returns the chain genesis for a voucher — what the server

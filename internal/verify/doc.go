@@ -11,6 +11,16 @@
 // rounds, O(m·k + k·n) verifier work versus O(m·n·k) re-execution),
 // Fiat-Shamir makes it non-interactive, and the (cheap, O(n)) nonlinear
 // layers are recomputed by the verifier directly — the same split Slalom
-// makes. Freivalds' check is included as the one-shot randomized
-// baseline.
+// makes. Freivalds' check is included as the randomized pre-screen.
+//
+// This package is the proof engine behind verifiable pay-per-query
+// billing (metering, core): devices bind ProveMatMulCtx proofs to
+// sampled charges of their tamper-evident usage chain, the proofs ride
+// in settlement reports as attestations, and the vendor's Settler checks
+// them through a BatchVerifier — weight classes prepared once per
+// (model-version, shape), a shared Freivalds projection pre-screening
+// each window, full sum-check verification fanned out over an engine
+// worker pool. The economics mirror SafetyNets: producing a valid proof
+// costs at least the inference it attests, so inflating tick counts stops
+// paying.
 package verify

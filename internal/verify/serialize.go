@@ -1,0 +1,60 @@
+package verify
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Proof wire format: three uint32 padded dimensions, then three uint64
+// field elements per round — exactly SizeBytes() bytes. Attestations
+// carry proofs in this form so metering never depends on this package's
+// internals.
+
+// MarshalBinary serializes the proof.
+func (p *Proof) MarshalBinary() ([]byte, error) {
+	if p.M < 1 || p.K < 1 || p.N < 1 {
+		return nil, fmt.Errorf("verify: proof dims %dx%dx%d not positive", p.M, p.K, p.N)
+	}
+	out := make([]byte, p.SizeBytes())
+	binary.LittleEndian.PutUint32(out[0:], uint32(p.M))
+	binary.LittleEndian.PutUint32(out[4:], uint32(p.K))
+	binary.LittleEndian.PutUint32(out[8:], uint32(p.N))
+	off := 12
+	for _, g := range p.Rounds {
+		for _, e := range g {
+			binary.LittleEndian.PutUint64(out[off:], uint64(e))
+			off += 8
+		}
+	}
+	return out, nil
+}
+
+// UnmarshalBinary parses a proof produced by MarshalBinary. Field
+// elements are reduced into canonical range, so any byte string yields
+// either an error or a structurally valid (not necessarily verifying)
+// proof.
+func (p *Proof) UnmarshalBinary(data []byte) error {
+	if len(data) < 12 {
+		return fmt.Errorf("verify: proof blob %d bytes, need at least 12", len(data))
+	}
+	if (len(data)-12)%24 != 0 {
+		return fmt.Errorf("verify: proof blob %d bytes is not 12 + 24×rounds", len(data))
+	}
+	m := int(binary.LittleEndian.Uint32(data[0:]))
+	k := int(binary.LittleEndian.Uint32(data[4:]))
+	n := int(binary.LittleEndian.Uint32(data[8:]))
+	if m < 1 || k < 1 || n < 1 {
+		return fmt.Errorf("verify: proof blob dims %dx%dx%d not positive", m, k, n)
+	}
+	rounds := (len(data) - 12) / 24
+	p.M, p.K, p.N = m, k, n
+	p.Rounds = make([]RoundPoly, rounds)
+	off := 12
+	for i := range p.Rounds {
+		for j := 0; j < 3; j++ {
+			p.Rounds[i][j] = reduce(binary.LittleEndian.Uint64(data[off:]))
+			off += 8
+		}
+	}
+	return nil
+}

@@ -81,33 +81,61 @@ type Proof struct {
 }
 
 // SizeBytes returns the wire size of the proof (3 field elements per
-// round plus the dimension header).
+// round plus the dimension header) — exactly what MarshalBinary emits.
 func (p *Proof) SizeBytes() int { return 12 + 24*len(p.Rounds) }
 
 // Stats counts field multiplications on each side — the cost model E10
 // reports. DirectMuls is what re-executing the product would cost.
+// HashedElems counts field elements fed through the transcript's matrix
+// digests: the dominant non-arithmetic verifier cost, and the term a
+// prepared-weights verification amortizes away (see PrepareWeights).
 type Stats struct {
 	ProverMuls   int64
 	VerifierMuls int64
 	DirectMuls   int64
+	HashedElems  int64
 	ProofBytes   int
+}
+
+// checkOperands validates the prover/verifier operand shapes shared by
+// every entry point.
+func checkOperands(a []int32, m, k int, lb, n int) error {
+	if m < 1 || k < 1 || n < 1 {
+		return fmt.Errorf("verify: dimensions (%d×%d)×(%d×%d) must be positive", m, k, k, n)
+	}
+	if len(a) != m*k || lb != k*n {
+		return fmt.Errorf("verify: matrix sizes %d,%d do not match dims (%d×%d)×(%d×%d)", len(a), lb, m, k, k, n)
+	}
+	return nil
 }
 
 // ProveMatMul computes C = A×B over the field and produces a sum-check
 // proof that C is correct. a is m×k and b is k×n (int32, row-major,
-// arbitrary dimensions — padding is internal). It returns the unpadded
-// product as int64s, the proof and the prover-side stats.
+// arbitrary positive dimensions — padding is internal). It returns the
+// unpadded product as int64s, the proof and the prover-side stats.
 func ProveMatMul(a []int32, m, k int, b []int32, n int) ([]int64, *Proof, Stats, error) {
-	if len(a) != m*k || len(b) != k*n {
-		return nil, nil, Stats{}, fmt.Errorf("verify: matrix sizes %d,%d do not match dims (%d×%d)×(%d×%d)", len(a), len(b), m, k, k, n)
+	return ProveMatMulCtx(nil, a, m, k, b, n)
+}
+
+// ProveMatMulCtx is ProveMatMul with an application context bound into
+// the Fiat-Shamir transcript. A proof made under one context never
+// verifies under another, which is what lets settlement bind a proof to
+// one (voucher, charge, chain entry, model version) and reject replays.
+// A nil or empty context produces exactly ProveMatMul's transcript.
+func ProveMatMulCtx(ctx []byte, a []int32, m, k int, b []int32, n int) ([]int64, *Proof, Stats, error) {
+	if err := checkOperands(a, m, k, len(b), n); err != nil {
+		return nil, nil, Stats{}, err
 	}
 	af, mp, kp := padMatrix(a, m, k)
-	bf, kp2, np := padMatrix(b, k, n)
-	_ = kp2
+	bf, _, np := padMatrix(b, k, n)
 	cf := matMulField(af, bf, mp, kp, np)
 	stats := Stats{ProverMuls: int64(mp) * int64(kp) * int64(np), DirectMuls: int64(mp) * int64(kp) * int64(np)}
+	stats.HashedElems = int64(mp)*int64(kp) + int64(kp)*int64(np) + int64(mp)*int64(np)
 
 	tr := newTranscript("matmul")
+	if len(ctx) > 0 {
+		tr.absorbBytes(ctx)
+	}
 	tr.absorbInt(mp)
 	tr.absorbInt(kp)
 	tr.absorbInt(np)
@@ -187,11 +215,46 @@ func evalQuadratic(g RoundPoly, t Elem) Elem {
 // c the device's answer); its work is O(m·k + k·n + m·n) instead of
 // O(m·n·k).
 func VerifyMatMul(a []int32, m, k int, b []int32, n int, c []int64, proof *Proof) (bool, Stats, error) {
+	return VerifyMatMulCtx(nil, a, m, k, b, n, c, proof)
+}
+
+// VerifyMatMulCtx is VerifyMatMul under an application context; the proof
+// must have been produced by ProveMatMulCtx under the identical context.
+func VerifyMatMulCtx(ctx []byte, a []int32, m, k int, b []int32, n int, c []int64, proof *Proof) (bool, Stats, error) {
+	if err := checkOperands(a, m, k, len(b), n); err != nil {
+		return false, Stats{}, err
+	}
+	pw, err := PrepareWeights(b, k, n)
+	if err != nil {
+		return false, Stats{}, err
+	}
+	ok, stats, err := VerifyMatMulPrepared(ctx, a, m, pw, c, proof)
+	// The one-shot path pays the weight-matrix digest a prepared class
+	// amortizes across a settlement window.
+	stats.HashedElems += int64(pw.kp) * int64(pw.np)
+	return ok, stats, err
+}
+
+// VerifyMatMulPrepared is VerifyMatMulCtx against a pre-encoded weight
+// matrix: the padding and transcript digest of B — the dominant per-proof
+// cost when one model class settles many queries — are reused from pw
+// instead of being recomputed.
+func VerifyMatMulPrepared(ctx []byte, a []int32, m int, pw *PreparedWeights, c []int64, proof *Proof) (bool, Stats, error) {
+	if pw == nil {
+		return false, Stats{}, fmt.Errorf("verify: nil prepared weights")
+	}
+	k, n := pw.K, pw.N
+	if m < 1 || len(a) != m*k {
+		return false, Stats{}, fmt.Errorf("verify: input size %d does not match dims %d×%d", len(a), m, k)
+	}
 	if len(c) != m*n {
 		return false, Stats{}, fmt.Errorf("verify: result size %d, want %d", len(c), m*n)
 	}
+	if proof == nil {
+		return false, Stats{}, fmt.Errorf("verify: nil proof")
+	}
 	af, mp, kp := padMatrix(a, m, k)
-	bf, _, np := padMatrix(b, k, n)
+	np := pw.np
 	if proof.M != mp || proof.K != kp || proof.N != np {
 		return false, Stats{}, fmt.Errorf("verify: proof dims %dx%dx%d do not match %dx%dx%d", proof.M, proof.K, proof.N, mp, kp, np)
 	}
@@ -206,16 +269,26 @@ func VerifyMatMul(a []int32, m, k int, b []int32, n int, c []int64, proof *Proof
 		}
 	}
 	stats := Stats{DirectMuls: int64(mp) * int64(kp) * int64(np), ProofBytes: proof.SizeBytes()}
+	stats.HashedElems = int64(mp)*int64(kp) + int64(mp)*int64(np)
 
 	tr := newTranscript("matmul")
+	if len(ctx) > 0 {
+		tr.absorbBytes(ctx)
+	}
 	tr.absorbInt(mp)
 	tr.absorbInt(kp)
 	tr.absorbInt(np)
-	da, db, dc := digestElems(af), digestElems(bf), digestElems(cf)
+	da, dc := digestElems(af), digestElems(cf)
 	tr.absorbBytes(da[:])
-	tr.absorbBytes(db[:])
+	tr.absorbBytes(pw.db[:])
 	tr.absorbBytes(dc[:])
 
+	// The point challenges r1, r2 stay per-proof: they are derived after
+	// the transcript absorbs this proof's own C digest. Sharing them
+	// across a class would let a prover pick a false C agreeing with the
+	// true product's extension at the known point — the only sound
+	// class-level sharing is of the weight encoding (here) and of the
+	// Freivalds pre-screen projection (BatchVerifier).
 	r1 := tr.challenges(log2(mp))
 	r2 := tr.challenges(log2(np))
 
@@ -243,7 +316,7 @@ func VerifyMatMul(a []int32, m, k int, b []int32, n int, c []int64, proof *Proof
 	if err != nil {
 		return false, stats, err
 	}
-	vb, err := foldCols(bf, kp, np, r2)
+	vb, err := foldCols(pw.bf, kp, np, r2)
 	if err != nil {
 		return false, stats, err
 	}
@@ -258,10 +331,17 @@ func VerifyMatMul(a []int32, m, k int, b []int32, n int, c []int64, proof *Proof
 // FreivaldsCheck probabilistically verifies c = a×b with `rounds` random
 // projections over the field; each round costs O(m·k + k·n + m·n) and a
 // wrong product survives a round with probability ≤ 1/p. The seed
-// parameterizes the randomness (use a fresh one per check).
-func FreivaldsCheck(a []int32, m, k int, b []int32, n int, c []int64, rounds int, seed uint64) bool {
-	if rounds < 1 {
-		rounds = 1
+// parameterizes the randomness (use a fresh one per check). rounds must
+// be positive and the operand shapes must agree, else an error.
+func FreivaldsCheck(a []int32, m, k int, b []int32, n int, c []int64, rounds int, seed uint64) (bool, error) {
+	if rounds <= 0 {
+		return false, fmt.Errorf("verify: freivalds needs rounds >= 1, got %d", rounds)
+	}
+	if err := checkOperands(a, m, k, len(b), n); err != nil {
+		return false, err
+	}
+	if len(c) != m*n {
+		return false, fmt.Errorf("verify: result size %d, want %d", len(c), m*n)
 	}
 	af, mp, kp := padMatrix(a, m, k)
 	bf, _, np := padMatrix(b, k, n)
@@ -297,9 +377,9 @@ func FreivaldsCheck(a []int32, m, k int, b []int32, n int, c []int64, rounds int
 				cr = Add(cr, Mul(v, r[j]))
 			}
 			if abr != cr {
-				return false
+				return false, nil
 			}
 		}
 	}
-	return true
+	return true, nil
 }

@@ -254,12 +254,14 @@ func TestFreivalds(t *testing.T) {
 	m, k, n := 10, 20, 15
 	a, b := randMat(rng, m*k), randMat(rng, k*n)
 	c := naiveMatMul(a, m, k, b, n)
-	if !FreivaldsCheck(a, m, k, b, n, c, 2, 42) {
-		t.Fatal("Freivalds rejected a correct product")
+	ok, err := FreivaldsCheck(a, m, k, b, n, c, 2, 42)
+	if err != nil || !ok {
+		t.Fatalf("Freivalds rejected a correct product: %v %v", ok, err)
 	}
 	c[7] += 3
-	if FreivaldsCheck(a, m, k, b, n, c, 2, 42) {
-		t.Fatal("Freivalds accepted a corrupted product")
+	ok, err = FreivaldsCheck(a, m, k, b, n, c, 2, 42)
+	if err != nil || ok {
+		t.Fatalf("Freivalds accepted a corrupted product: %v %v", ok, err)
 	}
 }
 

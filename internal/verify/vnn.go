@@ -49,10 +49,12 @@ func (ip *InferenceProof) SizeBytes() int {
 	return total
 }
 
-// quantizeWeightsPerTensor quantizes a weight matrix to int8 codes with a
-// single symmetric scale (deterministic, so prover and verifier derive
-// identical operands).
-func quantizeWeightsPerTensor(w *tensor.Tensor) ([]int32, float32) {
+// QuantizeWeights quantizes a weight matrix to int8 codes (as int32
+// operands) with a single symmetric scale. Deterministic, so a prover and
+// a verifier holding the same weights derive bit-identical operands —
+// settlement relies on this to re-derive a deployment's proved layer from
+// the registry artifact alone.
+func QuantizeWeights(w *tensor.Tensor) ([]int32, float32) {
 	absMax := w.AbsMax()
 	scale := absMax / 127
 	if scale == 0 {
@@ -100,7 +102,7 @@ func walkInference(net *nn.Network, x *tensor.Tensor,
 			continue
 		}
 		codes, sx := quant.QuantizeActivations(cur)
-		wq, sw := quantizeWeightsPerTensor(d.W.Value)
+		wq, sw := QuantizeWeights(d.W.Value)
 		m := cur.Dim(0)
 		acc, err := onDense(denseIdx, toInt32(codes), m, d.In, wq, d.Out)
 		if err != nil {
