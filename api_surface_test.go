@@ -656,3 +656,127 @@ func TestVerifiedBillingSurface(t *testing.T) {
 		t.Fatalf("scenario missed fraud: %+v", srep)
 	}
 }
+
+// TestInt4AndBenchSurface pins the packed-int4 kernel surface (packing
+// codec, packed QTensor storage form, the SWAR matmul) and the benchmark
+// trajectory report types — all reached through re-exports only.
+func TestInt4AndBenchSurface(t *testing.T) {
+	// Packing codec: round trip, canonical rejection.
+	codes := []int8{-8, 7, 0, 3, -1}
+	packed, err := tinymlops.PackInt4(codes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(packed) != tinymlops.Int4PackedLen(len(codes)) {
+		t.Fatalf("packed %d bytes, want %d", len(packed), tinymlops.Int4PackedLen(len(codes)))
+	}
+	back, err := tinymlops.UnpackInt4(packed, len(codes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range codes {
+		if back[i] != codes[i] {
+			t.Fatalf("code %d: %d != %d", i, back[i], codes[i])
+		}
+	}
+	if _, err := tinymlops.UnpackInt4(packed[:1], len(codes)); err == nil {
+		t.Fatal("truncated buffer decoded")
+	}
+	if _, err := tinymlops.PackInt4([]int8{8}); err == nil {
+		t.Fatal("out-of-range code packed")
+	}
+
+	// MatMulInt4 vs a naive scalar reference, exercising both nibbles.
+	const m, k, n = 2, 3, 5
+	a := []int8{1, -2, 3, 0, 5, -6}
+	w := []int8{1, -8, 7, 0, 2, -1, 3, 4, -5, 6, 0, -7, 1, 2, -3}
+	bPacked, err := tinymlops.PackInt4Matrix(w, k, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []float32{0.5, 2}
+	cols := []float32{1, 0.25, 3, 0.5, 2}
+	got := make([]float32, m*n)
+	tinymlops.MatMulInt4(got, a, bPacked, m, k, n, rows, cols)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var sum int32
+			for p := 0; p < k; p++ {
+				sum += int32(a[i*k+p]) * int32(w[p*n+j])
+			}
+			want := float32(sum) * rows[i] * cols[j]
+			if got[i*n+j] != want {
+				t.Fatalf("MatMulInt4[%d,%d] = %g, want %g", i, j, got[i*n+j], want)
+			}
+		}
+	}
+	// MatMulInt4LHS: the same codes as a packed [3,2] left operand
+	// against an int8 [2,3] right operand, vs the naive reference.
+	wPacked, err := tinymlops.PackInt4Matrix(w[:6], 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lhsGot := make([]float32, 3*3)
+	ones := []float32{1, 1, 1}
+	tinymlops.MatMulInt4LHS(lhsGot, wPacked, a[:6], 3, 2, 3, ones, ones)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			var sum int32
+			for p := 0; p < 2; p++ {
+				sum += int32(w[i*2+p]) * int32(a[p*3+j])
+			}
+			if lhsGot[i*3+j] != float32(sum) {
+				t.Fatalf("MatMulInt4LHS[%d,%d] = %g, want %d", i, j, lhsGot[i*3+j], sum)
+			}
+		}
+	}
+
+	// Packed QTensor storage form through the facade.
+	rng := tinymlops.NewRNG(77)
+	var qt *tinymlops.QTensor
+	qt, err = tinymlops.QuantizeMatrix(tinymlops.FromSlice(randRow(rng, 12), 3, 4), tinymlops.Int4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := qt.Dequantize()
+	if err := qt.PackInt4(); err != nil {
+		t.Fatal(err)
+	}
+	if !qt.IsPacked() {
+		t.Fatal("PackInt4 left the tensor unpacked")
+	}
+	packedDeq := qt.Dequantize()
+	for i := range ref.Data {
+		if ref.Data[i] != packedDeq.Data[i] {
+			t.Fatalf("packed dequantize diverged at %d", i)
+		}
+	}
+
+	// Bench trajectory types: a fabricated slowdown must trip the gate.
+	base := &tinymlops.BenchReport{Area: "surface", Entries: []tinymlops.BenchEntry{
+		{Name: "Hot", Iters: 100, NsPerOp: 100, AllocsPerOp: 0},
+	}}
+	cur := &tinymlops.BenchReport{Area: "surface", Entries: []tinymlops.BenchEntry{
+		{Name: "Hot", Iters: 100, NsPerOp: 200, AllocsPerOp: 1},
+	}}
+	regs := tinymlops.DiffBenchReports(base, cur, 0.25)
+	if len(regs) != 2 {
+		t.Fatalf("want ns/op + allocs/op regressions, got %v", regs)
+	}
+	var reg tinymlops.BenchRegression = regs[0]
+	if reg.String() == "" {
+		t.Fatal("regression renders empty")
+	}
+	if tinymlops.DiffBenchReports(base, base, 0.25) != nil {
+		t.Fatal("identical reports regressed")
+	}
+}
+
+// randRow fills a float32 slice from the facade RNG.
+func randRow(rng *tinymlops.RNG, n int) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = rng.NormFloat32()
+	}
+	return out
+}

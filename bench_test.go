@@ -638,6 +638,25 @@ func BenchmarkInferBatchInt8(b *testing.B) {
 	}
 }
 
+// BenchmarkInferBatchInt4 is the same topology and batch through the
+// packed-int4 runtime: weights stored two codes per byte, nibbles decoded
+// inside the blocked matmul. The point of comparison is
+// BenchmarkInferBatchFloat32 — native int4 must beat the fake-quantized
+// float path it replaces on 4-bit-capable hardware.
+func BenchmarkInferBatchInt4(b *testing.B) {
+	net, in := precisionBenchFixture()
+	qm, err := quant.NewQModel(net, quant.Int4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scratch := quant.NewQScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qm.ForwardBatch(in, scratch)
+	}
+}
+
 // --- staged OTA rollout: delta vs full transfer ------------------------------
 
 // rolloutBenchSetup builds a platform over 8 wall-powered gateways, all

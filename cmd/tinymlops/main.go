@@ -14,6 +14,7 @@
 //	tinymlops chaos    -devices 600 -churn 0.05 -crash 0.2
 //	tinymlops offload  -devices 2 -queries 12 -rtt 200us
 //	tinymlops settle   -devices 90 -overclaim 0.1 -replay 0.1 -wrong-version 0.1
+//	tinymlops bench    -check -tolerance 0.25
 package main
 
 import (
@@ -49,6 +50,8 @@ func main() {
 		err = cmdOffload(os.Args[2:])
 	case "settle":
 		err = cmdSettle(os.Args[2:])
+	case "bench":
+		err = cmdBench(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -83,6 +86,9 @@ subcommands:
   settle     run verified pay-per-query settlement across a fleet with
              injected billing fraud (overclaimed ticks, replayed proofs,
              wrong-version relabeling) and print per-device verdicts
+  bench      run the tracked serving/offload benchmark suite and rewrite
+             the committed BENCH_<area>.json snapshots, or with -check
+             fail on any ns/op or allocs/op regression against them
 
 run 'tinymlops <subcommand> -h' for flags`)
 }

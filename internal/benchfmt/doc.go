@@ -1,0 +1,14 @@
+// Package benchfmt persists benchmark results as committed JSON snapshots
+// and diffs a fresh run against them, so serving performance has a
+// trajectory instead of a vibe.
+//
+// A Report is one benchmark area (serving, offload) run on one
+// machine: per-benchmark ns/op, B/op, and allocs/op plus the Go
+// version and platform that produced it. WriteFile/ReadFile give the
+// snapshots a stable, diff-friendly encoding; Diff compares a current
+// run against a committed baseline and returns every regression —
+// ns/op beyond the tolerance, any allocation increase at all, and
+// benchmarks that appear or disappear without the baseline being
+// refreshed. CI runs `tinymlops bench -check` so a slow patch fails
+// the build instead of landing silently.
+package benchfmt

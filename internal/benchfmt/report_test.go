@@ -1,0 +1,98 @@
+package benchfmt
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func sampleReport(nsScale float64, allocs int64) *Report {
+	return NewReport("serving", []Entry{
+		{Name: "InferBatchFloat32", Iters: 1000, NsPerOp: 1000 * nsScale, BytesPerOp: 0, AllocsPerOp: allocs},
+		{Name: "InferBatchInt8", Iters: 1000, NsPerOp: 800 * nsScale, BytesPerOp: 0, AllocsPerOp: allocs},
+	})
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_serving.json")
+	r := sampleReport(1, 0)
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Area != r.Area || got.Go != r.Go || len(got.Entries) != len(r.Entries) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, r)
+	}
+	for i := range r.Entries {
+		if got.Entries[i] != r.Entries[i] {
+			t.Fatalf("entry %d: %+v vs %+v", i, got.Entries[i], r.Entries[i])
+		}
+	}
+}
+
+func TestDiffPassesWithinTolerance(t *testing.T) {
+	base := sampleReport(1, 0)
+	cur := sampleReport(1.2, 0) // +20% < 25% tolerance
+	if regs := Diff(base, cur, 0.25); len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+	faster := sampleReport(0.5, 0) // improvements never trip the gate
+	if regs := Diff(base, faster, 0.25); len(regs) != 0 {
+		t.Fatalf("improvement flagged as regression: %v", regs)
+	}
+}
+
+// TestDiffTripsOnInjectedSlowdown is the gate's own acceptance test: a
+// synthetic +50% ns/op slowdown must produce a ns/op regression.
+func TestDiffTripsOnInjectedSlowdown(t *testing.T) {
+	base := sampleReport(1, 0)
+	cur := sampleReport(1.5, 0)
+	regs := Diff(base, cur, 0.25)
+	if len(regs) != 2 {
+		t.Fatalf("want 2 ns/op regressions, got %v", regs)
+	}
+	for _, g := range regs {
+		if g.Kind != "ns/op" {
+			t.Fatalf("want ns/op kind, got %+v", g)
+		}
+		if g.String() == "" {
+			t.Fatal("empty regression string")
+		}
+	}
+}
+
+func TestDiffTripsOnAnyAllocIncrease(t *testing.T) {
+	base := sampleReport(1, 0)
+	cur := sampleReport(1, 1) // same speed, one new alloc
+	regs := Diff(base, cur, 0.25)
+	if len(regs) != 2 || regs[0].Kind != "allocs/op" {
+		t.Fatalf("want allocs/op regressions, got %v", regs)
+	}
+}
+
+func TestDiffFlagsShapeChanges(t *testing.T) {
+	base := sampleReport(1, 0)
+	cur := NewReport("serving", []Entry{
+		base.Entries[0],
+		{Name: "InferBatchInt4", NsPerOp: 700},
+	})
+	regs := Diff(base, cur, 0.25)
+	kinds := map[string]string{}
+	for _, g := range regs {
+		kinds[g.Name] = g.Kind
+	}
+	if kinds["InferBatchInt8"] != "missing" || kinds["InferBatchInt4"] != "unbaselined" {
+		t.Fatalf("shape changes not flagged: %v", regs)
+	}
+}
+
+func TestFromBenchmarkResult(t *testing.T) {
+	r := testing.BenchmarkResult{N: 100, T: 200 * time.Microsecond, MemAllocs: 300, MemBytes: 4000}
+	e := FromBenchmarkResult("X", r)
+	if e.Name != "X" || e.Iters != 100 || e.NsPerOp != 2000 || e.AllocsPerOp != 3 || e.BytesPerOp != 40 {
+		t.Fatalf("conversion wrong: %+v", e)
+	}
+}

@@ -1,0 +1,13 @@
+// Package benchsuite is the programmatic form of the performance-critical
+// benchmarks: the serving hot path (float32/int8/packed-int4 batched
+// inference plus settlement proving and verification) and the offload
+// plane (monolithic, split, and batched-cloud query round trips).
+//
+// The `go test -bench` benchmarks measure; this package remembers. Each
+// Case wraps the same fixture as its -bench twin so `tinymlops bench` can
+// run the suite via testing.Benchmark outside a test binary, convert the
+// results with benchfmt, and commit them as BENCH_<area>.json snapshots
+// that CI diffs on every push. Cases run inside tensor.EnterPool, pinning
+// the kernels to their serial in-worker form — the numbers measure the
+// kernels, not the host's core count.
+package benchsuite

@@ -1,0 +1,283 @@
+package benchsuite
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"tinymlops/internal/benchfmt"
+	"tinymlops/internal/device"
+	"tinymlops/internal/engine"
+	"tinymlops/internal/market"
+	"tinymlops/internal/nn"
+	"tinymlops/internal/offload"
+	"tinymlops/internal/quant"
+	"tinymlops/internal/tensor"
+	"tinymlops/internal/verify"
+)
+
+// Case is one named benchmark the trajectory tracks.
+type Case struct {
+	Name  string
+	Bench func(b *testing.B)
+}
+
+// runRounds is how many times Run repeats each case. Cases run
+// round-robin and keep their fastest round: on a shared box, scheduler
+// and frequency noise only ever slow a run down, so the per-case minimum
+// is the low-variance estimator — one-shot sequential timing can drift
+// 2× between cases and would make both the committed baselines and the
+// CI regression gate flap. Interleaving the rounds also spreads any
+// transient load across all cases instead of sinking one.
+const runRounds = 3
+
+// Run executes the cases via testing.Benchmark under tensor.EnterPool and
+// returns one benchfmt entry per case (its best of runRounds interleaved
+// rounds by ns/op).
+func Run(cases []Case) []benchfmt.Entry {
+	exit := tensor.EnterPool()
+	defer exit()
+	entries := make([]benchfmt.Entry, len(cases))
+	for round := 0; round < runRounds; round++ {
+		for i, c := range cases {
+			e := benchfmt.FromBenchmarkResult(c.Name, testing.Benchmark(c.Bench))
+			if round == 0 || e.NsPerOp < entries[i].NsPerOp {
+				entries[i] = e
+			}
+		}
+	}
+	return entries
+}
+
+// Report runs the cases and wraps the results as an area report.
+func Report(area string, cases []Case) *benchfmt.Report {
+	return benchfmt.NewReport(area, Run(cases))
+}
+
+// servingFixture mirrors the root BenchmarkInferBatch* fixture: same
+// topology, same seed, same batch, so the committed trajectory and the
+// ad-hoc `go test -bench` numbers describe the same workload.
+func servingFixture() (*nn.Network, *tensor.Tensor) {
+	rng := tensor.NewRNG(32)
+	net := nn.NewNetwork([]int{64},
+		nn.NewDense(64, 128, rng), nn.NewReLU(), nn.NewDense(128, 10, rng))
+	return net, tensor.Randn(rng, 1, 16, 64)
+}
+
+// settleK/settleN mirror the root settlement benchmarks' proved-layer
+// shape: one quantized input row against a k×n weight matrix.
+const settleK, settleN = 256, 64
+
+func settleOperands(rng *tensor.RNG) (a, wq []int32) {
+	a = make([]int32, settleK)
+	wq = make([]int32, settleK*settleN)
+	for i := range a {
+		a[i] = int32(rng.Intn(255) - 127)
+	}
+	for i := range wq {
+		wq[i] = int32(rng.Intn(255) - 127)
+	}
+	return a, wq
+}
+
+// Serving returns the serving-area suite: the three precision variants of
+// the batched inference hot loop plus the settlement prove/verify path.
+func Serving() []Case {
+	quantCase := func(scheme quant.Scheme) func(b *testing.B) {
+		return func(b *testing.B) {
+			net, in := servingFixture()
+			qm, err := quant.NewQModel(net, scheme)
+			if err != nil {
+				b.Fatal(err)
+			}
+			scratch := quant.NewQScratch()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				qm.ForwardBatch(in, scratch)
+			}
+		}
+	}
+	return []Case{
+		{Name: "InferBatchFloat32", Bench: func(b *testing.B) {
+			net, in := servingFixture()
+			scratch := nn.NewScratch()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				net.ForwardBatch(in, scratch)
+			}
+		}},
+		{Name: "InferBatchInt8", Bench: quantCase(quant.Int8)},
+		{Name: "InferBatchInt4", Bench: quantCase(quant.Int4)},
+		{Name: "ProveMatMul", Bench: func(b *testing.B) {
+			a, wq := settleOperands(tensor.NewRNG(50))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := verify.ProveMatMul(a, 1, settleK, wq, settleN); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{Name: "VerifyMatMul", Bench: func(b *testing.B) {
+			a, wq := settleOperands(tensor.NewRNG(51))
+			c, proof, _, err := verify.ProveMatMul(a, 1, settleK, wq, settleN)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ok, _, verr := verify.VerifyMatMul(a, 1, settleK, wq, settleN, c, proof)
+				if verr != nil || !ok {
+					b.Fatalf("verify failed: %v %v", ok, verr)
+				}
+			}
+		}},
+		{Name: "BatchVerifySettlement16", Bench: func(b *testing.B) {
+			const window = 16
+			rng := tensor.NewRNG(52)
+			_, wq := settleOperands(rng)
+			bv := verify.NewBatchVerifier(engine.Default())
+			if err := bv.Prepare("bench-class", wq, settleK, settleN); err != nil {
+				b.Fatal(err)
+			}
+			items := make([]verify.BatchItem, window)
+			for i := range items {
+				a := make([]int32, settleK)
+				for j := range a {
+					a[j] = int32(rng.Intn(255) - 127)
+				}
+				c, proof, _, err := verify.ProveMatMul(a, 1, settleK, wq, settleN)
+				if err != nil {
+					b.Fatal(err)
+				}
+				items[i] = verify.BatchItem{ClassID: "bench-class", A: a, M: 1, C: c, Proof: proof}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				results, _, err := bv.VerifyBatch(items)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range results {
+					if !r.OK {
+						b.Fatalf("batch rejected an honest proof: %v", r.Err)
+					}
+				}
+			}
+		}},
+	}
+}
+
+// offloadModel mirrors the offload package's benchmark model.
+func offloadModel(rng *tensor.RNG) *nn.Network {
+	return nn.NewNetwork([]int{32},
+		nn.NewDense(32, 128, rng), nn.NewReLU(),
+		nn.NewDense(128, 128, rng), nn.NewReLU(),
+		nn.NewDense(128, 64, rng), nn.NewTanh(),
+		nn.NewDense(64, 8, rng))
+}
+
+func offloadSession(b *testing.B, cut int, cloud *offload.CloudTier, model *nn.Network, id string) *offload.Session {
+	caps, _ := device.ProfileByName("phone")
+	dev := device.NewDevice(id, caps, tensor.NewRNG(1))
+	dev.SetNet(device.WiFi)
+	plan := market.SplitPlan{Cut: cut}
+	s, err := offload.NewSession(offload.SessionConfig{
+		Tenant: id, VersionID: "bench", Device: dev, Model: model.Clone(),
+		Cloud: cloud, Plan: &plan, Replan: offload.ReplanConfig{Disabled: true},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func offloadInput() []float32 {
+	rng := tensor.NewRNG(4)
+	x := make([]float32, 32)
+	for i := range x {
+		x[i] = rng.NormFloat32()
+	}
+	return x
+}
+
+// Offload returns the offload-area suite: monolithic on-device execution,
+// a batch-1 split round trip, and 16 concurrent sessions coalescing
+// through one cloud tier.
+func Offload() []Case {
+	return []Case{
+		{Name: "OffloadMonolithic", Bench: func(b *testing.B) {
+			model := offloadModel(tensor.NewRNG(2))
+			cloud := offload.NewCloud(offload.CloudConfig{})
+			if err := cloud.Register("bench", model, 32); err != nil {
+				b.Fatal(err)
+			}
+			cloud.Start()
+			defer cloud.Close()
+			s := offloadSession(b, len(model.Layers()), cloud, model, "mono")
+			x := offloadInput()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Exec(x); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{Name: "OffloadSplit", Bench: func(b *testing.B) {
+			model := offloadModel(tensor.NewRNG(2))
+			cloud := offload.NewCloud(offload.CloudConfig{})
+			if err := cloud.Register("bench", model, 32); err != nil {
+				b.Fatal(err)
+			}
+			cloud.Start()
+			defer cloud.Close()
+			s := offloadSession(b, 2, cloud, model, "split")
+			x := offloadInput()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Exec(x); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{Name: "OffloadBatchedCloud16", Bench: func(b *testing.B) {
+			model := offloadModel(tensor.NewRNG(2))
+			cloud := offload.NewCloud(offload.CloudConfig{MaxBatch: 32, QueueCap: 1024, Dispatchers: 2})
+			if err := cloud.Register("bench", model, 32); err != nil {
+				b.Fatal(err)
+			}
+			cloud.Start()
+			defer cloud.Close()
+			const sessions = 16
+			ss := make([]*offload.Session, sessions)
+			for i := range ss {
+				ss[i] = offloadSession(b, 2, cloud, model, fmt.Sprintf("batch-%02d", i))
+			}
+			x := offloadInput()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			per := b.N/sessions + 1
+			for i := 0; i < sessions; i++ {
+				wg.Add(1)
+				go func(s *offload.Session) {
+					defer wg.Done()
+					for q := 0; q < per; q++ {
+						if _, err := s.Exec(x); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(ss[i])
+			}
+			wg.Wait()
+		}},
+	}
+}
+
+// Areas maps area names to their suites — the registry `tinymlops bench`
+// iterates.
+func Areas() map[string][]Case {
+	return map[string][]Case{
+		"serving": Serving(),
+		"offload": Offload(),
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"tinymlops/internal/device"
+	"tinymlops/internal/engine"
 	"tinymlops/internal/metering"
 	"tinymlops/internal/nn"
 	"tinymlops/internal/observe"
@@ -22,10 +23,11 @@ import (
 // scheme has native hardware support on the device (§III-A: low precision
 // buys nothing unless the device runs real integer kernels).
 type runnable interface {
-	// forwardBatch runs inference on a [batch, features] tensor. The
-	// result aliases internal scratch storage; the caller must hold d.mu
-	// and consume it before the next call.
-	forwardBatch(x *tensor.Tensor) *tensor.Tensor
+	// forwardBatch runs inference on a [batch, features] tensor, borrowing
+	// scratch from the worker arena (nil falls back to the runnable's own
+	// scratch). The result aliases scratch storage; the caller must hold
+	// d.mu and consume it before the next call.
+	forwardBatch(x *tensor.Tensor, ar *engine.Arena) *tensor.Tensor
 	// execScheme is the weight precision of the kernels actually running.
 	execScheme() quant.Scheme
 	// execBits is the bit width charged to the device cost model.
@@ -38,12 +40,16 @@ type runnable interface {
 // the device cost model charges the emulation penalty.
 type floatRunnable struct {
 	net     *nn.Network
-	scratch *nn.Scratch
+	scratch *nn.Scratch // fallback when no arena is supplied
 	bits    int
 }
 
-func (r *floatRunnable) forwardBatch(x *tensor.Tensor) *tensor.Tensor {
-	return r.net.ForwardBatch(x, r.scratch)
+func (r *floatRunnable) forwardBatch(x *tensor.Tensor, ar *engine.Arena) *tensor.Tensor {
+	s := r.scratch
+	if ar != nil {
+		s = ar.Slot(r, func() any { return nn.NewScratch() }).(*nn.Scratch)
+	}
+	return r.net.ForwardBatch(x, s)
 }
 func (r *floatRunnable) execScheme() quant.Scheme { return quant.Float32 }
 func (r *floatRunnable) execBits() int            { return r.bits }
@@ -52,11 +58,15 @@ func (r *floatRunnable) execBits() int            { return r.bits }
 // variant's native bit width.
 type intRunnable struct {
 	qm      *quant.QModel
-	scratch *quant.QScratch
+	scratch *quant.QScratch // fallback when no arena is supplied
 }
 
-func (r *intRunnable) forwardBatch(x *tensor.Tensor) *tensor.Tensor {
-	return r.qm.ForwardBatch(x, r.scratch)
+func (r *intRunnable) forwardBatch(x *tensor.Tensor, ar *engine.Arena) *tensor.Tensor {
+	s := r.scratch
+	if ar != nil {
+		s = ar.Slot(r, func() any { return quant.NewQScratch() }).(*quant.QScratch)
+	}
+	return r.qm.ForwardBatch(x, s)
 }
 func (r *intRunnable) execScheme() quant.Scheme { return r.qm.Scheme }
 func (r *intRunnable) execBits() int            { return r.qm.Scheme.Bits() }
@@ -125,6 +135,16 @@ type Deployment struct {
 	attModelID string
 	retained   map[uint64]retainedCharge
 
+	// Reusable serving buffers (guarded by d.mu): the admitted-row feature
+	// slab, per-row bookkeeping, the input tensor header over the slab and
+	// the argmax outputs. Together with the arena-borrowed model scratch
+	// they make the steady-state batch path allocation-free apart from the
+	// per-call result slice the API returns.
+	batchFeats  []float32
+	batchAdm    []admitted
+	batchLabels []int
+	inHdr       *tensor.Tensor
+
 	tick        uint64
 	window      uint32
 	winCount    uint32
@@ -135,8 +155,43 @@ type Deployment struct {
 	featStats   []observe.Welford
 }
 
+// admitted is one InferBatch row that cleared the metering and device
+// gates (declared at package scope so the deployment can keep a reusable
+// slice of them).
+type admitted struct {
+	idx int
+	lat time.Duration
+}
+
 // ErrQueryDenied wraps metering denial at the inference entry point.
 var ErrQueryDenied = errors.New("core: query denied by meter")
+
+// acquireArena borrows a worker arena from the platform pool (nil for
+// deployments constructed without a platform, e.g. in tests — runnables
+// then fall back to their own scratch).
+func (d *Deployment) acquireArena() *engine.Arena {
+	if d.platform == nil {
+		return nil
+	}
+	return d.platform.arenas.Acquire()
+}
+
+func (d *Deployment) releaseArena(ar *engine.Arena) {
+	if ar != nil {
+		d.platform.arenas.Release(ar)
+	}
+}
+
+// inputView wraps features in the deployment's cached [rows, dim] header,
+// reusing the feature slab so the steady state allocates nothing.
+func (d *Deployment) inputView(rows, dim int) *tensor.Tensor {
+	if h := d.inHdr; h != nil && h.Dim(0) == rows && h.Dim(1) == dim {
+		h.Data = d.batchFeats[:rows*dim]
+		return h
+	}
+	d.inHdr = tensor.FromSlice(d.batchFeats[:rows*dim], rows, dim)
+	return d.inHdr
+}
 
 // InferenceResult is one query's outcome.
 type InferenceResult struct {
@@ -242,11 +297,19 @@ func (d *Deployment) Infer(x []float32) (InferenceResult, error) {
 		d.winFailed++
 		return InferenceResult{}, fmt.Errorf("core: device: %w", err)
 	}
-	in := tensor.FromSlice(append([]float32(nil), features...), 1, len(features))
-	logits := d.run.forwardBatch(in)
+	d.batchFeats = append(d.batchFeats[:0], features...)
+	in := d.inputView(1, len(features))
+	ar := d.acquireArena()
+	logits := d.run.forwardBatch(in, ar)
+	d.releaseArena(ar)
 
 	// Postprocessing and telemetry accounting.
-	label, err := d.postLabelLocked(logits.Data, logits.ArgMaxRows()[0])
+	if cap(d.batchLabels) < 1 {
+		d.batchLabels = make([]int, 1)
+	}
+	d.batchLabels = d.batchLabels[:1]
+	logits.ArgMaxRowsInto(d.batchLabels)
+	label, err := d.postLabelLocked(logits.Data, d.batchLabels[0])
 	if err != nil {
 		return InferenceResult{}, err
 	}
@@ -279,12 +342,8 @@ func (d *Deployment) InferBatch(rows [][]float32) []BatchOutcome {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 
-	type admitted struct {
-		idx int
-		lat time.Duration
-	}
-	var adm []admitted
-	var feats []float32
+	adm := d.batchAdm[:0]
+	d.batchFeats = d.batchFeats[:0]
 	fdim := -1
 	for qi, x := range rows {
 		d.tick++
@@ -332,15 +391,22 @@ func (d *Deployment) InferBatch(rows [][]float32) []BatchOutcome {
 			out[qi].Err = fmt.Errorf("core: device: %w", err)
 			continue
 		}
-		feats = append(feats, features...)
+		d.batchFeats = append(d.batchFeats, features...)
 		adm = append(adm, admitted{idx: qi, lat: lat})
 	}
+	d.batchAdm = adm
 	if len(adm) == 0 {
 		return out
 	}
 
-	logits := d.run.forwardBatch(tensor.FromSlice(feats, len(adm), fdim))
-	labels := logits.ArgMaxRows()
+	ar := d.acquireArena()
+	logits := d.run.forwardBatch(d.inputView(len(adm), fdim), ar)
+	d.releaseArena(ar)
+	if cap(d.batchLabels) < len(adm) {
+		d.batchLabels = make([]int, len(adm))
+	}
+	labels := d.batchLabels[:len(adm)]
+	logits.ArgMaxRowsInto(labels)
 	cols := logits.Dim(1)
 	drift := d.Monitor != nil && d.Monitor.Drifted()
 	for bi, a := range adm {
@@ -362,7 +428,7 @@ func (d *Deployment) InferBatch(rows [][]float32) []BatchOutcome {
 		// Telemetry accounting, like Infer's, covers only queries the full
 		// pipeline served; row order keeps the Welford states identical to
 		// the serial path's.
-		row := feats[bi*fdim : (bi+1)*fdim]
+		row := d.batchFeats[bi*fdim : (bi+1)*fdim]
 		d.winCount++
 		d.winLatency.Add(float64(a.lat.Nanoseconds()) / 1e3)
 		d.winEnergyMJ += d.device.Caps.InferenceEnergy(d.Version.Metrics.MACs) * 1e3

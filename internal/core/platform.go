@@ -53,6 +53,10 @@ type Platform struct {
 	vendorKey []byte
 	rng       *tensor.RNG
 	eng       *engine.Engine
+	// arenas holds the per-worker serving scratch: deployments borrow an
+	// arena per inference call, so scratch memory scales with concurrency
+	// rather than with fleet size and the hot loop stays allocation-free.
+	arenas *engine.ArenaPool
 	// verifier and attRate drive verified billing (billing.go); verifier
 	// is nil when the feature is off.
 	verifier *verify.BatchVerifier
@@ -88,6 +92,7 @@ func New(fleet *device.Fleet, cfg Config) (*Platform, error) {
 		vendorKey:   append([]byte(nil), cfg.VendorKey...),
 		rng:         tensor.NewRNG(cfg.Seed),
 		eng:         engine.New(engine.Config{Workers: cfg.Workers}),
+		arenas:      engine.NewArenaPool(),
 		deployments: make(map[string]*Deployment),
 	}
 	if cfg.VerifiedBilling {

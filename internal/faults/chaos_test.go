@@ -65,12 +65,16 @@ func TestChaosRollout10kBitIdenticalAcrossWorkerCounts(t *testing.T) {
 		if o := res.Offload; o == nil || o.Mismatches != 0 || o.Split == 0 || o.Local == 0 {
 			t.Fatalf("workers=%d: offload phase %+v — want bit-exact split and local traffic", workers, o)
 		}
-		// The serving matrix must actually be mixed: half the fleet pins
-		// the int8 variant and executes the integer kernels, half pins
-		// float32 — and the integer cohort is the one the offload phase
-		// refused (float boundary codec only).
+		// The serving matrix must actually be mixed: a third of the fleet
+		// pins the int8 variant, a third pins int4 (served by the packed
+		// int4 kernels on 4-bit-capable hardware, fake-quantized float on
+		// the rest), a third pins float32 — and the integer cohorts are
+		// the ones the offload phase refused (float boundary codec only).
 		if res.IntServing == 0 || res.FloatServing == 0 {
 			t.Fatalf("workers=%d: serving cohorts int=%d float=%d — want both", workers, res.IntServing, res.FloatServing)
+		}
+		if res.Int4Native == 0 {
+			t.Fatalf("workers=%d: int4 cohort produced no native packed-int4 deployments", workers)
 		}
 		if res.Offload.IntegerSkipped != int64(res.IntServing) {
 			t.Fatalf("workers=%d: offload skipped %d integer deployments, fleet serves %d",
@@ -130,6 +134,9 @@ func TestChaosOffloadPhaseDeterministicSmall(t *testing.T) {
 		}
 		if o.CloudServed != o.Split {
 			t.Fatalf("workers=%d: cloud served %d vs %d splits", workers, o.CloudServed, o.Split)
+		}
+		if res.Int4Native == 0 {
+			t.Fatalf("workers=%d: int4 cohort produced no native packed-int4 deployments", workers)
 		}
 		if !res.Audit.OK() {
 			t.Fatalf("workers=%d: audit violations after offload phase: %v", workers, res.Audit.Violations)

@@ -65,10 +65,19 @@ type ScenarioResult struct {
 	// failed to converge.
 	Converged int
 	// IntServing and FloatServing count terminal deployments by executing
-	// scheme: the fleet deploys in two policy cohorts (integer-pinned and
-	// float-pinned), so a healthy run reports both nonzero — the mixed
-	// float/int serving matrix under one rollout.
+	// scheme: the fleet deploys in three policy cohorts (int8-pinned,
+	// int4-pinned and float-pinned), so a healthy run reports both nonzero
+	// — the mixed float/int serving matrix under one rollout. IntServing
+	// covers every deployment executing on the integer kernels at any
+	// width.
 	IntServing, FloatServing int
+	// Int4Native counts terminal deployments executing on the packed int4
+	// kernels: int4-cohort devices whose hardware retires 4-bit MACs
+	// natively. The rest of that cohort (no sub-int8 modes) serves the
+	// same variant fake-quantized on the float engine, paying the
+	// emulation penalty — both outcomes are pinned per device by the
+	// fingerprint's executing-scheme column.
+	Int4Native int
 	// RetriedUpdates counts devices that needed more than one update
 	// attempt in some wave; Crashes counts injected mid-flash power
 	// losses; InstallAttempts counts all install attempts observed.
@@ -149,7 +158,7 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		return nil, err
 	}
 	spec := registry.OptimizationSpec{
-		Schemes:  []quant.Scheme{quant.Int8},
+		Schemes:  []quant.Scheme{quant.Int8, quant.Int4},
 		Evaluate: func(n *nn.Network) float64 { return nn.Evaluate(n, ds.X, ds.Y) },
 	}
 	v1s, err := p.Publish("chaos", net, ds, spec)
@@ -158,36 +167,45 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	}
 	res := &ScenarioResult{FleetSize: fleet.Size(), V1: v1s[0]}
 
-	// The fleet splits into two selection-policy cohorts: alternating
-	// devices pin the int8 variant (every standard profile retires int8
-	// MACs natively, so these serve through the integer kernels) and the
-	// rest pin float32. The chaos therefore exercises the full mixed
-	// serving matrix — QModel and float deployments crash, resume, update
-	// and roll back side by side — and the fingerprint pins both cohorts'
-	// executing schemes at every worker count.
+	// The fleet splits into three selection-policy cohorts by rotation:
+	// int8-pinned (every standard profile retires int8 MACs natively, so
+	// these serve through the blocked int8 kernels), int4-pinned (devices
+	// with native 4-bit modes serve through the packed int4 kernels; the
+	// rest fall back to the fake-quantized float engine under the same
+	// pin) and float32-pinned. The chaos therefore exercises the full
+	// mixed serving matrix — int8 QModels, packed-int4 QModels and float
+	// deployments crash, resume, update and roll back side by side — and
+	// the fingerprint pins every device's executing scheme at every
+	// worker count.
 	ids := make([]string, 0, len(devs))
 	for _, d := range devs {
 		ids = append(ids, d.ID)
 	}
-	var intIDs, floatIDs []string
+	var int8IDs, int4IDs, floatIDs []string
 	for i, id := range ids {
-		if i%2 == 0 {
-			intIDs = append(intIDs, id)
-		} else {
+		switch i % 3 {
+		case 0:
+			int8IDs = append(int8IDs, id)
+		case 1:
+			int4IDs = append(int4IDs, id)
+		default:
 			floatIDs = append(floatIDs, id)
 		}
 	}
-	if _, err := p.DeployMany(intIDs, "chaos", core.DeployConfig{
-		PrepaidQueries: cfg.PrepaidQueries, Calibration: ds,
-		Policy: selector.Policy{Schemes: []quant.Scheme{quant.Int8}},
-	}); err != nil {
-		return nil, err
-	}
-	if _, err := p.DeployMany(floatIDs, "chaos", core.DeployConfig{
-		PrepaidQueries: cfg.PrepaidQueries, Calibration: ds,
-		Policy: selector.Policy{Schemes: []quant.Scheme{quant.Float32}},
-	}); err != nil {
-		return nil, err
+	for _, cohort := range []struct {
+		ids    []string
+		scheme quant.Scheme
+	}{
+		{int8IDs, quant.Int8},
+		{int4IDs, quant.Int4},
+		{floatIDs, quant.Float32},
+	} {
+		if _, err := p.DeployMany(cohort.ids, "chaos", core.DeployConfig{
+			PrepaidQueries: cfg.PrepaidQueries, Calibration: ds,
+			Policy: selector.Policy{Schemes: []quant.Scheme{cohort.scheme}},
+		}); err != nil {
+			return nil, err
+		}
 	}
 
 	// Baseline traffic so wave gates have pre-update health to compare.
@@ -310,17 +328,26 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		if onV2(d.Version) {
 			res.Converged++
 		}
-		if d.ExecutionScheme() == quant.Float32 {
+		switch d.ExecutionScheme() {
+		case quant.Float32:
 			res.FloatServing++
-		} else {
+		case quant.Int4:
+			res.Int4Native++
+			res.IntServing++
+		default:
 			res.IntServing++
 		}
 	}
 	if res.Converged != fleet.Size() {
 		return nil, fmt.Errorf("faults: %d/%d devices converged to %s's family", res.Converged, fleet.Size(), v2.ID)
 	}
-	if len(intIDs) > 0 && res.IntServing == 0 {
-		return nil, fmt.Errorf("faults: integer cohort of %d devices ended with no QModel deployments", len(intIDs))
+	if len(int8IDs) > 0 && res.IntServing == 0 {
+		return nil, fmt.Errorf("faults: integer cohorts of %d devices ended with no QModel deployments", len(int8IDs)+len(int4IDs))
+	}
+	// Half the standard profiles retire 4-bit MACs natively, so a healthy
+	// int4 cohort must end with packed-int4 executables on those devices.
+	if len(int4IDs) > 0 && res.Int4Native == 0 {
+		return nil, fmt.Errorf("faults: int4 cohort of %d devices ended with no native int4 deployments", len(int4IDs))
 	}
 
 	// Offload phase: the converged fleet serves split queries under fresh

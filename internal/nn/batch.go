@@ -25,11 +25,14 @@ type inferIntoWS interface {
 }
 
 // Scratch holds the reusable per-layer activation buffers behind
-// Network.ForwardBatch. One Scratch serves one goroutine and one network;
+// Network.ForwardBatch, plus the compiled batch program (see fuse.go) the
+// fast path executes. One Scratch serves one goroutine and one network;
 // buffers are grown on first use and reused while shapes repeat, so a
-// steady-state inference loop allocates nothing.
+// steady-state inference loop allocates nothing at all.
 type Scratch struct {
-	bufs []*tensor.Tensor
+	bufs    []*tensor.Tensor
+	prog    *program
+	progNet *Network
 }
 
 // NewScratch returns an empty scratch space.
@@ -75,6 +78,25 @@ func (n *Network) ForwardBatch(x *tensor.Tensor, s *Scratch) *tensor.Tensor {
 	if s == nil {
 		s = NewScratch()
 	}
+	// Fast path: execute the compiled program for this (network, batch,
+	// shape) triple, recompiling only when one of them changed. Fused
+	// epilogues preserve each absorbed layer's exact arithmetic, so the
+	// program's output is bit-identical to the layer-by-layer path below.
+	if p := s.prog; p != nil && s.progNet == n && p.batch == x.Dim(0) &&
+		shapeEqual(p.inShape, x.Shape()[1:]) {
+		return p.run(x)
+	}
+	if p, ok := n.compileBatch(x.Dim(0), x.Shape()[1:]); ok {
+		s.prog, s.progNet = p, n
+		return p.run(x)
+	}
+	s.prog, s.progNet = nil, nil
+	return n.forwardBatchSlow(x, s)
+}
+
+// forwardBatchSlow is the uncompiled layer-by-layer path, kept for layer
+// kinds (or shape errors) the program compiler does not cover.
+func (n *Network) forwardBatchSlow(x *tensor.Tensor, s *Scratch) *tensor.Tensor {
 	b := x.Dim(0)
 	perExample := x.Shape()[1:]
 	for i, l := range n.layers {

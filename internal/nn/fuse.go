@@ -1,0 +1,260 @@
+package nn
+
+import (
+	"math"
+
+	"tinymlops/internal/tensor"
+)
+
+// This file implements the compiled batch program behind
+// Network.ForwardBatch: the layer list is lowered once per (batch, input
+// shape) into a list of steps whose buffers, workspace headers and fusion
+// decisions are all resolved ahead of time, so running the program in the
+// steady state allocates nothing. Dense layers absorb a following
+// BatchNorm1D (frozen statistics) and elementwise activations into a
+// single fused kernel; Conv2D absorbs elementwise activations. Every
+// fused epilogue reproduces the exact arithmetic of the layer it absorbs
+// (same formula, same element order), so a compiled program's output is
+// bit-identical to the legacy layer-by-layer path and to Forward.
+
+// epKind identifies one fused epilogue operation.
+type epKind int
+
+const (
+	epReLU epKind = iota
+	epTanh
+	epSigmoid
+	epBatchNorm
+)
+
+// epilogue is one elementwise (or, for batch norm, columnwise) transform
+// applied in place to a fused step's output.
+type epilogue struct {
+	kind epKind
+	bn   *BatchNorm1D // epBatchNorm only
+}
+
+// stepKind identifies the executable form of one compiled step.
+type stepKind int
+
+const (
+	stepFlatten stepKind = iota
+	stepDense
+	stepConv
+	stepPlain
+)
+
+// bstep is one compiled step: its output buffer, any hoisted workspace
+// headers, and the epilogue ops fused into it.
+type bstep struct {
+	kind  stepKind
+	dst   *tensor.Tensor
+	eps   []epilogue
+	layer Layer // stepPlain
+
+	dense *Dense
+
+	conv     *Conv2D
+	cols, my *tensor.Tensor // conv im2col and matmul-output workspaces
+	ch, cw   int            // conv input spatial dims (fixed per program)
+	coh, cow int            // conv output spatial dims
+	flatHdr  *tensor.Tensor // stepFlatten: [b, per] view, data rebound per run
+}
+
+// program is a network lowered for one (batch, per-example input shape)
+// pair. It is owned by a Scratch, so one program serves one goroutine.
+type program struct {
+	batch   int
+	inShape []int
+	steps   []*bstep
+}
+
+// isElementwise maps an activation layer to its epilogue op.
+func isElementwise(l Layer) (epKind, bool) {
+	switch l.(type) {
+	case *ReLU:
+		return epReLU, true
+	case *Tanh:
+		return epTanh, true
+	case *Sigmoid:
+		return epSigmoid, true
+	}
+	return 0, false
+}
+
+// compileBatch lowers the network for a batch of b examples shaped in. It
+// returns ok=false when any layer falls outside the compilable set — the
+// caller then uses the uncompiled layer-by-layer path.
+func (n *Network) compileBatch(b int, in []int) (*program, bool) {
+	p := &program{batch: b, inShape: append([]int(nil), in...)}
+	cur := p.inShape
+	layers := n.layers
+	for i := 0; i < len(layers); i++ {
+		switch l := layers[i].(type) {
+		case *Dropout:
+			// Inverted dropout is the identity at inference time.
+		case *Flatten:
+			per := 1
+			for _, d := range cur {
+				per *= d
+			}
+			p.steps = append(p.steps, &bstep{kind: stepFlatten, flatHdr: tensor.New(b, per)})
+			cur = []int{per}
+		case *Dense:
+			if len(cur) != 1 || cur[0] != l.In {
+				return nil, false
+			}
+			st := &bstep{kind: stepDense, dense: l, dst: tensor.New(b, l.Out)}
+			// Absorb the elementwise tail: batch norm over the dense output
+			// and activations fuse into the step's epilogue; identity
+			// dropout is skipped outright.
+			for i+1 < len(layers) {
+				if bn, ok := layers[i+1].(*BatchNorm1D); ok && bn.F == l.Out {
+					st.eps = append(st.eps, epilogue{kind: epBatchNorm, bn: bn})
+					i++
+					continue
+				}
+				if k, ok := isElementwise(layers[i+1]); ok {
+					st.eps = append(st.eps, epilogue{kind: k})
+					i++
+					continue
+				}
+				if _, ok := layers[i+1].(*Dropout); ok {
+					i++
+					continue
+				}
+				break
+			}
+			p.steps = append(p.steps, st)
+			cur = []int{l.Out}
+		case *Conv2D:
+			if len(cur) != 3 || cur[0] != l.InC {
+				return nil, false
+			}
+			info, err := l.Describe(cur)
+			if err != nil {
+				return nil, false
+			}
+			oh, ow := l.outHW(cur[1], cur[2])
+			k := l.InC * l.KH * l.KW
+			st := &bstep{
+				kind: stepConv, conv: l,
+				dst:  tensor.New(append([]int{b}, info.OutShape...)...),
+				cols: tensor.New(k, oh*ow),
+				my:   tensor.New(l.OutC, oh*ow),
+				ch:   cur[1], cw: cur[2], coh: oh, cow: ow,
+			}
+			for i+1 < len(layers) {
+				if k, ok := isElementwise(layers[i+1]); ok {
+					st.eps = append(st.eps, epilogue{kind: k})
+					i++
+					continue
+				}
+				if _, ok := layers[i+1].(*Dropout); ok {
+					i++
+					continue
+				}
+				break
+			}
+			p.steps = append(p.steps, st)
+			cur = info.OutShape
+		default:
+			if _, ok := l.(inferIntoWS); ok {
+				// A workspace layer we don't know how to hoist buffers for.
+				return nil, false
+			}
+			fast, ok := l.(inferInto)
+			if !ok {
+				return nil, false
+			}
+			info, err := l.Describe(cur)
+			if err != nil {
+				return nil, false
+			}
+			p.steps = append(p.steps, &bstep{
+				kind: stepPlain, layer: fast.(Layer),
+				dst: tensor.New(append([]int{b}, info.OutShape...)...),
+			})
+			cur = info.OutShape
+		}
+	}
+	return p, true
+}
+
+// applyEpilogues runs a step's fused tail in place over out. Each op uses
+// exactly the arithmetic of the layer it replaces: the batch-norm pass is
+// BatchNorm1D.InferInto's column loop (inverse stddev recomputed from the
+// live running statistics on every call), the activations are the
+// elementwise formulas from their InferInto methods.
+func applyEpilogues(out *tensor.Tensor, eps []epilogue, rows int) {
+	for _, ep := range eps {
+		switch ep.kind {
+		case epReLU:
+			for i, v := range out.Data {
+				if v <= 0 {
+					out.Data[i] = 0
+				}
+			}
+		case epTanh:
+			for i, v := range out.Data {
+				out.Data[i] = float32(math.Tanh(float64(v)))
+			}
+		case epSigmoid:
+			for i, v := range out.Data {
+				out.Data[i] = float32(1 / (1 + math.Exp(-float64(v))))
+			}
+		case epBatchNorm:
+			bn := ep.bn
+			f := bn.F
+			for j := 0; j < f; j++ {
+				inv := 1 / float32(math.Sqrt(float64(bn.RunVar.Data[j]+bn.Eps)))
+				g, be, mu := bn.Gamma.Value.Data[j], bn.Beta.Value.Data[j], bn.RunMean.Data[j]
+				for i := 0; i < rows; i++ {
+					out.Data[i*f+j] = g*(out.Data[i*f+j]-mu)*inv + be
+				}
+			}
+		}
+	}
+}
+
+// run executes the compiled program. The returned tensor aliases program
+// storage (or, after a trailing Flatten, the input's data) and is valid
+// until the next run.
+func (p *program) run(x *tensor.Tensor) *tensor.Tensor {
+	for _, st := range p.steps {
+		switch st.kind {
+		case stepFlatten:
+			st.flatHdr.Data = x.Data
+			x = st.flatHdr
+		case stepDense:
+			d := st.dense
+			tensor.MatMulInto(st.dst, x, d.W.Value)
+			st.dst.AddRowVector(d.B.Value)
+			applyEpilogues(st.dst, st.eps, p.batch)
+			x = st.dst
+		case stepConv:
+			c := st.conv
+			oh, ow := st.coh, st.cow
+			ex := st.ch * st.cw * c.InC
+			for n := 0; n < p.batch; n++ {
+				c.im2colInto(st.cols, x.Data[n*ex:(n+1)*ex], st.ch, st.cw, oh, ow)
+				tensor.MatMulInto(st.my, c.W.Value, st.cols)
+				seg := st.dst.Data[n*c.OutC*oh*ow : (n+1)*c.OutC*oh*ow]
+				copy(seg, st.my.Data)
+				for oc := 0; oc < c.OutC; oc++ {
+					bias := c.B.Value.Data[oc]
+					row := seg[oc*oh*ow : (oc+1)*oh*ow]
+					for i := range row {
+						row[i] += bias
+					}
+				}
+			}
+			applyEpilogues(st.dst, st.eps, p.batch)
+			x = st.dst
+		case stepPlain:
+			st.layer.(inferInto).InferInto(st.dst, x)
+			x = st.dst
+		}
+	}
+	return x
+}

@@ -139,6 +139,10 @@ type Session struct {
 	replan *Replanner
 	tick   uint64
 	stats  Stats
+	// arena holds the session's boundary-codec scratch (the activation
+	// encode buffer): queries serialize under s.mu, so one worker arena
+	// per session keeps the codec allocation-free in the steady state.
+	arena *engine.Arena
 }
 
 // NewSession validates the configuration and plans the initial split from
@@ -163,7 +167,7 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 	if len(costs) == 0 {
 		return nil, fmt.Errorf("offload: model has no layers")
 	}
-	s := &Session{cfg: cfg, costs: costs, inShape: cfg.Model.InputShape}
+	s := &Session{cfg: cfg, costs: costs, inShape: cfg.Model.InputShape, arena: engine.NewArena()}
 	s.features = 1
 	for _, d := range cfg.Model.InputShape {
 		s.features *= d
@@ -274,8 +278,11 @@ func (s *Session) exec(x []float32) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	var buf bytes.Buffer
-	if _, err := act.WriteTo(&buf); err != nil {
+	// The encode buffer comes from the session's arena: Cloud.Submit is
+	// synchronous and copies what it keeps, so the payload's lifetime ends
+	// at return and the buffer's storage is reused by the next query.
+	buf := s.arena.Buffer(0)
+	if _, err := act.WriteTo(buf); err != nil {
 		return Result{}, fmt.Errorf("offload: encode activation: %w", err)
 	}
 	payload := buf.Bytes()

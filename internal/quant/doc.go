@@ -6,15 +6,19 @@
 // distillation for recovering accuracy in the smallest variants.
 //
 // QModel is a first-class servable, not an evaluation aid: dense and
-// convolutional layers run on the blocked int8 kernel in internal/tensor
-// with dynamic per-example activation quantization, and ForwardBatch
-// serves whole bursts through reusable QScratch buffers — allocation-free
-// in the steady state, bit-identical to per-example Predict, and safe for
-// any number of goroutines over one shared model (one scratch each). The
-// serving layer (internal/core) instantiates a QModel automatically
-// whenever the selected variant's scheme has native hardware support on
-// the target device, so the variant matrix governs the executing kernels,
-// not just artifact sizes.
+// convolutional layers run on the blocked integer kernels in
+// internal/tensor with dynamic per-example activation quantization, and
+// ForwardBatch serves whole bursts through reusable QScratch buffers —
+// allocation-free in the steady state, bit-identical to per-example
+// Predict, and safe for any number of goroutines over one shared model
+// (one scratch each). Int8 variants execute on MatMulInt8; int4 variants
+// store their weights packed two codes per byte (QTensor.PackInt4) and
+// execute on the packed MatMulInt4/MatMulInt4LHS kernels without ever
+// unpacking, so a 4-bit deployment's flash, RAM and kernel all see the
+// 4-bit form. The serving layer (internal/core) instantiates a QModel
+// automatically whenever the selected variant's scheme has native
+// hardware support on the target device, so the variant matrix governs
+// the executing kernels, not just artifact sizes.
 //
 // The paper's pipeline observation is that every published model fans
 // out into a matrix of precision × sparsity variants, and which one a

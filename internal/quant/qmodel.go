@@ -39,12 +39,17 @@ type qStage interface {
 
 // QScratch holds the reusable buffers behind QModel.ForwardBatch: one
 // float activation buffer per stage plus shared int8 code, im2col and
-// scale workspaces. One QScratch serves one goroutine and one model;
-// buffers grow on first use and are reused while shapes repeat, so in
-// the steady state a serving loop's only allocations are the int8
-// kernel's small per-worker accumulator tiles.
+// scale workspaces, reshape headers and per-stage shape caches. One
+// QScratch serves one goroutine and one model; everything grows on first
+// use and is reused while shapes repeat, so a steady-state serving loop
+// allocates nothing at all — asserted with testing.AllocsPerRun in the
+// alloc tests. All per-call caches live here rather than on the stages
+// because a QModel is shared read-only across goroutines.
 type QScratch struct {
 	bufs      []*tensor.Tensor
+	hdrs      []*tensor.Tensor // Flatten views aliasing the input's data
+	inShapes  [][]int          // per-stage cached input shape (sans batch)
+	outShapes [][]int          // per-stage cached Describe output shape
 	codes     []int8
 	cols      []int8
 	rowScales []float32
@@ -74,6 +79,83 @@ func (s *QScratch) buffer(idx int, shape []int) *tensor.Tensor {
 	b := tensor.New(shape...)
 	s.bufs[idx] = b
 	return b
+}
+
+// buffer2 is buffer for the [r, c] matrix case with an allocation-free
+// steady state: while the requested shape repeats, the cached tensor is
+// returned untouched.
+func (s *QScratch) buffer2(idx, r, c int) *tensor.Tensor {
+	for len(s.bufs) <= idx {
+		s.bufs = append(s.bufs, nil)
+	}
+	if b := s.bufs[idx]; b != nil && b.Rank() == 2 && b.Dim(0) == r && b.Dim(1) == c {
+		return b
+	}
+	b := tensor.New(r, c)
+	s.bufs[idx] = b
+	return b
+}
+
+// buffer4 is buffer2 for the [b, c, h, w] feature-map case.
+func (s *QScratch) buffer4(idx, n, c, h, w int) *tensor.Tensor {
+	for len(s.bufs) <= idx {
+		s.bufs = append(s.bufs, nil)
+	}
+	if b := s.bufs[idx]; b != nil && b.Rank() == 4 &&
+		b.Dim(0) == n && b.Dim(1) == c && b.Dim(2) == h && b.Dim(3) == w {
+		return b
+	}
+	b := tensor.New(n, c, h, w)
+	s.bufs[idx] = b
+	return b
+}
+
+// flatView returns a [b, per] tensor aliasing data, reusing the cached
+// header while the shape repeats — Flatten without a per-call allocation.
+func (s *QScratch) flatView(idx int, data []float32, b, per int) *tensor.Tensor {
+	for len(s.hdrs) <= idx {
+		s.hdrs = append(s.hdrs, nil)
+	}
+	if h := s.hdrs[idx]; h != nil && h.Dim(0) == b && h.Dim(1) == per {
+		h.Data = data
+		return h
+	}
+	h := tensor.FromSlice(data, b, per)
+	s.hdrs[idx] = h
+	return h
+}
+
+// stageOutShape returns the cached Describe output shape for stage idx,
+// recomputing (and caching the input shape) only when the per-example
+// input shape changed since the last call.
+func (s *QScratch) stageOutShape(idx int, l nn.Layer, x *tensor.Tensor) ([]int, error) {
+	for len(s.inShapes) <= idx {
+		s.inShapes = append(s.inShapes, nil)
+		s.outShapes = append(s.outShapes, nil)
+	}
+	in := x.Shape()[1:]
+	if cached := s.inShapes[idx]; cached != nil && shapeEq(cached, in) {
+		return s.outShapes[idx], nil
+	}
+	info, err := l.Describe(in)
+	if err != nil {
+		return nil, err
+	}
+	s.inShapes[idx] = append(s.inShapes[idx][:0], in...)
+	s.outShapes[idx] = append(s.outShapes[idx][:0], info.OutShape...)
+	return s.outShapes[idx], nil
+}
+
+// bufferOut returns the stage buffer for a [b, out...] result, routing the
+// common ranks through the allocation-free fast paths.
+func (s *QScratch) bufferOut(idx, b int, out []int) *tensor.Tensor {
+	switch len(out) {
+	case 1:
+		return s.buffer2(idx, b, out[0])
+	case 3:
+		return s.buffer4(idx, b, out[0], out[1], out[2])
+	}
+	return s.buffer(idx, append([]int{b}, out...))
 }
 
 func shapeEq(a, b []int) bool {
@@ -121,8 +203,12 @@ func (d *qDense) run(x *tensor.Tensor, s *QScratch, idx int) *tensor.Tensor {
 	codes := grow8(&s.codes, rows*d.w.Rows)
 	scales := growf(&s.rowScales, rows)
 	QuantizeActivationsRows(x, codes, scales)
-	out := s.buffer(idx, []int{rows, d.w.Cols})
-	tensor.MatMulInt8(out.Data, codes, d.w.Data, rows, d.w.Rows, d.w.Cols, scales, d.w.Scales)
+	out := s.buffer2(idx, rows, d.w.Cols)
+	if d.w.IsPacked() {
+		tensor.MatMulInt4(out.Data, codes, d.w.Packed, rows, d.w.Rows, d.w.Cols, scales, d.w.Scales)
+	} else {
+		tensor.MatMulInt8(out.Data, codes, d.w.Data, rows, d.w.Rows, d.w.Cols, scales, d.w.Scales)
+	}
 	for i := 0; i < rows; i++ {
 		row := out.Data[i*d.w.Cols : (i+1)*d.w.Cols]
 		for j := range row {
@@ -142,7 +228,9 @@ type qConv2D struct {
 	inC, outC   int
 	kh, kw      int
 	stride, pad int
-	w           []int8    // [outC, inC*kh*kw] row-major codes
+	w           []int8    // [outC, inC*kh*kw] row-major codes (nil when packed)
+	wp          []byte    // packed int4 form of w (tensor.PackInt4Matrix layout)
+	wCount      int       // outC * inC*kh*kw, storage-form independent
 	wScales     []float32 // per output channel
 	bias        []float32
 	scheme      Scheme
@@ -196,14 +284,18 @@ func (c *qConv2D) run(x *tensor.Tensor, s *QScratch, idx int) *tensor.Tensor {
 	QuantizeActivationsRows(x, codes, scales)
 	cols := grow8(&s.cols, k*oh*ow)
 	colScales := growf(&s.colScales, oh*ow)
-	out := s.buffer(idx, []int{b, c.outC, oh, ow})
+	out := s.buffer4(idx, b, c.outC, oh, ow)
 	for n := 0; n < b; n++ {
 		c.im2colInt8(cols, codes[n*ex:(n+1)*ex], h, w, oh, ow)
 		for j := range colScales {
 			colScales[j] = scales[n]
 		}
 		dst := out.Data[n*c.outC*oh*ow : (n+1)*c.outC*oh*ow]
-		tensor.MatMulInt8(dst, c.w, cols, c.outC, k, oh*ow, c.wScales, colScales)
+		if c.wp != nil {
+			tensor.MatMulInt4LHS(dst, c.wp, cols, c.outC, k, oh*ow, c.wScales, colScales)
+		} else {
+			tensor.MatMulInt8(dst, c.w, cols, c.outC, k, oh*ow, c.wScales, colScales)
+		}
 		for oc := 0; oc < c.outC; oc++ {
 			bias := c.bias[oc]
 			seg := dst[oc*oh*ow : (oc+1)*oh*ow]
@@ -216,7 +308,7 @@ func (c *qConv2D) run(x *tensor.Tensor, s *QScratch, idx int) *tensor.Tensor {
 }
 
 func (c *qConv2D) sizeBytes() int {
-	wBits := len(c.w) * c.scheme.Bits()
+	wBits := c.wCount * c.scheme.Bits()
 	return (wBits+7)/8 + 4*len(c.wScales) + 4*len(c.bias)
 }
 
@@ -247,13 +339,13 @@ func (f *qFloat) run(x *tensor.Tensor, s *QScratch, idx int) *tensor.Tensor {
 		for _, d := range x.Shape()[1:] {
 			per *= d
 		}
-		return x.Reshape(b, per)
+		return s.flatView(idx, x.Data, b, per)
 	case *nn.Dropout:
 		return x // inverted dropout is the identity at inference time
 	}
 	if fast, ok := f.layer.(inferInto); ok {
-		if info, err := f.layer.Describe(x.Shape()[1:]); err == nil {
-			dst := s.buffer(idx, append([]int{b}, info.OutShape...))
+		if out, err := s.stageOutShape(idx, f.layer, x); err == nil {
+			dst := s.bufferOut(idx, b, out)
 			fast.InferInto(dst, x)
 			return dst
 		}
@@ -318,6 +410,13 @@ func NewQModel(net *nn.Network, scheme Scheme) (*QModel, error) {
 			if err != nil {
 				return nil, err
 			}
+			if scheme == Int4 {
+				// Int4 weights serve from the packed two-per-byte form, the
+				// layout tensor.MatMulInt4 consumes natively.
+				if err := qw.PackInt4(); err != nil {
+					return nil, err
+				}
+			}
 			bias := append([]float32(nil), v.B.Value.Data...)
 			m.stages = append(m.stages, &qDense{w: qw, bias: bias})
 		case *nn.Conv2D:
@@ -325,13 +424,22 @@ func NewQModel(net *nn.Network, scheme Scheme) (*QModel, error) {
 			if err != nil {
 				return nil, err
 			}
-			m.stages = append(m.stages, &qConv2D{
+			st := &qConv2D{
 				inC: v.InC, outC: v.OutC, kh: v.KH, kw: v.KW,
 				stride: v.Stride, pad: v.Pad,
-				w: codes, wScales: scales,
+				w: codes, wCount: len(codes), wScales: scales,
 				bias:   append([]float32(nil), v.B.Value.Data...),
 				scheme: scheme,
-			})
+			}
+			if scheme == Int4 {
+				k := v.InC * v.KH * v.KW
+				wp, err := tensor.PackInt4Matrix(codes, v.OutC, k)
+				if err != nil {
+					return nil, err
+				}
+				st.wp, st.w = wp, nil
+			}
+			m.stages = append(m.stages, st)
 		case *nn.ReLU, *nn.Tanh, *nn.Sigmoid, *nn.Softmax, *nn.Flatten,
 			*nn.MaxPool2D, *nn.BatchNorm1D, *nn.Dropout:
 			m.stages = append(m.stages, &qFloat{layer: l, bytes: floatStageBytes(l)})

@@ -29,7 +29,9 @@ func refForward(m *QModel, x *tensor.Tensor) *tensor.Tensor {
 				for j := 0; j < s.w.Cols; j++ {
 					var acc int32
 					for p := 0; p < s.w.Rows; p++ {
-						acc += int32(codes[i*s.w.Rows+p]) * int32(s.w.Data[p*s.w.Cols+j])
+						// code() decodes either storage form, so the packed
+						// int4 path is checked against the same reference.
+						acc += int32(codes[i*s.w.Rows+p]) * int32(s.w.code(p, j))
 					}
 					out.Data[i*s.w.Cols+j] = float32(acc)*scales[i]*s.w.Scales[j] + s.bias[j]
 				}
@@ -42,6 +44,19 @@ func refForward(m *QModel, x *tensor.Tensor) *tensor.Tensor {
 			codes := make([]int8, x.Size())
 			scales := make([]float32, b)
 			QuantizeActivationsRows(x, codes, scales)
+			wcodes := s.w
+			if s.wp != nil { // decode the packed int4 weights for the reference
+				k := s.inC * s.kh * s.kw
+				rb := tensor.Int4PackedLen(k)
+				wcodes = make([]int8, 0, s.wCount)
+				for oc := 0; oc < s.outC; oc++ {
+					row, err := tensor.UnpackInt4(s.wp[oc*rb:(oc+1)*rb], k)
+					if err != nil {
+						panic(err)
+					}
+					wcodes = append(wcodes, row...)
+				}
+			}
 			out := tensor.New(b, s.outC, oh, ow)
 			for n := 0; n < b; n++ {
 				for oc := 0; oc < s.outC; oc++ {
@@ -55,7 +70,7 @@ func refForward(m *QModel, x *tensor.Tensor) *tensor.Tensor {
 										if si < 0 || si >= h || sj < 0 || sj >= w {
 											continue
 										}
-										wc := s.w[oc*s.inC*s.kh*s.kw+(ic*s.kh+ki)*s.kw+kj]
+										wc := wcodes[oc*s.inC*s.kh*s.kw+(ic*s.kh+ki)*s.kw+kj]
 										xc := codes[n*ex+(ic*h+si)*w+sj]
 										acc += int32(wc) * int32(xc)
 									}

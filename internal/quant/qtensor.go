@@ -84,12 +84,72 @@ func ParseScheme(name string) (Scheme, error) {
 // scales: w ≈ Data[k,j] * Scales[j].
 type QTensor struct {
 	Rows, Cols int
-	// Data holds the quantized integer codes row-major. For sub-int8
-	// schemes the codes simply occupy the low bits of each int8 (size
-	// accounting uses the scheme's nominal width, not the in-memory width).
-	Data   []int8
+	// Data holds the quantized integer codes row-major, one int8 per code.
+	// For sub-int8 schemes the codes occupy the low bits of each int8; size
+	// accounting always uses the scheme's nominal width. Data is nil when
+	// the tensor is in packed form (see Packed).
+	Data []int8
+	// Packed is the storage-density form for Int4: two signed 4-bit codes
+	// per byte with byte-aligned rows (tensor.PackInt4Matrix layout), fed
+	// directly to the packed matmul kernels. Exactly one of Data and Packed
+	// is non-nil; PackInt4/UnpackInt4 convert between the two forms.
+	Packed []byte
 	Scales []float32 // length Cols (per output channel)
 	Scheme Scheme
+}
+
+// IsPacked reports whether the tensor holds its codes in the packed
+// two-per-byte int4 form.
+func (q *QTensor) IsPacked() bool { return q.Packed != nil }
+
+// PackInt4 converts an Int4 tensor from one-code-per-int8 form to the packed
+// two-codes-per-byte form consumed by tensor.MatMulInt4. It is a no-op on an
+// already-packed tensor and an error for any other scheme (wider codes do
+// not fit a nibble; ternary/binary have cheaper encodings of their own).
+func (q *QTensor) PackInt4() error {
+	if q.IsPacked() {
+		return nil
+	}
+	if q.Scheme != Int4 {
+		return fmt.Errorf("quant: PackInt4 on %v tensor", q.Scheme)
+	}
+	p, err := tensor.PackInt4Matrix(q.Data, q.Rows, q.Cols)
+	if err != nil {
+		return err
+	}
+	q.Packed, q.Data = p, nil
+	return nil
+}
+
+// UnpackInt4 converts a packed tensor back to one-code-per-int8 form. It is
+// a no-op on an unpacked tensor.
+func (q *QTensor) UnpackInt4() error {
+	if !q.IsPacked() {
+		return nil
+	}
+	rb := tensor.Int4PackedLen(q.Cols)
+	codes := make([]int8, q.Rows*q.Cols)
+	for r := 0; r < q.Rows; r++ {
+		row, err := tensor.UnpackInt4(q.Packed[r*rb:(r+1)*rb], q.Cols)
+		if err != nil {
+			return err
+		}
+		copy(codes[r*q.Cols:], row)
+	}
+	q.Data, q.Packed = codes, nil
+	return nil
+}
+
+// code returns the integer code at (i, j) in either storage form.
+func (q *QTensor) code(i, j int) int8 {
+	if !q.IsPacked() {
+		return q.Data[i*q.Cols+j]
+	}
+	by := q.Packed[i*tensor.Int4PackedLen(q.Cols)+j/2]
+	if j&1 == 0 {
+		return int8(by<<4) >> 4
+	}
+	return int8(by) >> 4
 }
 
 // maxCode returns the largest magnitude representable by the scheme.
@@ -218,16 +278,18 @@ func (q *QTensor) Dequantize() *tensor.Tensor {
 	out := tensor.New(q.Rows, q.Cols)
 	for i := 0; i < q.Rows; i++ {
 		for j := 0; j < q.Cols; j++ {
-			out.Set2(i, j, float32(q.Data[i*q.Cols+j])*q.Scales[j])
+			out.Set2(i, j, float32(q.code(i, j))*q.Scales[j])
 		}
 	}
 	return out
 }
 
 // SizeBytes returns the storage footprint at the scheme's nominal bit width
-// (packed), plus the per-channel scales.
+// (packed), plus the per-channel scales. It is storage-form independent:
+// Rows·Cols codes at the nominal width, whether or not they are physically
+// packed right now.
 func (q *QTensor) SizeBytes() int {
-	wBits := len(q.Data) * q.Scheme.Bits()
+	wBits := q.Rows * q.Cols * q.Scheme.Bits()
 	return (wBits+7)/8 + 4*len(q.Scales)
 }
 

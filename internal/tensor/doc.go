@@ -7,11 +7,23 @@
 // (internal/nn), the quantizer (internal/quant) and the verifiable-execution
 // layer (internal/verify) need, implemented with the standard library only.
 //
-// The matmul kernel is column-blocked for cache residency and fans rows
-// out over a bounded goroutine pool above a work threshold; blocking and
-// parallelism are both arranged so every output element accumulates in a
-// fixed order, keeping results bit-identical across worker counts — the
-// property the fleet engine's determinism contract rests on.
+// The float matmul kernel is column-blocked for cache residency and fans
+// rows out over a bounded goroutine pool above a work threshold; blocking
+// and parallelism are both arranged so every output element accumulates
+// in a fixed order, keeping results bit-identical across worker counts —
+// the property the fleet engine's determinism contract rests on.
+//
+// The integer serving kernels relax the ordering constraint instead of
+// fighting it: int32 accumulation is exact and commutative, so MatMulInt8
+// and the packed-int4 kernels are free to unroll, retile and
+// register-block while staying bit-identical to a naive scalar triple
+// loop at any worker count. The int4 side never unpacks its operand:
+// PackInt4/UnpackInt4/PackInt4Matrix define a canonical
+// two-codes-per-byte encoding (low nibble first, zero pad), and
+// MatMulInt4 multiplies whole bytes via a 256-entry table that expands
+// each one to lo + hi<<32 — one 64-bit multiply retires both columns'
+// MACs, the scalar analogue of a SIMD nibble kernel. All kernel scratch
+// lives on the worker's stack, so the serving hot loop allocates nothing.
 //
 // All stochastic helpers take an explicit *RNG so every higher layer is
 // reproducible from a seed.

@@ -210,8 +210,19 @@ func (t *Tensor) ArgMax() int {
 // each row.
 func (t *Tensor) ArgMaxRows() []int {
 	t.must2D("ArgMaxRows")
+	out := make([]int, t.shape[0])
+	t.ArgMaxRowsInto(out)
+	return out
+}
+
+// ArgMaxRowsInto writes the per-row argmax into out (length Rows) without
+// allocating — the serving hot-loop form of ArgMaxRows.
+func (t *Tensor) ArgMaxRowsInto(out []int) {
+	t.must2D("ArgMaxRowsInto")
 	r, c := t.shape[0], t.shape[1]
-	out := make([]int, r)
+	if len(out) != r {
+		panic(fmt.Sprintf("tensor: ArgMaxRowsInto got %d slots for %d rows", len(out), r))
+	}
 	for i := 0; i < r; i++ {
 		row := t.Data[i*c : (i+1)*c]
 		best, bi := row[0], 0
@@ -222,7 +233,6 @@ func (t *Tensor) ArgMaxRows() []int {
 		}
 		out[i] = bi
 	}
-	return out
 }
 
 // SumRows returns a 1D tensor with the sum of each column (the result has

@@ -63,8 +63,12 @@ func MatMulInto(dst, a, b *Tensor) {
 		panic(fmt.Sprintf("tensor: MatMulInto dst shape %v, want [%d,%d]", dst.shape, m, n))
 	}
 	dst.Zero()
+	// The poolDepth check is duplicated from parallelRows so the serial
+	// path never constructs the closure below: a closure that escapes on
+	// any branch is heap-allocated on every call, which would put one
+	// allocation in the zero-alloc serving hot loop.
 	work := m * n * k
-	if work < parallelThreshold {
+	if work < parallelThreshold || poolDepth.Load() > 0 {
 		matmulRows(dst.Data, a.Data, b.Data, 0, m, k, n)
 		return
 	}

@@ -19,42 +19,71 @@ package tensor
 // caller must keep k·127² inside int32 range (k < ~2^17), which every
 // TinyML-scale layer does.
 func MatMulInt8(dst []float32, a, b []int8, m, k, n int, rowScales, colScales []float32) {
-	body := func(lo, hi int) {
-		width := n
-		if width > colBlock {
-			width = colBlock
-		}
-		acc := make([]int32, width)
-		for jb := 0; jb < n; jb += colBlock {
-			jhi := min(jb+colBlock, n)
-			w := jhi - jb
-			for i := lo; i < hi; i++ {
-				arow := a[i*k : (i+1)*k]
-				tile := acc[:w]
-				for j := range tile {
-					tile[j] = 0
+	// Serial path first, without constructing the parallel closure: an
+	// escaping closure is heap-allocated on every call, which would cost
+	// the zero-alloc serving hot loop one allocation per matmul.
+	if m*n*k < parallelThreshold || poolDepth.Load() > 0 {
+		matmulInt8Rows(dst, a, b, 0, m, k, n, rowScales, colScales)
+		return
+	}
+	Parallel(m, func(lo, hi int) {
+		matmulInt8Rows(dst, a, b, lo, hi, k, n, rowScales, colScales)
+	})
+}
+
+// matmulInt8Rows computes rows [lo,hi) of the int8 matmul.
+//
+// The k-loop is unrolled four-wide: each pass over the accumulator tile
+// folds in four B rows, so the tile's read-modify-write traffic — the
+// dominant cost of a scalar ikj kernel — is paid once per four MACs
+// instead of once per MAC. Int32 addition is exact and commutative, so
+// the reassociated sum is bit-identical to the naive scalar order.
+func matmulInt8Rows(dst []float32, a, b []int8, lo, hi, k, n int, rowScales, colScales []float32) {
+	// The accumulator tile lives on the worker's stack (colBlock int32s
+	// = 2KB), so the serving hot loop stays allocation-free.
+	var accArr [colBlock]int32
+	for jb := 0; jb < n; jb += colBlock {
+		jhi := min(jb+colBlock, n)
+		w := jhi - jb
+		for i := lo; i < hi; i++ {
+			arow := a[i*k : (i+1)*k]
+			tile := accArr[:w]
+			for j := range tile {
+				tile[j] = 0
+			}
+			p := 0
+			for ; p+3 < k; p += 4 {
+				a0, a1 := int32(arow[p]), int32(arow[p+1])
+				a2, a3 := int32(arow[p+2]), int32(arow[p+3])
+				if a0|a1|a2|a3 == 0 {
+					continue
 				}
-				for p, av := range arow {
-					if av == 0 {
-						continue
-					}
-					brow := b[p*n+jb : p*n+jhi]
-					a32 := int32(av)
-					for j, bv := range brow {
-						tile[j] += a32 * int32(bv)
-					}
+				b0 := b[p*n+jb : p*n+jhi]
+				b1 := b[(p+1)*n+jb : (p+1)*n+jhi][:len(b0)]
+				b2 := b[(p+2)*n+jb : (p+2)*n+jhi][:len(b0)]
+				b3 := b[(p+3)*n+jb : (p+3)*n+jhi][:len(b0)]
+				u := tile[:len(b0)]
+				for j, bv := range b0 {
+					u[j] += a0*int32(bv) + a1*int32(b1[j]) + a2*int32(b2[j]) + a3*int32(b3[j])
 				}
-				rs := rowScales[i]
-				drow := dst[i*n+jb : i*n+jhi]
-				for j := range drow {
-					drow[j] = float32(tile[j]) * rs * colScales[jb+j]
+			}
+			for ; p < k; p++ {
+				av := arow[p]
+				if av == 0 {
+					continue
 				}
+				brow := b[p*n+jb : p*n+jhi]
+				a32 := int32(av)
+				u := tile[:len(brow)]
+				for j, bv := range brow {
+					u[j] += a32 * int32(bv)
+				}
+			}
+			rs := rowScales[i]
+			drow := dst[i*n+jb : i*n+jhi]
+			for j := range drow {
+				drow[j] = float32(tile[j]) * rs * colScales[jb+j]
 			}
 		}
 	}
-	if m*n*k < parallelThreshold {
-		body(0, m)
-		return
-	}
-	Parallel(m, body)
 }

@@ -1,6 +1,7 @@
 package tinymlops
 
 import (
+	"tinymlops/internal/benchfmt"
 	"tinymlops/internal/nn"
 	"tinymlops/internal/quant"
 	"tinymlops/internal/tensor"
@@ -144,4 +145,73 @@ func FakeQuantize(net *Network, scheme Scheme) (*Network, error) {
 // returns the achieved sparsity.
 func Prune(net *Network, fraction float64) (float64, error) {
 	return quant.MagnitudePrune(net, fraction)
+}
+
+// Integer serving kernels and packed storage.
+
+// QTensor is a quantized weight matrix: per-output-channel scales over
+// int8 codes, or — after PackInt4 on an int4-scheme tensor — two 4-bit
+// codes per byte, the storage form the packed serving kernels consume.
+type QTensor = quant.QTensor
+
+// QuantizeMatrix quantizes a [out, in] weight matrix symmetrically per
+// output channel under the scheme.
+func QuantizeMatrix(w *Tensor, scheme Scheme) (*QTensor, error) {
+	return quant.QuantizeMatrix(w, scheme)
+}
+
+// MatMulInt4 computes the scaled integer product of an int8 activation
+// matrix and a packed int4 weight matrix (two codes per byte,
+// PackInt4Matrix layout) with exact int32 accumulation — bit-identical
+// to a naive scalar reference at any worker count.
+func MatMulInt4(dst []float32, a []int8, bPacked []byte, m, k, n int, rowScales, colScales []float32) {
+	tensor.MatMulInt4(dst, a, bPacked, m, k, n, rowScales, colScales)
+}
+
+// MatMulInt4LHS is MatMulInt4 with the packed operand on the left — the
+// convolution layout, where the weight matrix is the 4-bit operand.
+func MatMulInt4LHS(dst []float32, aPacked []byte, b []int8, m, k, n int, rowScales, colScales []float32) {
+	tensor.MatMulInt4LHS(dst, aPacked, b, m, k, n, rowScales, colScales)
+}
+
+// Int4PackedLen returns the byte length of n int4 codes packed two per
+// byte.
+func Int4PackedLen(n int) int { return tensor.Int4PackedLen(n) }
+
+// PackInt4 packs signed 4-bit codes two per byte, low nibble first,
+// rejecting codes outside [-8, 7].
+func PackInt4(codes []int8) ([]byte, error) { return tensor.PackInt4(codes) }
+
+// UnpackInt4 expands packed int4 bytes back into count codes, rejecting
+// truncated or oversized buffers and nonzero pad nibbles.
+func UnpackInt4(packed []byte, count int) ([]int8, error) { return tensor.UnpackInt4(packed, count) }
+
+// PackInt4Matrix packs a [rows, cols] code matrix with byte-aligned rows
+// — the layout the packed matmul kernels consume.
+func PackInt4Matrix(codes []int8, rows, cols int) ([]byte, error) {
+	return tensor.PackInt4Matrix(codes, rows, cols)
+}
+
+// Benchmark trajectory.
+
+// BenchEntry is one benchmark's measured point (ns/op, B/op, allocs/op)
+// within a BenchReport.
+type BenchEntry = benchfmt.Entry
+
+// BenchReport is one committed BENCH_<area>.json snapshot: the
+// serving/offload performance trajectory `tinymlops bench` maintains and
+// CI diffs.
+type BenchReport = benchfmt.Report
+
+// BenchRegression is one gate violation found by DiffBenchReports.
+type BenchRegression = benchfmt.Regression
+
+// ReadBenchReport loads a committed BENCH_<area>.json snapshot.
+func ReadBenchReport(path string) (*BenchReport, error) { return benchfmt.ReadFile(path) }
+
+// DiffBenchReports compares a fresh run against a committed baseline:
+// ns/op may drift up to nsTol fractionally, allocs/op not at all, and
+// benchmarks may not appear or vanish unnoticed.
+func DiffBenchReports(base, cur *BenchReport, nsTol float64) []BenchRegression {
+	return benchfmt.Diff(base, cur, nsTol)
 }
