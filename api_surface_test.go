@@ -780,3 +780,49 @@ func randRow(rng *tinymlops.RNG, n int) []float32 {
 	}
 	return out
 }
+
+// TestHierFederatedSurface pins the two-tier federated facade: the
+// hierarchical coordinator, the edge aggregator's masked accumulator and
+// the per-tier round accounting, all reached through re-exports only.
+func TestHierFederatedSurface(t *testing.T) {
+	rng := tinymlops.NewRNG(7)
+	ds := tinymlops.Blobs(rng, 400, 4, 3, 4)
+	shards := tinymlops.PartitionIID(rng, ds, 24)
+	clients := tinymlops.MakeFederatedClients(ds, shards, "api")
+	global := tinymlops.NewNetwork([]int{4}, tinymlops.Dense(4, 8, rng), tinymlops.ReLU(), tinymlops.Dense(8, 3, rng))
+	var cfg tinymlops.HierFederatedConfig
+	cfg.Rounds = 1
+	cfg.LocalEpochs = 1
+	cfg.LocalBatch = 8
+	cfg.LR = 0.1
+	cfg.Seed = 9
+	cfg.Aggregators = 4
+	cfg.SecureAgg = true
+	hc, err := tinymlops.NewHierFederatedCoordinator(global, clients, ds.X, ds.Y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cohorts []*tinymlops.FederatedCohort
+	for _, co := range hc.Cohorts {
+		cohorts = append(cohorts, co)
+	}
+	if len(cohorts) != 4 {
+		t.Fatalf("%d cohorts", len(cohorts))
+	}
+	var s tinymlops.RoundStats
+	if s, err = hc.RunRound(); err != nil {
+		t.Fatal(err)
+	}
+	if s.EdgeUplinkBytes == 0 || s.CloudUplinkBytes == 0 || s.CloudUplinkBytes >= s.EdgeUplinkBytes {
+		t.Fatalf("per-tier accounting: %+v", s)
+	}
+	// The edge accumulator type is reachable and usable directly.
+	var agg *tinymlops.EdgeAggregator
+	agg, err = tinymlops.NewEdgeAggregator("api", tinymlops.NewPairwiseSeeds(rng, 2), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Received() != 0 {
+		t.Fatal("fresh aggregator non-empty")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"io"
 	"testing"
 
+	"tinymlops/internal/benchsuite"
 	"tinymlops/internal/compat"
 	"tinymlops/internal/core"
 	"tinymlops/internal/dataset"
@@ -743,3 +744,14 @@ func BenchmarkExperimentsE2Table(b *testing.B) {
 		}
 	}
 }
+
+// --- Federated plane: flat vs hierarchical cloud fan-in ----------------
+
+// BenchmarkFlatRound and BenchmarkHierRound100Aggregators mirror the
+// committed BENCH_fed.json trajectory (internal/benchsuite.Fed): one
+// round over the same 1600-client fleet, flat versus two-tier masked.
+// The tracked cloud-uplink-B/op metric is the tentpole's headline — the
+// hierarchical cloud tier hears 100 compact partials, not 1600 updates.
+func BenchmarkFlatRound(b *testing.B) { benchsuite.FedRound(b, false) }
+
+func BenchmarkHierRound100Aggregators(b *testing.B) { benchsuite.FedRound(b, true) }

@@ -17,7 +17,7 @@ import (
 func cmdBench(args []string) error {
 	fs := newFlagSet("bench")
 	dir := fs.String("dir", ".", "directory holding the BENCH_<area>.json snapshots")
-	area := fs.String("area", "all", "suite to run: all, serving, offload")
+	area := fs.String("area", "all", "suite to run: all, serving, offload, fed")
 	check := fs.Bool("check", false, "diff against committed snapshots instead of rewriting them")
 	tol := fs.Float64("tolerance", 0.25, "fractional ns/op slack before -check fails (allocs/op gets none)")
 	if err := fs.Parse(args); err != nil {
@@ -43,6 +43,9 @@ func cmdBench(args []string) error {
 		for _, e := range report.Entries {
 			fmt.Printf("  %-28s %12.0f ns/op %8d B/op %6d allocs/op\n",
 				e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
+			for _, k := range sortedMetricKeys(e.Metrics) {
+				fmt.Printf("  %-28s %12.0f %s\n", "", e.Metrics[k], k)
+			}
 		}
 		path := filepath.Join(*dir, "BENCH_"+name+".json")
 		if !*check {
@@ -69,4 +72,13 @@ func cmdBench(args []string) error {
 		return fmt.Errorf("%d benchmark regression(s) vs committed baseline", len(regressions))
 	}
 	return nil
+}
+
+func sortedMetricKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

@@ -14,6 +14,7 @@
 //	tinymlops chaos    -devices 600 -churn 0.05 -crash 0.2
 //	tinymlops offload  -devices 2 -queries 12 -rtt 200us
 //	tinymlops settle   -devices 90 -overclaim 0.1 -replay 0.1 -wrong-version 0.1
+//	tinymlops fed      -clients 1000 -aggregators 10 -rounds 3 -secure
 //	tinymlops bench    -check -tolerance 0.25
 package main
 
@@ -50,6 +51,8 @@ func main() {
 		err = cmdOffload(os.Args[2:])
 	case "settle":
 		err = cmdSettle(os.Args[2:])
+	case "fed":
+		err = cmdFed(os.Args[2:])
 	case "bench":
 		err = cmdBench(os.Args[2:])
 	case "-h", "--help", "help":
@@ -86,7 +89,10 @@ subcommands:
   settle     run verified pay-per-query settlement across a fleet with
              injected billing fraud (overclaimed ticks, replayed proofs,
              wrong-version relabeling) and print per-device verdicts
-  bench      run the tracked serving/offload benchmark suite and rewrite
+  fed        run hierarchical federated learning over a synthetic client
+             fleet: edge-aggregator cohorts, masked (secure) aggregation,
+             compressed updates, dropout/straggler weather on both tiers
+  bench      run the tracked serving/offload/fed benchmark suite and rewrite
              the committed BENCH_<area>.json snapshots, or with -check
              fail on any ns/op or allocs/op regression against them
 

@@ -243,3 +243,53 @@ func ExamplePlatform_verifiedSettlement() {
 	// honest: ok=true acked=8 proofs-verified=6
 	// inflated: ok=false reason="inference proof rejected"
 }
+
+// ExamplePlatform_hierarchicalFed runs a hierarchical federated update of
+// a published model line: a 120-client fleet shards into 6 edge-aggregator
+// cohorts, every edge uplink is masked (the aggregator sees only the
+// cohort sum), and the cloud hears one compact partial per aggregator —
+// then the improved global publishes back as the next rollout candidate.
+func ExamplePlatform_hierarchicalFed() {
+	rng := tinymlops.NewRNG(13)
+	fleet, err := tinymlops.NewStandardFleet(tinymlops.FleetSpec{CountPerProfile: 1, Seed: 13})
+	if err != nil {
+		panic(err)
+	}
+	platform, err := tinymlops.NewPlatform(fleet, tinymlops.PlatformConfig{
+		VendorKey: []byte("example-vendor-key-0123456789abc"), Seed: 13,
+	})
+	if err != nil {
+		panic(err)
+	}
+	ds := tinymlops.Blobs(rng, 1000, 4, 3, 4)
+	spec := tinymlops.OptimizationSpec{
+		Evaluate: func(n *tinymlops.Network) float64 { return tinymlops.Evaluate(n, ds.X, ds.Y) },
+	}
+	global := tinymlops.NewNetwork([]int{4}, tinymlops.Dense(4, 8, rng), tinymlops.ReLU(), tinymlops.Dense(8, 3, rng))
+	if _, err := platform.Publish("fed-demo", global, ds, spec); err != nil {
+		panic(err)
+	}
+
+	shards := tinymlops.PartitionIID(rng, ds, 120)
+	clients := tinymlops.MakeFederatedClients(ds, shards, "home")
+	var cfg tinymlops.HierFederatedConfig
+	cfg.Rounds = 2
+	cfg.LocalEpochs = 1
+	cfg.LocalBatch = 8
+	cfg.LR = 0.1
+	cfg.Seed = 13
+	cfg.Aggregators = 6
+	cfg.SecureAgg = true
+	versions, stats, err := platform.HierFederatedUpdate("fed-demo", clients, ds, cfg, spec)
+	if err != nil {
+		panic(err)
+	}
+	last := stats[len(stats)-1]
+	fmt.Printf("%d clients in %d cohorts, %d rounds\n", len(clients), last.Cohorts, len(stats))
+	fmt.Printf("cloud uplink is %dx smaller than the edge tier's\n", last.EdgeUplinkBytes/last.CloudUplinkBytes)
+	fmt.Printf("published %d new version(s) tagged %s\n", len(versions), "fed:topology=hierarchical")
+	// Output:
+	// 120 clients in 6 cohorts, 2 rounds
+	// cloud uplink is 45x smaller than the edge tier's
+	// published 1 new version(s) tagged fed:topology=hierarchical
+}

@@ -24,6 +24,10 @@ type Entry struct {
 	// increase as a regression: the serving hot path is zero-alloc by
 	// construction, so a new allocation is a bug, not noise.
 	AllocsPerOp int64 `json:"allocs_per_op"`
+	// Metrics carries the benchmark's custom b.ReportMetric units —
+	// e.g. the fed suite's "cloud-uplink-B/op". Lower is better for every
+	// tracked metric; the gate applies the ns/op tolerance to each.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Report is one benchmark area's snapshot, annotated with enough
@@ -53,13 +57,20 @@ func NewReport(area string, entries []Entry) *Report {
 
 // FromBenchmarkResult converts a testing.Benchmark result into an Entry.
 func FromBenchmarkResult(name string, r testing.BenchmarkResult) Entry {
-	return Entry{
+	e := Entry{
 		Name:        name,
 		Iters:       r.N,
 		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 		BytesPerOp:  r.AllocedBytesPerOp(),
 		AllocsPerOp: r.AllocsPerOp(),
 	}
+	if len(r.Extra) > 0 {
+		e.Metrics = make(map[string]float64, len(r.Extra))
+		for k, v := range r.Extra {
+			e.Metrics[k] = v
+		}
+	}
+	return e
 }
 
 // WriteFile writes the report as indented JSON with a trailing newline —
@@ -107,6 +118,9 @@ func (g Regression) String() string {
 			g.Name, g.Base, g.Cur, 100*(g.Cur-g.Base)/g.Base)
 	case "allocs/op":
 		return fmt.Sprintf("%s: allocs/op regressed %.0f -> %.0f", g.Name, g.Base, g.Cur)
+	case "metric":
+		return fmt.Sprintf("%s: regressed %.0f -> %.0f (%+.1f%%)",
+			g.Name, g.Base, g.Cur, 100*(g.Cur-g.Base)/g.Base)
 	case "missing":
 		return fmt.Sprintf("%s: in baseline but not in current run", g.Name)
 	default:
@@ -141,6 +155,16 @@ func Diff(base, cur *Report, nsTol float64) []Regression {
 				Name: be.Name, Kind: "allocs/op",
 				Base: float64(be.AllocsPerOp), Cur: float64(ce.AllocsPerOp),
 			})
+		}
+		for key, bv := range be.Metrics {
+			cv, ok := ce.Metrics[key]
+			if !ok {
+				regs = append(regs, Regression{Name: be.Name + "/" + key, Kind: "missing"})
+				continue
+			}
+			if bv > 0 && cv > bv*(1+nsTol) {
+				regs = append(regs, Regression{Name: be.Name + "/" + key, Kind: "metric", Base: bv, Cur: cv})
+			}
 		}
 	}
 	for _, ce := range cur.Entries {

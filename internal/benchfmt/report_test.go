@@ -2,6 +2,7 @@ package benchfmt
 
 import (
 	"path/filepath"
+	"reflect"
 	"testing"
 	"time"
 )
@@ -27,9 +28,26 @@ func TestReportRoundTrip(t *testing.T) {
 		t.Fatalf("round trip mismatch: %+v vs %+v", got, r)
 	}
 	for i := range r.Entries {
-		if got.Entries[i] != r.Entries[i] {
+		if !reflect.DeepEqual(got.Entries[i], r.Entries[i]) {
 			t.Fatalf("entry %d: %+v vs %+v", i, got.Entries[i], r.Entries[i])
 		}
+	}
+}
+
+func TestReportRoundTripPreservesMetrics(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_fed.json")
+	r := NewReport("fed", []Entry{
+		{Name: "HierRound", NsPerOp: 5000, Metrics: map[string]float64{"cloud-uplink-B/op": 1234}},
+	})
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Entries[0].Metrics["cloud-uplink-B/op"] != 1234 {
+		t.Fatalf("metrics lost in round trip: %+v", got.Entries[0])
 	}
 }
 
@@ -94,5 +112,44 @@ func TestFromBenchmarkResult(t *testing.T) {
 	e := FromBenchmarkResult("X", r)
 	if e.Name != "X" || e.Iters != 100 || e.NsPerOp != 2000 || e.AllocsPerOp != 3 || e.BytesPerOp != 40 {
 		t.Fatalf("conversion wrong: %+v", e)
+	}
+	if e.Metrics != nil {
+		t.Fatalf("no-Extra result grew metrics: %+v", e.Metrics)
+	}
+	r.Extra = map[string]float64{"cloud-uplink-B/op": 99.5}
+	e = FromBenchmarkResult("X", r)
+	if e.Metrics["cloud-uplink-B/op"] != 99.5 {
+		t.Fatalf("Extra not carried into Metrics: %+v", e)
+	}
+}
+
+// TestDiffGatesCustomMetrics pins the metric gate: a tracked unit (the fed
+// suite's cloud-uplink bytes/op) regressing beyond the ns/op tolerance
+// trips, improvements pass, and a metric vanishing from the current run is
+// flagged like a missing benchmark.
+func TestDiffGatesCustomMetrics(t *testing.T) {
+	withMetric := func(v float64) *Report {
+		return NewReport("fed", []Entry{
+			{Name: "HierRound", NsPerOp: 1000, Metrics: map[string]float64{"cloud-uplink-B/op": v}},
+		})
+	}
+	base := withMetric(1000)
+	if regs := Diff(base, withMetric(1200), 0.25); len(regs) != 0 {
+		t.Fatalf("within-tolerance metric flagged: %v", regs)
+	}
+	if regs := Diff(base, withMetric(500), 0.25); len(regs) != 0 {
+		t.Fatalf("improved metric flagged: %v", regs)
+	}
+	regs := Diff(base, withMetric(2000), 0.25)
+	if len(regs) != 1 || regs[0].Kind != "metric" || regs[0].Name != "HierRound/cloud-uplink-B/op" {
+		t.Fatalf("doubled metric not gated: %v", regs)
+	}
+	if regs[0].String() == "" {
+		t.Fatal("empty metric regression string")
+	}
+	bare := NewReport("fed", []Entry{{Name: "HierRound", NsPerOp: 1000}})
+	regs = Diff(base, bare, 0.25)
+	if len(regs) != 1 || regs[0].Kind != "missing" {
+		t.Fatalf("dropped metric not flagged: %v", regs)
 	}
 }

@@ -6,8 +6,10 @@ import (
 	"testing"
 
 	"tinymlops/internal/benchfmt"
+	"tinymlops/internal/dataset"
 	"tinymlops/internal/device"
 	"tinymlops/internal/engine"
+	"tinymlops/internal/fed"
 	"tinymlops/internal/market"
 	"tinymlops/internal/nn"
 	"tinymlops/internal/offload"
@@ -273,11 +275,85 @@ func Offload() []Case {
 	}
 }
 
+// fedClients/fedAggregators shape the fed suite's fleet: 1600 clients in
+// 100 cohorts gives the hierarchical round a 16× cloud fan-in over flat.
+// The root bench_test.go benchmarks mirror this fixture exactly.
+const fedClients, fedAggregators = 1600, 100
+
+// FedFixture builds the fed-area fleet: fedClients two-example shards cut
+// from one blob pool, a small linear global, and a test split. Shared by
+// the committed trajectory and the root `go test -bench` benchmarks.
+func FedFixture() (*nn.Network, []*fed.Client, *dataset.Dataset) {
+	rng := tensor.NewRNG(90)
+	pool, test := dataset.Blobs(rng, 3600, 4, 3, 4).Split(0.9, rng)
+	clients := make([]*fed.Client, fedClients)
+	for i := range clients {
+		lo := (2 * i) % (pool.Len() - 2)
+		clients[i] = &fed.Client{
+			ID:   fmt.Sprintf("bench-%05d", i),
+			Data: pool.Subset([]int{lo, lo + 1}),
+		}
+	}
+	global := nn.NewNetwork([]int{4}, nn.NewDense(4, 3, rng))
+	return global, clients, test
+}
+
+// FedRound runs one benchmarked round and reports the cloud-tier uplink as
+// a tracked metric. hier selects the two-tier masked topology; flat is the
+// single-tier reference whose cloud uplink is the whole fleet's traffic.
+func FedRound(b *testing.B, hier bool) {
+	cfg := fed.Config{
+		Rounds: 1, LocalEpochs: 1, LocalBatch: 4, LR: 0.1, Seed: 92,
+		Engine: engine.Default(),
+	}
+	var cloudUplink int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		global, clients, test := FedFixture()
+		b.StartTimer()
+		var s fed.RoundStats
+		var err error
+		if hier {
+			hc, herr := fed.NewHierCoordinator(global, clients, test.X, test.Y, fed.HierConfig{
+				Config: cfg, Aggregators: fedAggregators, SecureAgg: true,
+			})
+			if herr != nil {
+				b.Fatal(herr)
+			}
+			s, err = hc.RunRound()
+		} else {
+			co, cerr := fed.NewCoordinator(global, clients, test.X, test.Y, cfg)
+			if cerr != nil {
+				b.Fatal(cerr)
+			}
+			s, err = co.RunRound()
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		cloudUplink += s.CloudUplinkBytes
+	}
+	b.ReportMetric(float64(cloudUplink)/float64(b.N), "cloud-uplink-B/op")
+}
+
+// Fed returns the fed-area suite: one flat reference round and one
+// hierarchical masked round over the same 1600-client fleet. The tracked
+// cloud-uplink-B/op metric is the tentpole's headline — the hierarchical
+// round's cloud tier hears 100 compact partials instead of 1600 updates.
+func Fed() []Case {
+	return []Case{
+		{Name: "FlatRound", Bench: func(b *testing.B) { FedRound(b, false) }},
+		{Name: "HierRound100Aggregators", Bench: func(b *testing.B) { FedRound(b, true) }},
+	}
+}
+
 // Areas maps area names to their suites — the registry `tinymlops bench`
 // iterates.
 func Areas() map[string][]Case {
 	return map[string][]Case{
 		"serving": Serving(),
 		"offload": Offload(),
+		"fed":     Fed(),
 	}
 }

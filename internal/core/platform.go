@@ -366,6 +366,9 @@ func (p *Platform) FederatedUpdate(name string, clients []*fed.Client, test *dat
 	if err != nil {
 		return nil, nil, err
 	}
+	if fcfg.Engine == nil {
+		fcfg.Engine = p.eng
+	}
 	co, err := fed.NewCoordinator(global, clients, test.X, test.Y, fcfg)
 	if err != nil {
 		return nil, nil, err
@@ -375,6 +378,38 @@ func (p *Platform) FederatedUpdate(name string, clients []*fed.Client, test *dat
 		return nil, nil, err
 	}
 	versions, err := co.PublishGlobal(p.Registry, name, spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	return versions, stats, nil
+}
+
+// HierFederatedUpdate is FederatedUpdate's two-tier form: the client fleet
+// shards into edge-aggregator cohorts, each cohort's updates aggregate at
+// the edge (exactly, in fixed point — with pairwise masking when
+// hcfg.SecureAgg is set) and the cloud sums only one compact partial per
+// aggregator before publishing the improved global as a rollout candidate.
+func (p *Platform) HierFederatedUpdate(name string, clients []*fed.Client, test *dataset.Dataset, hcfg fed.HierConfig, spec registry.OptimizationSpec) ([]*registry.ModelVersion, []fed.RoundStats, error) {
+	latest, err := p.Registry.Latest(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	global, err := p.Registry.Load(latest.ID)
+	if err != nil {
+		return nil, nil, err
+	}
+	if hcfg.Engine == nil {
+		hcfg.Engine = p.eng
+	}
+	hc, err := fed.NewHierCoordinator(global, clients, test.X, test.Y, hcfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats, err := hc.Run()
+	if err != nil {
+		return nil, nil, err
+	}
+	versions, err := hc.PublishGlobal(p.Registry, name, spec)
 	if err != nil {
 		return nil, nil, err
 	}

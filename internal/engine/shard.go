@@ -1,0 +1,14 @@
+package engine
+
+// ShardForID deterministically assigns a string-keyed entity (a federated
+// client, a device) to one of n shards under a root seed. The assignment
+// hashes the ID — not a positional index — so an entity's shard is stable
+// across fleet subsets, iteration orders and worker counts, and it is
+// fixed for the lifetime of the root seed (round-independent): a federated
+// cohort must not migrate between edge aggregators mid-run.
+func ShardForID(root uint64, id string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(SeedForID(root, 0, "shard|"+id) % uint64(n))
+}

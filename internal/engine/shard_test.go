@@ -1,0 +1,36 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestShardForIDStableAndBalanced(t *testing.T) {
+	const n = 16
+	counts := make([]int, n)
+	for i := 0; i < 4096; i++ {
+		id := fmt.Sprintf("client-%05d", i)
+		s := ShardForID(42, id, n)
+		if s < 0 || s >= n {
+			t.Fatalf("shard %d out of range [0,%d)", s, n)
+		}
+		if s2 := ShardForID(42, id, n); s2 != s {
+			t.Fatalf("ShardForID not stable: %d then %d", s, s2)
+		}
+		counts[s]++
+	}
+	// FNV+splitmix should land within a loose band of the 256 mean.
+	for i, c := range counts {
+		if c < 128 || c > 512 {
+			t.Fatalf("shard %d holds %d of 4096 ids — hash badly skewed", i, c)
+		}
+	}
+	if ShardForID(42, "anything", 1) != 0 || ShardForID(42, "anything", 0) != 0 {
+		t.Fatal("degenerate shard counts must map to shard 0")
+	}
+	if ShardForID(42, "client-00001", n) == ShardForID(43, "client-00001", n) &&
+		ShardForID(42, "client-00002", n) == ShardForID(43, "client-00002", n) &&
+		ShardForID(42, "client-00003", n) == ShardForID(43, "client-00003", n) {
+		t.Fatal("three ids kept their shard under a different root seed — root ignored?")
+	}
+}

@@ -153,3 +153,62 @@ func TestChaosOffloadPhaseDeterministicSmall(t *testing.T) {
 		}
 	}
 }
+
+// TestChaosFedPhaseDeterministicSmall drives the hierarchical federated
+// phase inside a small scenario at 1, 4 and 16 workers: a 24-device fleet
+// converges a rollout, then a 48-client/4-aggregator fed fleet runs masked
+// two-tier rounds under the same weather plane, publishes the aggregate
+// into the model line, and the scenario fingerprint — which covers the fed
+// tallies and the global-weight digest — must be identical across worker
+// counts.
+func TestChaosFedPhaseDeterministicSmall(t *testing.T) {
+	chaos := ChaosConfig{
+		Seed:            3002,
+		PDrop:           0.10,
+		PCrash:          0.15,
+		PDropout:        0.20, // fed-client weather
+		PStraggler:      0.25,
+		StragglerFactor: 8, // past the phase's deadline: stragglers go late
+	}
+	var first *ScenarioResult
+	for _, workers := range []int{1, 4, 16} {
+		res, err := RunScenario(ScenarioConfig{
+			Devices: 24, Workers: workers, Seed: 3001, Chaos: chaos,
+			FedClients: 48, FedAggregators: 4, FedRounds: 3,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		f := res.Fed
+		if f == nil {
+			t.Fatalf("workers=%d: no fed report", workers)
+		}
+		if f.Participants == 0 || f.Dropouts == 0 || f.Late == 0 {
+			t.Fatalf("workers=%d: fed weather idle: %+v", workers, f)
+		}
+		if f.CloudUplinkBytes == 0 || f.CloudUplinkBytes >= f.EdgeUplinkBytes {
+			t.Fatalf("workers=%d: cloud uplink %d vs edge %d — no fan-in saving",
+				workers, f.CloudUplinkBytes, f.EdgeUplinkBytes)
+		}
+		if f.PublishedID == "" || f.Personalized != 4 {
+			t.Fatalf("workers=%d: publish/personalize incomplete: %+v", workers, f)
+		}
+		if f.FinalAccuracy < 0.6 {
+			t.Fatalf("workers=%d: fed global accuracy %v", workers, f.FinalAccuracy)
+		}
+		if !res.Audit.OK() {
+			t.Fatalf("workers=%d: audit violations after fed phase: %v", workers, res.Audit.Violations)
+		}
+		if first == nil {
+			first = res
+			t.Logf("fed phase: clients=%d participants=%d dropouts=%d late=%d aggDrop=%d edgeUp=%dB cloudUp=%dB acc=%.3f digest=%s",
+				f.Clients, f.Participants, f.Dropouts, f.Late, f.AggDropouts,
+				f.EdgeUplinkBytes, f.CloudUplinkBytes, f.FinalAccuracy, f.GlobalDigest)
+			continue
+		}
+		if res.Fingerprint != first.Fingerprint {
+			t.Fatalf("workers=%d: fingerprint %s != %s — fed outcome depends on scheduling",
+				workers, res.Fingerprint, first.Fingerprint)
+		}
+	}
+}

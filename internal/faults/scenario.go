@@ -51,6 +51,15 @@ type ScenarioConfig struct {
 	// OffloadRounds is how many weather rounds the offload phase spans
 	// (default 3 when OffloadQueries > 0).
 	OffloadRounds int
+	// FedAggregators, when positive, appends a hierarchical federated-
+	// learning phase after settlement: FedClients synthetic clients (default
+	// 4× the aggregator count) in FedAggregators edge cohorts run FedRounds
+	// (default 2) masked two-tier rounds under the plane's weather on both
+	// tiers, and the aggregated global publishes back into the scenario's
+	// model line.
+	FedAggregators int
+	FedClients     int
+	FedRounds      int
 }
 
 // ScenarioResult is one chaos experiment's record.
@@ -100,6 +109,9 @@ type ScenarioResult struct {
 	// scenario errors unless every tampered report was rejected and every
 	// honest one accepted.
 	Settlement *SettlementReport
+	// Fed is the hierarchical federated-learning phase's record (nil when
+	// the phase was not configured).
+	Fed *FedReport
 	// Audit is the terminal deep audit (no partial slots tolerated).
 	Audit *AuditReport
 	// Fingerprint digests the terminal fleet state (per-device version,
@@ -372,6 +384,18 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	}
 	res.Settlement = settle
 
+	// Federated phase: a synthetic client fleet trains the deployed model
+	// line through masked two-tier rounds under the same weather plane and
+	// publishes the aggregate as the next rollout candidate. Runs before
+	// the terminal audit so the published artifact is inside its checks.
+	if cfg.FedAggregators > 0 {
+		fedReport, ferr := runFedPhase(p, plane, &round, cfg)
+		if ferr != nil {
+			return nil, ferr
+		}
+		res.Fed = fedReport
+	}
+
 	res.Audit = Audit(p, AuditConfig{Deep: true})
 	res.Fingerprint = fingerprint(p, res)
 	return res, nil
@@ -459,6 +483,14 @@ func fingerprint(p *core.Platform, res *ScenarioResult) string {
 		fmt.Fprintf(h, "settlement|%d|%d|%d|%d|%d|%d|%d|%d\n",
 			s.Devices, s.Settled, s.FraudInjected, s.FraudCaught,
 			s.Overclaims, s.Replays, s.WrongVersions, s.ProofsChecked)
+	}
+	if f := res.Fed; f != nil {
+		fmt.Fprintf(h, "fed|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d|%s|%s|%d\n",
+			f.Clients, f.Aggregators, f.Rounds,
+			f.Participants, f.Dropouts, f.Stragglers, f.Late,
+			f.AggDropouts, f.AggStragglers, f.AggLate,
+			f.EdgeUplinkBytes, f.CloudUplinkBytes, f.DownlinkBytes,
+			f.GlobalDigest, f.PublishedID, f.Personalized)
 	}
 	fmt.Fprintf(h, "audit|%d|%d|%d|%d|%d\n", res.Audit.ViolationCount,
 		res.Audit.ArtifactsVerified, res.Audit.TelemetryRecords,

@@ -1,13 +1,38 @@
-// Package fed implements the federated learning stack of §III-D: a FedAvg/
-// FedProx coordinator over simulated fleet clients with non-IID shards,
-// update compression codecs (int8, ternary/TernGrad-style, top-k
-// sparsification) with honest byte accounting, pairwise-mask secure
-// aggregation, confidence-thresholded pseudo-labeling for unlabeled
-// clients, and local personalization with layer freezing.
+// Package fed implements the federated learning stack of §III-D, from a
+// flat FedAvg/FedProx coordinator up to a two-tier hierarchical topology
+// with exact secure aggregation at the edge tier.
 //
-// Each round's local trainings fan out over an internal/engine worker pool
-// (Config.Engine) rather than one goroutine per client, so a round over
-// thousands of sampled clients runs at full hardware utilization without
-// thrashing the scheduler; per-client RNGs are split up front, so the
-// round's result is independent of the pool size.
+// # Topologies
+//
+// Coordinator runs the flat form: sampled clients train locally and the
+// cloud averages their updates. HierCoordinator shards the fleet into
+// edge-aggregator cohorts (assignment by engine.ShardForID, so the
+// partition is stable at any worker count), each aggregator collects its
+// cohort's updates, and the cloud sums only one varint-encoded partial
+// per aggregator — the fan-in reduction that keeps 100k-client rounds
+// affordable on the vendor uplink.
+//
+// # Exact aggregation and masking
+//
+// All aggregation happens in an int64 fixed-point ring (Q44.20): integer
+// addition is associative, so the hierarchical grouping is bit-identical
+// to the flat sum over the same clients. Pairwise secure aggregation
+// (Bonawitz-style) lives in the same ring — clients upload uniformly
+// masked uint64 words, the Aggregator learns only the cohort sum, and
+// dropped or late clients' stale masks are reconciled exactly by
+// regenerating their pairwise streams from surviving peers' seeds. Every
+// masked round cross-checks the unmasked reference and fails loudly on
+// any bit difference.
+//
+// # Compression, faults, personalization
+//
+// Client updates pass through an update codec (int8, ternary/TernGrad,
+// top-k sparsification) with honest byte accounting per tier; downlinks
+// ship bit-exact nn delta patches after the first full artifact. Both
+// tiers take injected weather — client dropouts/stragglers via
+// Config.Faults, aggregator faults via HierConfig.AggFaults — with all
+// stochasticity derived from (seed, round, ID), so rounds reproduce at
+// any worker count. Personalize/PersonalizeCohorts layer local
+// fine-tuning (frozen shared layers) on the published global, and
+// PseudoLabel/SemiSupervisedRound cover unlabeled clients.
 package fed

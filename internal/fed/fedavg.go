@@ -19,8 +19,6 @@ type Client struct {
 	Data *dataset.Dataset
 	// Device, when set, gates participation on Charging() && WiFi.
 	Device *device.Device
-	// rng drives this client's local shuffling, derived by the coordinator.
-	rng *tensor.RNG
 }
 
 // Eligible reports whether the client may train this round.
@@ -35,7 +33,8 @@ func (c *Client) Eligible() bool {
 type Config struct {
 	// Rounds of federated averaging.
 	Rounds int
-	// ClientsPerRound samples this many eligible clients (0 = all).
+	// ClientsPerRound samples this many eligible clients (0 = all). The
+	// hierarchical coordinator applies the cap per cohort.
 	ClientsPerRound int
 	// LocalEpochs and LocalBatch configure each client's local training.
 	LocalEpochs int
@@ -48,6 +47,9 @@ type Config struct {
 	// Codec compresses uplink updates (nil = NoneCodec).
 	Codec Codec
 	// Seed derives all stochasticity (client sampling, local shuffling).
+	// A client's round-r training stream is a pure function of
+	// (Seed, r, client ID), so the same client produces a bit-identical
+	// update under any topology, worker count or iteration order.
 	Seed uint64
 	// Engine bounds the per-round client-training fan-out (nil = a
 	// GOMAXPROCS-wide pool). Rounds previously spawned one goroutine per
@@ -68,57 +70,8 @@ type Config struct {
 	StragglerDeadline float64
 }
 
-// ClientFault is one sampled client's injected failure for one round.
-type ClientFault struct {
-	// Dropout crashes the client after it receives the global model and
-	// before it returns an update.
-	Dropout bool
-	// SlowFactor > 1 marks the client a straggler. The factor's only
-	// effect is the comparison against Config.StragglerDeadline: within
-	// the deadline the update aggregates normally (and the round counts a
-	// straggler), beyond it the update arrives too late to count — the
-	// coordinator does not otherwise model per-client round time.
-	SlowFactor float64
-}
-
-// RoundStats records one round's outcome.
-type RoundStats struct {
-	Round        int
-	Participants int
-	// UplinkBytes is the total compressed update traffic; DownlinkBytes
-	// the global-model broadcast traffic.
-	UplinkBytes   int64
-	DownlinkBytes int64
-	// TestAccuracy of the averaged global model (if a test set is given).
-	TestAccuracy float64
-	// Dropouts counts sampled clients that crashed before returning an
-	// update; Stragglers counts slow clients, and Late the subset whose
-	// update missed the aggregation deadline (trained and uploaded, but
-	// excluded from the average). Aggregated counts only cover
-	// Participants − Dropouts − Late clients.
-	Dropouts   int
-	Stragglers int
-	Late       int
-}
-
-// Coordinator runs federated averaging over a set of clients.
-type Coordinator struct {
-	Global  *nn.Network
-	Clients []*Client
-	cfg     Config
-
-	testX *tensor.Tensor
-	testY []int
-	rng   *tensor.RNG
-	round int
-}
-
-// NewCoordinator builds a coordinator around a global model. testX/testY
-// may be nil to skip accuracy tracking.
-func NewCoordinator(global *nn.Network, clients []*Client, testX *tensor.Tensor, testY []int, cfg Config) (*Coordinator, error) {
-	if len(clients) == 0 {
-		return nil, fmt.Errorf("fed: no clients")
-	}
+// normalize fills Config defaults in place.
+func (cfg *Config) normalize() {
 	if cfg.Rounds <= 0 {
 		cfg.Rounds = 1
 	}
@@ -137,18 +90,83 @@ func NewCoordinator(global *nn.Network, clients []*Client, testX *tensor.Tensor,
 	if cfg.Engine == nil {
 		cfg.Engine = engine.Default()
 	}
-	root := tensor.NewRNG(cfg.Seed)
-	for _, c := range clients {
-		c.rng = root.Split()
+}
+
+// ClientFault is one sampled client's injected failure for one round.
+type ClientFault struct {
+	// Dropout crashes the client after it receives the global model and
+	// before it returns an update.
+	Dropout bool
+	// SlowFactor > 1 marks the client a straggler. The factor's only
+	// effect is the comparison against Config.StragglerDeadline: within
+	// the deadline the update aggregates normally (and the round counts a
+	// straggler), beyond it the update arrives too late to count — the
+	// coordinator does not otherwise model per-client round time.
+	SlowFactor float64
+}
+
+// RoundStats records one round's outcome.
+type RoundStats struct {
+	Round        int
+	Participants int
+	// UplinkBytes is the total update traffic across all tiers;
+	// DownlinkBytes the total model broadcast traffic.
+	UplinkBytes   int64
+	DownlinkBytes int64
+	// Per-tier accounting for the hierarchical topology. Edge covers
+	// client ↔ aggregator traffic, Cloud covers aggregator ↔ coordinator.
+	// The flat coordinator reports its single client ↔ cloud hop as the
+	// cloud tier, so flat-vs-hierarchical cloud fan-in compares directly.
+	EdgeUplinkBytes    int64
+	EdgeDownlinkBytes  int64
+	CloudUplinkBytes   int64
+	CloudDownlinkBytes int64
+	// TestAccuracy of the averaged global model (if a test set is given).
+	TestAccuracy float64
+	// Dropouts counts sampled clients that crashed before returning an
+	// update; Stragglers counts slow clients, and Late the subset whose
+	// update missed the aggregation deadline (trained and uploaded, but
+	// excluded from the average). Aggregated counts only cover
+	// Participants − Dropouts − Late clients.
+	Dropouts   int
+	Stragglers int
+	Late       int
+	// Cohorts is the edge-aggregator count (hierarchical rounds only);
+	// AggDropouts/AggStragglers/AggLate are the aggregator-tier faults —
+	// a dropped aggregator takes its whole cohort's contribution with it.
+	Cohorts       int
+	AggDropouts   int
+	AggStragglers int
+	AggLate       int
+}
+
+// Coordinator runs flat federated averaging over a set of clients.
+type Coordinator struct {
+	Global  *nn.Network
+	Clients []*Client
+	cfg     Config
+
+	testX *tensor.Tensor
+	testY []int
+	rng   *tensor.RNG
+	round int
+}
+
+// NewCoordinator builds a coordinator around a global model. testX/testY
+// may be nil to skip accuracy tracking.
+func NewCoordinator(global *nn.Network, clients []*Client, testX *tensor.Tensor, testY []int, cfg Config) (*Coordinator, error) {
+	if len(clients) == 0 {
+		return nil, fmt.Errorf("fed: no clients")
 	}
+	cfg.normalize()
 	return &Coordinator{
 		Global: global, Clients: clients, cfg: cfg,
 		testX: testX, testY: testY,
-		rng: root.Split(),
+		rng: tensor.NewRNG(cfg.Seed),
 	}, nil
 }
 
-// clientUpdate is a weighted, decoded update from one client.
+// clientUpdate is a decoded update from one client.
 type clientUpdate struct {
 	delta   []float32
 	samples int
@@ -215,15 +233,15 @@ func (co *Coordinator) RunRound() (RoundStats, error) {
 	}
 
 	// Local trainings fan out over the bounded engine pool; each client's
-	// stochasticity comes from its own pre-split RNG, so the round result
-	// does not depend on the worker count.
+	// stochasticity is derived from (Seed, round, ID), so the round result
+	// does not depend on the worker count or iteration order.
 	updates := make([]clientUpdate, len(sampled))
 	if err := co.cfg.Engine.ForEach(len(sampled), func(i int) error {
 		if faults[i].Dropout {
 			return nil // crashed before training; zero update, zero uplink
 		}
 		var err error
-		updates[i], err = co.localRound(sampled[i], globalFlat)
+		updates[i], err = localTrain(&co.cfg, co.Global, globalFlat, sampled[i], co.round)
 		return err
 	}); err != nil {
 		return stats, err
@@ -237,49 +255,51 @@ func (co *Coordinator) RunRound() (RoundStats, error) {
 		}
 	}
 
-	// Weighted average of decoded deltas.
-	agg := make([]float32, len(globalFlat))
-	var totalSamples float64
+	// Sample-weighted aggregation in int64 fixed point (see fixed.go):
+	// integer addition is associative, so this flat sum is bit-identical
+	// to any hierarchical grouping of the same contributions.
+	total := make([]int64, len(globalFlat))
+	var totalSamples int64
 	for _, u := range updates {
-		totalSamples += float64(u.samples)
 		stats.UplinkBytes += int64(u.bytes)
+		if u.samples == 0 || u.delta == nil {
+			continue
+		}
+		addInto(total, contribution(quantizeFixed(u.delta), u.samples))
+		totalSamples += int64(u.samples)
 	}
 	if totalSamples > 0 {
-		for _, u := range updates {
-			w := float32(float64(u.samples) / totalSamples)
-			for j, d := range u.delta {
-				agg[j] += w * d
-			}
-		}
-		next := make([]float32, len(globalFlat))
-		for j := range next {
-			next[j] = globalFlat[j] + agg[j]
-		}
-		if err := co.Global.SetFlatParams(next); err != nil {
+		if err := co.Global.SetFlatParams(applyFixed(globalFlat, total, totalSamples)); err != nil {
 			return stats, err
 		}
 	}
+	// Flat topology: the single hop is the cloud tier.
+	stats.CloudUplinkBytes = stats.UplinkBytes
+	stats.CloudDownlinkBytes = stats.DownlinkBytes
 	if co.testX != nil {
 		stats.TestAccuracy = nn.Evaluate(co.Global, co.testX, co.testY)
 	}
 	return stats, nil
 }
 
-// localRound trains one client from the global weights and returns its
+// localTrain trains one client from the global weights and returns its
 // encoded-then-decoded (i.e. lossy, as the server would see it) delta.
-func (co *Coordinator) localRound(c *Client, globalFlat []float32) (clientUpdate, error) {
-	local := co.Global.Clone()
+// The client's training stream derives from (cfg.Seed, round, client ID)
+// alone — the flat and hierarchical coordinators share this function, so
+// the same client produces a bit-identical update under either topology.
+func localTrain(cfg *Config, global *nn.Network, globalFlat []float32, c *Client, round int) (clientUpdate, error) {
+	local := global.Clone()
 	if err := local.SetFlatParams(globalFlat); err != nil {
 		return clientUpdate{}, err
 	}
 	tc := nn.TrainConfig{
-		Epochs:    co.cfg.LocalEpochs,
-		BatchSize: co.cfg.LocalBatch,
-		Optimizer: nn.NewSGD(co.cfg.LR),
-		RNG:       c.rng,
+		Epochs:    cfg.LocalEpochs,
+		BatchSize: cfg.LocalBatch,
+		Optimizer: nn.NewSGD(cfg.LR),
+		RNG:       tensor.NewRNG(engine.SeedForID(cfg.Seed, uint64(round), "train|"+c.ID)),
 	}
-	if co.cfg.ProximalMu > 0 {
-		mu := co.cfg.ProximalMu
+	if cfg.ProximalMu > 0 {
+		mu := cfg.ProximalMu
 		tc.ExtraGrad = func(net *nn.Network) {
 			// ∇(μ/2·‖w−w_g‖²) = μ(w−w_g), applied parameter-wise.
 			off := 0
@@ -300,11 +320,11 @@ func (co *Coordinator) localRound(c *Client, globalFlat []float32) (clientUpdate
 	for j := range delta {
 		delta[j] = localFlat[j] - globalFlat[j]
 	}
-	payload, err := co.cfg.Codec.Encode(delta)
+	payload, err := cfg.Codec.Encode(delta)
 	if err != nil {
 		return clientUpdate{}, fmt.Errorf("fed: client %s encode: %w", c.ID, err)
 	}
-	decoded, err := co.cfg.Codec.Decode(payload, len(delta))
+	decoded, err := cfg.Codec.Decode(payload, len(delta))
 	if err != nil {
 		return clientUpdate{}, fmt.Errorf("fed: client %s decode: %w", c.ID, err)
 	}

@@ -23,6 +23,12 @@ type PersonalizeConfig struct {
 // private data, optionally freezing the first k layers. This is §III-D's
 // "specialized models overfitted to a specific user or location".
 func Personalize(global *nn.Network, data *dataset.Dataset, cfg PersonalizeConfig) (*nn.Network, error) {
+	if global == nil {
+		return nil, fmt.Errorf("fed: Personalize needs a global model")
+	}
+	if data == nil || data.X == nil || data.Len() == 0 {
+		return nil, fmt.Errorf("fed: Personalize needs non-empty local data")
+	}
 	if cfg.RNG == nil {
 		return nil, fmt.Errorf("fed: PersonalizeConfig.RNG is required")
 	}
@@ -70,6 +76,9 @@ func Personalize(global *nn.Network, data *dataset.Dataset, cfg PersonalizeConfi
 // exceeds threshold — the semi-supervised device-side labeling of §III-D
 // ("the data remains completely unlabeled").
 func PseudoLabel(model *nn.Network, x *tensor.Tensor, threshold float32) (idx []int, labels []int) {
+	if x == nil || x.Size() == 0 || x.Dim(0) == 0 {
+		return nil, nil
+	}
 	probs := nn.SoftmaxRows(model.Predict(x))
 	rows, cols := probs.Dim(0), probs.Dim(1)
 	for i := 0; i < rows; i++ {

@@ -5,21 +5,23 @@ import (
 
 	"tinymlops/internal/nn"
 	"tinymlops/internal/registry"
+	"tinymlops/internal/tensor"
 )
 
-// PublishGlobal registers the coordinator's current global model as a new
-// base version of the named model line — deriving the full variant matrix
-// via the registry's optimization pipeline — and tags it as a federated
-// aggregate. The published base is a rollout candidate: a federated round
-// feeds straight into a staged fleet update (§III-D closing into §III-A).
-func (co *Coordinator) PublishGlobal(r *registry.Registry, name string, spec registry.OptimizationSpec) ([]*registry.ModelVersion, error) {
+// publishGlobal registers a coordinator's global model as a new base
+// version of the named model line — deriving the full variant matrix via
+// the registry's optimization pipeline — and tags its provenance. The
+// published base is a rollout candidate: a federated round feeds straight
+// into a staged fleet update (§III-D closing into §III-A).
+func publishGlobal(r *registry.Registry, name string, spec registry.OptimizationSpec,
+	global *nn.Network, rounds int, testX *tensor.Tensor, testY []int, tags map[string]string) ([]*registry.ModelVersion, error) {
 	if spec.Evaluate == nil {
-		if co.testX == nil {
+		if testX == nil {
 			return nil, fmt.Errorf("fed: publish needs spec.Evaluate or a coordinator test set")
 		}
-		spec.Evaluate = func(n *nn.Network) float64 { return nn.Evaluate(n, co.testX, co.testY) }
+		spec.Evaluate = func(n *nn.Network) float64 { return nn.Evaluate(n, testX, testY) }
 	}
-	versions, err := r.RegisterWithVariants(name, co.Global, spec.Evaluate(co.Global), spec)
+	versions, err := r.RegisterWithVariants(name, global, spec.Evaluate(global), spec)
 	if err != nil {
 		return nil, err
 	}
@@ -27,8 +29,30 @@ func (co *Coordinator) PublishGlobal(r *registry.Registry, name string, spec reg
 	if err := r.SetTag(base.ID, "source", "federated"); err != nil {
 		return nil, err
 	}
-	if err := r.SetTag(base.ID, "fed:rounds", fmt.Sprintf("%d", co.round)); err != nil {
+	if err := r.SetTag(base.ID, "fed:rounds", fmt.Sprintf("%d", rounds)); err != nil {
 		return nil, err
 	}
+	for k, v := range tags {
+		if err := r.SetTag(base.ID, k, v); err != nil {
+			return nil, err
+		}
+	}
 	return versions, nil
+}
+
+// PublishGlobal registers the flat coordinator's current global model as a
+// federated-aggregate rollout candidate.
+func (co *Coordinator) PublishGlobal(r *registry.Registry, name string, spec registry.OptimizationSpec) ([]*registry.ModelVersion, error) {
+	return publishGlobal(r, name, spec, co.Global, co.round, co.testX, co.testY, nil)
+}
+
+// PublishGlobal registers the hierarchical coordinator's current global
+// model as a rollout candidate, tagged with the two-tier topology.
+func (hc *HierCoordinator) PublishGlobal(r *registry.Registry, name string, spec registry.OptimizationSpec) ([]*registry.ModelVersion, error) {
+	hc.mu.Lock()
+	defer hc.mu.Unlock()
+	return publishGlobal(r, name, spec, hc.Global, hc.round, hc.testX, hc.testY, map[string]string{
+		"fed:topology":    "hierarchical",
+		"fed:aggregators": fmt.Sprintf("%d", len(hc.Cohorts)),
+	})
 }

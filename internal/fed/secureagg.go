@@ -2,17 +2,27 @@ package fed
 
 import (
 	"fmt"
+	"math"
+	"sync"
 
 	"tinymlops/internal/tensor"
 )
 
-// Secure aggregation by pairwise masking (Bonawitz et al. style, without
-// the dropout-recovery machinery): every pair of clients (i, j) derives a
-// shared mask from a pairwise seed; client i adds the mask, client j
-// subtracts it. Individual uploads are indistinguishable from noise to the
-// server, but the masks cancel exactly in the sum, so federated averaging
-// still works — addressing §III-D's tension between aggregating updates
-// and not revealing any single user's update.
+// Secure aggregation by pairwise masking (Bonawitz et al. style): every
+// pair of clients (i, j) derives a shared mask from a pairwise seed;
+// client i adds the mask, client j subtracts it. Individual uploads are
+// indistinguishable from noise to the server, but the masks cancel in the
+// sum, so federated averaging still works — addressing §III-D's tension
+// between aggregating updates and not revealing any single user's update.
+//
+// Two mask families live here. The float family (MaskUpdate/SumUpdates)
+// is the demonstrative original: Gaussian masks over float32, which
+// cancel only to rounding error. The fixed-point family (MaskFixed plus
+// the Aggregator in hier.go) is what the hierarchical round path uses:
+// uniform uint64 mask words added with wrapping arithmetic, so the masks
+// cancel *exactly* — bit-identical to an unmasked integer sum — and a
+// dropped client's stale masks can be reconciled precisely by
+// regenerating its pairwise streams from the surviving peers' seeds.
 
 // PairwiseSeeds holds the symmetric seed matrix seeds[i][j] (= seeds[j][i])
 // agreed between each client pair (in production via key agreement; here
@@ -35,16 +45,35 @@ func NewPairwiseSeeds(rng *tensor.RNG, n int) PairwiseSeeds {
 	return seeds
 }
 
+// validate checks that idx addresses a square seed matrix.
+func (s PairwiseSeeds) validate(idx int) error {
+	n := len(s)
+	if idx < 0 || idx >= n {
+		return fmt.Errorf("fed: client index %d out of range %d", idx, n)
+	}
+	for i, row := range s {
+		if len(row) != n {
+			return fmt.Errorf("fed: seeds row %d has %d entries, want %d (matrix must be square)", i, len(row), n)
+		}
+	}
+	return nil
+}
+
 // MaskUpdate returns client idx's update with all pairwise masks applied:
 // + mask(i,j) for j > i, − mask(i,j) for j < i. The mask magnitude scales
-// with maskStd (it should dwarf the update values for privacy).
+// with maskStd (it should dwarf the update values for privacy). Float
+// masks cancel only to rounding error; use MaskFixed where the sum must
+// be exact.
 func MaskUpdate(update []float32, idx int, seeds PairwiseSeeds, maskStd float32) ([]float32, error) {
-	n := len(seeds)
-	if idx < 0 || idx >= n {
-		return nil, fmt.Errorf("fed: client index %d out of range %d", idx, n)
+	if err := seeds.validate(idx); err != nil {
+		return nil, err
+	}
+	if math.IsNaN(float64(maskStd)) || math.IsInf(float64(maskStd), 0) {
+		return nil, fmt.Errorf("fed: maskStd %v is not finite", maskStd)
 	}
 	out := make([]float32, len(update))
 	copy(out, update)
+	n := len(seeds)
 	for peer := 0; peer < n; peer++ {
 		if peer == idx {
 			continue
@@ -68,6 +97,9 @@ func SumUpdates(updates [][]float32) ([]float32, error) {
 		return nil, fmt.Errorf("fed: no updates to sum")
 	}
 	n := len(updates[0])
+	if n == 0 {
+		return nil, fmt.Errorf("fed: zero-length updates")
+	}
 	out := make([]float32, n)
 	for _, u := range updates {
 		if len(u) != n {
@@ -78,4 +110,156 @@ func SumUpdates(updates [][]float32) ([]float32, error) {
 		}
 	}
 	return out, nil
+}
+
+// MaskFixed lifts client idx's fixed-point contribution into the uint64
+// ring and applies all pairwise masks with wrapping arithmetic: + the
+// shared word stream for peers j > idx, − for peers j < idx (the same
+// sign convention as MaskUpdate). Because addition mod 2^64 is exactly
+// associative, a sum over any grouping of masked vectors minus the
+// reconciled masks of absent peers equals the unmasked integer sum bit
+// for bit.
+func MaskFixed(contrib []int64, idx int, seeds PairwiseSeeds) ([]uint64, error) {
+	if err := seeds.validate(idx); err != nil {
+		return nil, err
+	}
+	out := make([]uint64, len(contrib))
+	for k, v := range contrib {
+		out[k] = uint64(v)
+	}
+	n := len(seeds)
+	for peer := 0; peer < n; peer++ {
+		if peer == idx {
+			continue
+		}
+		mrng := tensor.NewRNG(seeds[idx][peer])
+		if peer > idx {
+			for k := range out {
+				out[k] += mrng.Uint64()
+			}
+		} else {
+			for k := range out {
+				out[k] -= mrng.Uint64()
+			}
+		}
+	}
+	return out, nil
+}
+
+// Aggregator is one edge tier's masked-sum accumulator: clients Submit
+// their masked fixed-point contributions in any order (Submit is safe for
+// concurrent use — wrapping addition commutes, so the total is schedule-
+// independent), and Unmask reconciles the pairwise masks of the clients
+// that never arrived by regenerating their shared streams from the
+// surviving peers' seeds. The aggregator only ever holds masked words and
+// the final cohort sum; no individual update is recoverable from it.
+type Aggregator struct {
+	// ID names the aggregator in stats and fault draws.
+	ID string
+
+	mu       sync.Mutex
+	seeds    PairwiseSeeds
+	sum      []uint64
+	samples  int64
+	received []bool
+	nRecv    int
+}
+
+// NewAggregator builds an edge aggregator for one round's cohort: seeds is
+// the cohort's pairwise matrix (its size fixes the participant count) and
+// dim the update dimension.
+func NewAggregator(id string, seeds PairwiseSeeds, dim int) (*Aggregator, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("fed: aggregator %s: dimension %d", id, dim)
+	}
+	n := len(seeds)
+	if n == 0 {
+		return nil, fmt.Errorf("fed: aggregator %s: empty seed matrix", id)
+	}
+	for i, row := range seeds {
+		if len(row) != n {
+			return nil, fmt.Errorf("fed: aggregator %s: seeds row %d has %d entries, want %d", id, i, len(row), n)
+		}
+	}
+	return &Aggregator{
+		ID: id, seeds: seeds,
+		sum:      make([]uint64, dim),
+		received: make([]bool, n),
+	}, nil
+}
+
+// Submit adds participant idx's masked contribution (samples examples) to
+// the cohort sum. Duplicate or out-of-range submissions are rejected.
+func (a *Aggregator) Submit(idx int, masked []uint64, samples int) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if idx < 0 || idx >= len(a.received) {
+		return fmt.Errorf("fed: aggregator %s: participant %d out of range %d", a.ID, idx, len(a.received))
+	}
+	if a.received[idx] {
+		return fmt.Errorf("fed: aggregator %s: participant %d submitted twice", a.ID, idx)
+	}
+	if len(masked) != len(a.sum) {
+		return fmt.Errorf("fed: aggregator %s: update length %d, want %d", a.ID, len(masked), len(a.sum))
+	}
+	if samples <= 0 {
+		return fmt.Errorf("fed: aggregator %s: participant %d reports %d samples", a.ID, idx, samples)
+	}
+	a.received[idx] = true
+	a.nRecv++
+	a.samples += int64(samples)
+	for k, v := range masked {
+		a.sum[k] += v
+	}
+	return nil
+}
+
+// Received reports how many participants have submitted.
+func (a *Aggregator) Received() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.nRecv
+}
+
+// Unmask reconciles the masks of absent participants and returns the
+// exact cohort partial (Σ samples_i·q_i over received clients) plus the
+// received sample total. Every surviving submission carries one stale
+// mask per absent peer; regenerating the (survivor, absent) streams from
+// the seed matrix and subtracting them with the survivor's sign recovers
+// the unmasked sum bit-exactly. An empty round (nothing received) errors.
+func (a *Aggregator) Unmask() ([]int64, int64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.nRecv == 0 {
+		return nil, 0, fmt.Errorf("fed: aggregator %s: no submissions to unmask", a.ID)
+	}
+	out := make([]uint64, len(a.sum))
+	copy(out, a.sum)
+	n := len(a.received)
+	for i := 0; i < n; i++ {
+		if !a.received[i] {
+			continue
+		}
+		for d := 0; d < n; d++ {
+			if d == i || a.received[d] {
+				continue
+			}
+			// Survivor i applied sign(i,d)·stream(seeds[i][d]); remove it.
+			mrng := tensor.NewRNG(a.seeds[i][d])
+			if d > i {
+				for k := range out {
+					out[k] -= mrng.Uint64()
+				}
+			} else {
+				for k := range out {
+					out[k] += mrng.Uint64()
+				}
+			}
+		}
+	}
+	partial := make([]int64, len(out))
+	for k, v := range out {
+		partial[k] = int64(v)
+	}
+	return partial, a.samples, nil
 }

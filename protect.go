@@ -192,6 +192,41 @@ func MakeFederatedClients(ds *Dataset, shards [][]int, idPrefix string) []*Feder
 	return fed.MakeClients(ds, shards, idPrefix)
 }
 
+// HierFederatedConfig controls two-tier hierarchical federated rounds.
+type HierFederatedConfig = fed.HierConfig
+
+// HierFederatedCoordinator runs hierarchical rounds: clients aggregate
+// exactly at edge cohorts (masked when SecureAgg is set) and the cloud
+// sums one compact partial per aggregator.
+type HierFederatedCoordinator = fed.HierCoordinator
+
+// FederatedCohort is one edge aggregator's client group.
+type FederatedCohort = fed.Cohort
+
+// EdgeAggregator accumulates a cohort's masked fixed-point updates and
+// unmasks only their sum, reconciling dropped clients' stale masks.
+type EdgeAggregator = fed.Aggregator
+
+// NewHierFederatedCoordinator builds a two-tier coordinator: clients shard
+// into cfg.Aggregators cohorts by stable ID hash.
+func NewHierFederatedCoordinator(global *Network, clients []*FederatedClient, testX *Tensor, testY []int, cfg HierFederatedConfig) (*HierFederatedCoordinator, error) {
+	return fed.NewHierCoordinator(global, clients, testX, testY, cfg)
+}
+
+// PairwiseSeeds is the symmetric per-pair mask seed matrix.
+type PairwiseSeeds = fed.PairwiseSeeds
+
+// NewPairwiseSeeds derives the pairwise mask seed matrix for n clients.
+func NewPairwiseSeeds(rng *RNG, n int) PairwiseSeeds {
+	return fed.NewPairwiseSeeds(rng, n)
+}
+
+// NewEdgeAggregator builds one cohort-round masked accumulator of the
+// given update dimension.
+func NewEdgeAggregator(id string, seeds PairwiseSeeds, dim int) (*EdgeAggregator, error) {
+	return fed.NewAggregator(id, seeds, dim)
+}
+
 // PersonalizeConfig controls local fine-tuning with layer freezing.
 type PersonalizeConfig = fed.PersonalizeConfig
 
