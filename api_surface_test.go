@@ -826,3 +826,103 @@ func TestHierFederatedSurface(t *testing.T) {
 		t.Fatal("fresh aggregator non-empty")
 	}
 }
+
+// TestSwarmSurface pins the peer-to-peer OTA distribution facade: the
+// chunk manifest codec with its typed errors, Platform.NewSwarm, the
+// chaos scenario's swarm mode with its per-wave egress report, and the
+// byte-conservation fields on the audit.
+func TestSwarmSurface(t *testing.T) {
+	// Chunk codec round trip.
+	blob := []byte("swarm-surface-artifact-0123456789")
+	m, err := tinymlops.BuildChunkManifest("full:surface", blob, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := tinymlops.UnmarshalChunkManifest(enc)
+	if err != nil || dec.NumChunks() != m.NumChunks() || dec.TotalBytes != int64(len(blob)) {
+		t.Fatalf("manifest round trip: %+v (%v)", dec, err)
+	}
+	ra := tinymlops.NewChunkReassembler(dec)
+	for i := 0; i < dec.NumChunks(); i++ {
+		s, e := dec.ChunkSpan(i)
+		if err := ra.AddChunk(i, blob[s:e]); err != nil {
+			t.Fatal(err)
+		}
+		if err := ra.AddChunk(i, blob[s:e]); !errors.Is(err, tinymlops.ErrDuplicateChunk) {
+			t.Fatalf("duplicate chunk error: %v", err)
+		}
+	}
+	out, err := ra.Assemble()
+	if err != nil || string(out) != string(blob) {
+		t.Fatalf("assembly diverged: %q (%v)", out, err)
+	}
+	corrupt := append([]byte(nil), blob[:8]...)
+	corrupt[0] ^= 0xff
+	if err := tinymlops.NewChunkReassembler(dec).AddChunk(0, corrupt); !errors.Is(err, tinymlops.ErrChunkHashMismatch) {
+		t.Fatalf("corrupt chunk error: %v", err)
+	}
+	if _, err := tinymlops.UnmarshalChunkManifest([]byte("nope")); !errors.Is(err, tinymlops.ErrBadManifest) {
+		t.Fatalf("bad manifest error: %v", err)
+	}
+
+	// Platform.NewSwarm is reachable and returns a quiet coordinator.
+	fleet, err := tinymlops.NewStandardFleet(tinymlops.FleetSpec{CountPerProfile: 1, Seed: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	platform, err := tinymlops.NewPlatform(fleet, tinymlops.PlatformConfig{
+		VendorKey: []byte("surface-swarm-key-0123456789abcd"), Seed: 80,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var drop tinymlops.SwarmDropFunc // nil = no injected peer loss
+	var sw *tinymlops.Swarm
+	sw, err = platform.NewSwarm(tinymlops.SwarmOptions{ChunkBytes: 16, Seed: 81, PeerDrop: drop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st tinymlops.SwarmStats = sw.Stats()
+	if st.Transfers != 0 || sw.InFlight() != 0 {
+		t.Fatalf("fresh swarm not quiet: %+v", st)
+	}
+
+	// The chaos scenario's swarm mode through the facade.
+	scen, err := tinymlops.RunChaosScenario(tinymlops.ChaosScenarioConfig{
+		Devices: 24, Seed: 82,
+		Chaos:        tinymlops.ChaosConfig{Seed: 83, PDrop: 0.1, PCrash: 0.2, PPeerDrop: 0.2},
+		SwarmRollout: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var srep *tinymlops.SwarmReport = scen.Swarm
+	if srep == nil {
+		t.Fatal("swarm scenario produced no swarm report")
+	}
+	ledger := srep.Stats
+	if ledger.RegistryEgressBytes+ledger.PeerBytes != ledger.DeliveredBytes || ledger.PeerBytes == 0 {
+		t.Fatalf("ledger: %+v", ledger)
+	}
+	var total int64
+	for _, wb := range srep.WaveEgress {
+		var one tinymlops.SwarmWaveBytes = wb
+		total += one.RegistryBytes + one.PeerBytes
+	}
+	if len(srep.WaveEgress) == 0 || total == 0 {
+		t.Fatalf("wave egress: %+v", srep.WaveEgress)
+	}
+	if !scen.Audit.SwarmChecked || scen.Audit.SwarmDeliveredBytes != ledger.DeliveredBytes {
+		t.Fatalf("audit swarm fields: %+v", scen.Audit)
+	}
+
+	// The typed delta-fallback errors are distinct, exported sentinels.
+	if tinymlops.ErrDeltaBaseMissing == nil || tinymlops.ErrArtifactMissing == nil ||
+		errors.Is(tinymlops.ErrDeltaBaseMissing, tinymlops.ErrArtifactMissing) {
+		t.Fatal("delta fallback sentinels miswired")
+	}
+}

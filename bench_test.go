@@ -755,3 +755,16 @@ func BenchmarkExperimentsE2Table(b *testing.B) {
 func BenchmarkFlatRound(b *testing.B) { benchsuite.FedRound(b, false) }
 
 func BenchmarkHierRound100Aggregators(b *testing.B) { benchsuite.FedRound(b, true) }
+
+// --- Swarm OTA distribution: registry-direct vs peer-to-peer -----------
+
+// BenchmarkRolloutRegistryDirect and BenchmarkRolloutSwarm mirror the
+// committed BENCH_swarm.json trajectory (internal/benchsuite.Swarm): one
+// fleet-wide OTA rollout over a 1k-device standard fleet with a fixed
+// 16-device canary, registry-direct versus peer-to-peer chunk swarm. The
+// tracked registry-egress-B/device metric is the tentpole's headline —
+// in swarm mode the registry funds only the canary (plus last-resort
+// chunks), so its per-device cost collapses as the fleet grows.
+func BenchmarkRolloutRegistryDirect(b *testing.B) { benchsuite.SwarmRollout(b, 1000, false) }
+
+func BenchmarkRolloutSwarm(b *testing.B) { benchsuite.SwarmRollout(b, 1000, true) }

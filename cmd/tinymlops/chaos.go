@@ -27,22 +27,33 @@ func cmdChaos(args []string) error {
 	crash := fs.Float64("crash", 0.20, "per-install-attempt mid-flash crash probability")
 	tloss := fs.Float64("telemetry-loss", 0.10, "per-round telemetry loss probability")
 	retries := fs.Int("retries", 3, "update attempts per device per wave")
+	useSwarm := fs.Bool("swarm", false, "distribute the OTA peer-to-peer: registry seeds the canary, later waves fetch chunks from updated neighbors")
+	peerDrop := fs.Float64("peerdrop", 0.15, "per-chunk-attempt swarm peer loss probability (with -swarm)")
 	fs.Parse(args) //nolint:errcheck // ExitOnError
 
 	if *chaosSeed == 0 {
 		*chaosSeed = *seed + 1
 	}
-	fmt.Printf("chaos: %d devices, seed %d/%d, churn %.0f%%, drop %.0f%%, crash %.0f%%\n\n",
-		*devices, *seed, *chaosSeed, *churn*100, *drop*100, *crash*100)
+	mode := "registry-direct"
+	if *useSwarm {
+		mode = "swarm"
+	}
+	fmt.Printf("chaos: %d devices, seed %d/%d, churn %.0f%%, drop %.0f%%, crash %.0f%%, %s OTA\n\n",
+		*devices, *seed, *chaosSeed, *churn*100, *drop*100, *crash*100, mode)
 
-	res, err := tinymlops.RunChaosScenario(tinymlops.ChaosScenarioConfig{
+	cfg := tinymlops.ChaosScenarioConfig{
 		Devices: *devices, Workers: *workers, Seed: *seed,
 		UpdateAttempts: *retries,
 		Chaos: tinymlops.ChaosConfig{
 			Seed: *chaosSeed, PChurn: *churn, PDrop: *drop, PSpike: *spike,
 			PBatteryDeath: *battery, PCrash: *crash, PTelemetryLoss: *tloss,
 		},
-	})
+	}
+	if *useSwarm {
+		cfg.SwarmRollout = true
+		cfg.Chaos.PPeerDrop = *peerDrop
+	}
+	res, err := tinymlops.RunChaosScenario(cfg)
 	if err != nil {
 		return err
 	}
@@ -74,6 +85,28 @@ func cmdChaos(args []string) error {
 	fmt.Printf("transfers: %d delta, %d full; %d B shipped\n",
 		res.Rollout.DeltaTransfers, res.Rollout.FullTransfers, res.Rollout.TotalShipBytes)
 	fmt.Printf("converged: %d/%d devices on v2\n\n", res.Converged, res.FleetSize)
+
+	if res.Swarm != nil {
+		fmt.Println("swarm egress by wave:")
+		stw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(stw, "wave\tregistry-B\tpeer-B\tpeer-share")
+		for _, wb := range res.Swarm.WaveEgress {
+			total := wb.RegistryBytes + wb.PeerBytes
+			share := 0.0
+			if total > 0 {
+				share = float64(wb.PeerBytes) / float64(total)
+			}
+			fmt.Fprintf(stw, "%s\t%d\t%d\t%.0f%%\n", wb.Wave, wb.RegistryBytes, wb.PeerBytes, share*100)
+		}
+		if err := stw.Flush(); err != nil {
+			return err
+		}
+		st := res.Swarm.Stats
+		fmt.Printf("swarm ledger: %d transfers (%d resumed), %d B delivered = %d B registry + %d B peers\n",
+			st.Transfers, st.Resumed, st.DeliveredBytes, st.RegistryEgressBytes, st.PeerBytes)
+		fmt.Printf("              %d chunks verified, %d hash rejects, %d peer drops healed, %d conservation violations\n\n",
+			st.ChunksVerified, st.HashRejects, st.MidChunkDrops, st.ConservationViolations)
+	}
 
 	fmt.Println(res.Audit.String())
 	if !res.Audit.OK() {

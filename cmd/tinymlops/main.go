@@ -11,7 +11,7 @@
 //	tinymlops import   -graph model.json -out model.tmln
 //	tinymlops simulate -devices 2 -queries 150 -quota 100 -workers 8
 //	tinymlops rollout  -devices 2 -drift
-//	tinymlops chaos    -devices 600 -churn 0.05 -crash 0.2
+//	tinymlops chaos    -devices 600 -churn 0.05 -crash 0.2 -swarm
 //	tinymlops offload  -devices 2 -queries 12 -rtt 200us
 //	tinymlops settle   -devices 90 -overclaim 0.1 -replay 0.1 -wrong-version 0.1
 //	tinymlops fed      -clients 1000 -aggregators 10 -rounds 3 -secure
@@ -82,7 +82,8 @@ subcommands:
              health gates, delta transfers and rollback on failure
   chaos      run a staged rollout under deterministic fault injection
              (churn, flaky networks, mid-flash crashes) and audit every
-             fleet invariant
+             fleet invariant; -swarm distributes the OTA peer-to-peer
+             with a byte-conservation audit
   offload    serve queries through the live edge-cloud offload plane
              (split execution, batched cloud suffix service, replanning
              as connectivity changes), verified bit-exact
@@ -92,7 +93,7 @@ subcommands:
   fed        run hierarchical federated learning over a synthetic client
              fleet: edge-aggregator cohorts, masked (secure) aggregation,
              compressed updates, dropout/straggler weather on both tiers
-  bench      run the tracked serving/offload/fed benchmark suite and rewrite
+  bench      run the tracked serving/offload/fed/swarm benchmark suite and rewrite
              the committed BENCH_<area>.json snapshots, or with -check
              fail on any ns/op or allocs/op regression against them
 

@@ -293,3 +293,99 @@ func ExamplePlatform_hierarchicalFed() {
 	// cloud uplink is 45x smaller than the edge tier's
 	// published 1 new version(s) tagged fed:topology=hierarchical
 }
+
+// ExamplePlatform_swarmRollout distributes a staged OTA update
+// peer-to-peer: the registry serves only the canary wave, every later
+// wave fetches hash-verified chunks from devices updated in earlier
+// waves, and the swarm's ledger proves byte conservation — every
+// delivered byte attributed to exactly one source.
+func ExamplePlatform_swarmRollout() {
+	rng := tinymlops.NewRNG(11)
+	fleet, err := tinymlops.NewStandardFleet(tinymlops.FleetSpec{CountPerProfile: 4, Seed: 11})
+	if err != nil {
+		panic(err)
+	}
+	for _, d := range fleet.Devices() {
+		d.SetBehavior(1, 1, 0)
+	}
+	fleet.Tick()
+	platform, err := tinymlops.NewPlatform(fleet, tinymlops.PlatformConfig{
+		VendorKey: []byte("example-swarm-key-0123456789abcd"), Seed: 11,
+	})
+	if err != nil {
+		panic(err)
+	}
+	ds := tinymlops.Blobs(rng, 200, 4, 3, 4)
+	net := tinymlops.NewNetwork([]int{4}, tinymlops.Dense(4, 8, rng), tinymlops.ReLU(), tinymlops.Dense(8, 3, rng))
+	spec := tinymlops.OptimizationSpec{
+		Evaluate: func(n *tinymlops.Network) float64 { return tinymlops.Evaluate(n, ds.X, ds.Y) },
+	}
+	if _, err := platform.Publish("swarm-demo", net, ds, spec); err != nil {
+		panic(err)
+	}
+	ids := make([]string, 0, 24)
+	for _, d := range fleet.Devices() {
+		ids = append(ids, d.ID)
+	}
+	if _, err := platform.DeployMany(ids, "swarm-demo", tinymlops.DeployConfig{
+		PrepaidQueries: 100, Calibration: ds,
+	}); err != nil {
+		panic(err)
+	}
+
+	// v2: a fine-tune of v1 — same topology, so the OTA ships as a
+	// sparse delta with its own swarm key.
+	v2net := net.Clone()
+	if _, err := tinymlops.Train(v2net, ds.X, ds.Y, tinymlops.TrainConfig{
+		Epochs: 1, BatchSize: 32, Optimizer: tinymlops.SGD(0.05), RNG: rng,
+	}); err != nil {
+		panic(err)
+	}
+	v2s, err := platform.Publish("swarm-demo", v2net, ds, spec)
+	if err != nil {
+		panic(err)
+	}
+
+	sw, err := platform.NewSwarm(tinymlops.SwarmOptions{ChunkBytes: 64, Seed: 12})
+	if err != nil {
+		panic(err)
+	}
+	res, err := platform.Rollout(v2s[0], tinymlops.RolloutConfig{
+		Waves: []tinymlops.RolloutWave{
+			{Name: "canary", Fraction: 0.1},
+			{Name: "cohort", Fraction: 0.5},
+			{Name: "fleet", Fraction: 1.0},
+		},
+		Seed:        13,
+		Gate:        tinymlops.RolloutGate{MaxErrorRate: 0.5, MaxUpdateFailures: 0},
+		Calibration: ds,
+		Swarm:       sw,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("rollout completed: %v over %d waves\n", res.Completed, len(res.Waves))
+	for _, w := range res.Waves {
+		var reg, peer int64
+		for _, o := range w.Outcomes {
+			reg += o.Transfer.RegistryBytes
+			peer += o.Transfer.PeerBytes
+		}
+		fmt.Printf("  %s: %d devices, registry-funded %v, peer-funded %v\n",
+			w.Wave.Name, len(w.Outcomes), reg > 0, peer > 0)
+	}
+	st := sw.Stats()
+	fmt.Printf("byte conservation: %v (registry + peers = delivered)\n",
+		st.RegistryEgressBytes+st.PeerBytes == st.DeliveredBytes &&
+			st.ConservationViolations == 0)
+	fmt.Printf("chunk hashes rejected: %d, transfers still in flight: %d\n",
+		st.HashRejects, sw.InFlight())
+	// Output:
+	// rollout completed: true over 3 waves
+	//   canary: 2 devices, registry-funded true, peer-funded false
+	//   cohort: 10 devices, registry-funded false, peer-funded true
+	//   fleet: 12 devices, registry-funded false, peer-funded true
+	// byte conservation: true (registry + peers = delivered)
+	// chunk hashes rejected: 0, transfers still in flight: 0
+}

@@ -91,6 +91,22 @@ func TestDiffTripsOnAnyAllocIncrease(t *testing.T) {
 	}
 }
 
+// TestDiffAllocSlackScalesWithBaseline pins the allocs gate's 0.1% slack:
+// a zero- or low-alloc hot path keeps its zero-tolerance gate (tested
+// above), while a fleet-scale entry with hundreds of thousands of allocs
+// tolerates the ±few-alloc jitter GC-timed pool reuse introduces — but
+// still trips on anything past the slack.
+func TestDiffAllocSlackScalesWithBaseline(t *testing.T) {
+	base := sampleReport(1, 200_000)
+	if regs := Diff(base, sampleReport(1, 200_003), 0.25); len(regs) != 0 {
+		t.Fatalf("within-slack alloc jitter flagged: %v", regs)
+	}
+	regs := Diff(base, sampleReport(1, 200_201), 0.25)
+	if len(regs) != 2 || regs[0].Kind != "allocs/op" {
+		t.Fatalf("past-slack alloc growth not flagged: %v", regs)
+	}
+}
+
 func TestDiffFlagsShapeChanges(t *testing.T) {
 	base := sampleReport(1, 0)
 	cur := NewReport("serving", []Entry{

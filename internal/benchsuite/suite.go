@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"tinymlops/internal/benchfmt"
+	"tinymlops/internal/core"
 	"tinymlops/internal/dataset"
 	"tinymlops/internal/device"
 	"tinymlops/internal/engine"
@@ -14,6 +15,8 @@ import (
 	"tinymlops/internal/nn"
 	"tinymlops/internal/offload"
 	"tinymlops/internal/quant"
+	"tinymlops/internal/registry"
+	"tinymlops/internal/rollout"
 	"tinymlops/internal/tensor"
 	"tinymlops/internal/verify"
 )
@@ -348,6 +351,150 @@ func Fed() []Case {
 	}
 }
 
+// swarmCanary is the fixed canary head-count for the swarm suite: every
+// fleet size seeds the same 16 devices from the registry, so the
+// registry-egress-B/device metric falls as the fleet grows — the swarm's
+// headline economics.
+const swarmCanary = 16
+
+// swarmWaves is the fixed-canary progression: 16 devices regardless of
+// fleet size, then half the fleet, then everyone.
+func swarmWaves(n int) []rollout.Wave {
+	return []rollout.Wave{
+		{Name: "canary", Fraction: float64(swarmCanary) / float64(n)},
+		{Name: "cohort", Fraction: 0.5},
+		{Name: "fleet", Fraction: 1.0},
+	}
+}
+
+// swarmFleetSize is the actual device count for a requested n (the
+// standard fleet rounds up to a multiple of its six profiles).
+func swarmFleetSize(n int) int {
+	return ((n + 5) / 6) * 6
+}
+
+// SwarmFixture builds the swarm-area fleet: n devices (rounded up to the
+// six standard profiles) running a published v1 with a head-only
+// fine-tuned v2 ready to roll out. Shared by the committed trajectory and
+// the root `go test -bench` benchmarks.
+func SwarmFixture(b *testing.B, n int) (*core.Platform, *registry.ModelVersion, *dataset.Dataset) {
+	b.Helper()
+	fleet, err := device.NewStandardFleet(device.FleetSpec{CountPerProfile: (n + 5) / 6, Seed: 70})
+	if err != nil {
+		b.Fatal(err)
+	}
+	devs := fleet.Devices()
+	for _, d := range devs {
+		d.SetBehavior(1, 1, 0)
+	}
+	fleet.Tick()
+	p, err := core.New(fleet, core.Config{
+		VendorKey: []byte("bench-swarm-key-0123456789abcdef"), Seed: 70, MinCohort: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := tensor.NewRNG(71)
+	ds := dataset.Blobs(rng, 240, 4, 3, 5)
+	net := nn.NewNetwork([]int{4}, nn.NewDense(4, 8, rng), nn.NewReLU(), nn.NewDense(8, 3, rng))
+	if _, err := nn.Train(net, ds.X, ds.Y, nn.TrainConfig{
+		Epochs: 4, BatchSize: 32, Optimizer: nn.NewSGD(0.1), RNG: rng,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	// Base-only publish: the suite measures distribution, not variant
+	// derivation.
+	if _, err := p.Publish("swarm-bench", net, ds, registry.OptimizationSpec{}); err != nil {
+		b.Fatal(err)
+	}
+	ids := make([]string, len(devs))
+	for i, d := range devs {
+		ids[i] = d.ID
+	}
+	if _, err := p.DeployMany(ids, "swarm-bench", core.DeployConfig{
+		PrepaidQueries: 1 << 20, Calibration: ds,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	v2net := net.Clone()
+	head := v2net.Layers()[2].(*nn.Dense)
+	for i := range head.W.Value.Data {
+		head.W.Value.Data[i] += 0.01 * float32(i%5+1)
+	}
+	v2s, err := p.Publish("swarm-bench", v2net, ds, registry.OptimizationSpec{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p, v2s[0], ds
+}
+
+// SwarmRollout runs one benchmarked fleet-wide OTA rollout and reports the
+// registry's egress per device as a tracked metric. viaSwarm switches the
+// transport: registry-direct ships every byte from the vendor; swarm mode
+// seeds the fixed 16-device canary from the registry and lets later waves
+// fetch hash-verified chunks from already-updated peers, so the metric
+// falls as n grows instead of staying flat.
+func SwarmRollout(b *testing.B, n int, viaSwarm bool) {
+	fleetSize := swarmFleetSize(n)
+	var registryEgress, peerBytes int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		p, v2, ds := SwarmFixture(b, n)
+		cfg := core.RolloutConfig{
+			Waves: swarmWaves(fleetSize), Seed: 72, Calibration: ds,
+			Gate: rollout.Gate{
+				MaxDriftFraction: 1, MaxErrorRate: 0.99,
+				MaxLatencyIncrease: 99, MaxUpdateFailures: fleetSize,
+			},
+		}
+		if viaSwarm {
+			sw, err := p.NewSwarm(core.SwarmOptions{ChunkBytes: 256, Seed: 73})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg.Swarm = sw
+		}
+		b.StartTimer()
+		res, err := p.Rollout(v2, cfg)
+		b.StopTimer()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Completed {
+			b.Fatal("rollout did not complete")
+		}
+		if viaSwarm {
+			registryEgress += res.TotalRegistryBytes
+			peerBytes += res.TotalPeerBytes
+		} else {
+			registryEgress += res.TotalShipBytes
+		}
+		b.StartTimer()
+	}
+	perDevice := func(total int64) float64 {
+		return float64(total) / float64(b.N) / float64(fleetSize)
+	}
+	b.ReportMetric(perDevice(registryEgress), "registry-egress-B/device")
+	if viaSwarm {
+		b.ReportMetric(perDevice(peerBytes), "peer-B/device")
+	}
+}
+
+// Swarm returns the swarm-area suite: a registry-direct 1k rollout as the
+// reference, and swarm rollouts at 1k and 10k devices. The tracked
+// registry-egress-B/device metric is the tentpole's headline — with a
+// fixed 16-device canary, the vendor's per-device cost drops roughly 10×
+// as the fleet grows 1k → 10k, while registry-direct pays full freight on
+// every device.
+func Swarm() []Case {
+	return []Case{
+		{Name: "RolloutRegistryDirect1k", Bench: func(b *testing.B) { SwarmRollout(b, 1000, false) }},
+		{Name: "RolloutSwarm1k", Bench: func(b *testing.B) { SwarmRollout(b, 1000, true) }},
+		{Name: "RolloutSwarm10k", Bench: func(b *testing.B) { SwarmRollout(b, 10_000, true) }},
+	}
+}
+
 // Areas maps area names to their suites — the registry `tinymlops bench`
 // iterates.
 func Areas() map[string][]Case {
@@ -355,5 +502,6 @@ func Areas() map[string][]Case {
 		"serving": Serving(),
 		"offload": Offload(),
 		"fed":     Fed(),
+		"swarm":   Swarm(),
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"tinymlops/internal/dataset"
 	"tinymlops/internal/device"
@@ -10,6 +11,7 @@ import (
 	"tinymlops/internal/fed"
 	"tinymlops/internal/registry"
 	"tinymlops/internal/rollout"
+	"tinymlops/internal/swarm"
 )
 
 // RolloutConfig controls a staged fleet update (see internal/rollout for
@@ -41,6 +43,63 @@ type RolloutConfig struct {
 	// (the latter resuming the half-written slot); everything else —
 	// battery death, selection failures, topology problems — fails fast.
 	Retryable func(error) bool
+	// Swarm, when non-nil, switches transfers to peer-to-peer mode: the
+	// registry serves only the canary wave (no device holds the new bytes
+	// yet) and acts as seeder of last resort; later waves fetch chunks from
+	// devices the earlier waves updated. The controller promotes each
+	// passed wave's devices into the seeder set and withdraws a rolled-back
+	// wave's pending registrations. Build one with Platform.NewSwarm.
+	Swarm *swarm.Swarm
+}
+
+// SwarmOptions configures Platform.NewSwarm.
+type SwarmOptions struct {
+	// ChunkBytes is the manifest chunk size (0 = swarm.DefaultChunkBytes).
+	ChunkBytes int64
+	// Seed roots the deterministic peer assignment.
+	Seed uint64
+	// MaxPeerTries bounds seeders probed per chunk before registry
+	// fallback (0 = 3).
+	MaxPeerTries int
+	// PeerDrop injects deterministic mid-chunk peer churn (the fault
+	// plane's swarm weather hook); nil means peers never drop.
+	PeerDrop swarm.DropFunc
+}
+
+// NewSwarm builds a peer-to-peer distribution swarm over this platform's
+// fleet and registry: artifact keys ("full:<version>" or
+// "delta:<from>><to>") resolve to the registry's canonical bytes as the
+// seed of last resort, and seeder IDs resolve to fleet devices. Pass the
+// result in RolloutConfig.Swarm or UpdateOptions.Swarm.
+func (p *Platform) NewSwarm(opts SwarmOptions) (*swarm.Swarm, error) {
+	return swarm.New(swarm.Config{
+		Source:       swarm.SourceFunc(p.swarmBytes),
+		Peer:         p.Fleet.Get,
+		ChunkBytes:   opts.ChunkBytes,
+		Seed:         opts.Seed,
+		MaxPeerTries: opts.MaxPeerTries,
+		PeerDrop:     opts.PeerDrop,
+	})
+}
+
+// swarmBytes resolves a swarm artifact key to canonical registry bytes:
+// "full:<version>" is the stored artifact, "delta:<from>><to>" the cached
+// single-flight delta encoding. These are the exact bytes every seeder of
+// the key holds, which is what content-addressed chunks require.
+func (p *Platform) swarmBytes(key string) ([]byte, error) {
+	switch {
+	case strings.HasPrefix(key, "full:"):
+		return p.Registry.Bytes(strings.TrimPrefix(key, "full:"))
+	case strings.HasPrefix(key, "delta:"):
+		spec := strings.TrimPrefix(key, "delta:")
+		from, to, ok := strings.Cut(spec, ">")
+		if !ok || from == "" || to == "" {
+			return nil, fmt.Errorf("core: malformed delta key %q", key)
+		}
+		return p.Registry.Delta(from, to)
+	default:
+		return nil, fmt.Errorf("core: unknown artifact key %q", key)
+	}
 }
 
 // TransientUpdateError reports whether an update failure is transient: the
@@ -65,7 +124,7 @@ func (p *Platform) Rollout(target *registry.ModelVersion, cfg RolloutConfig) (*r
 	if retryable == nil {
 		retryable = TransientUpdateError
 	}
-	return ctl.Run(&rolloutTarget{p: p, target: target, cfg: cfg}, rollout.Config{
+	rcfg := rollout.Config{
 		Waves:      cfg.Waves,
 		Gate:       cfg.Gate,
 		Seed:       cfg.Seed,
@@ -73,7 +132,15 @@ func (p *Platform) Rollout(target *registry.ModelVersion, cfg RolloutConfig) (*r
 		BeforeWave: cfg.BeforeWave,
 		Retry:      cfg.Retry,
 		Retryable:  retryable,
-	})
+	}
+	if cfg.Swarm != nil {
+		// A passed wave's devices hold the new bytes: promote them into the
+		// seeder set before the next wave fans out. (A failed wave never
+		// reaches AfterWave, and its rollbacks withdrew its pending
+		// registrations.)
+		rcfg.AfterWave = func(rollout.Wave, []string) { cfg.Swarm.AdvanceWave() }
+	}
+	return ctl.Run(&rolloutTarget{p: p, target: target, cfg: cfg}, rcfg)
 }
 
 // FederatedRollout closes the §III-D → §III-A loop: run federated training
@@ -141,16 +208,22 @@ func (t *rolloutTarget) Update(id string) (rollout.Transfer, error) {
 	if err != nil {
 		return rollout.Transfer{}, err
 	}
-	rep, err := d.Update(t.target, UpdateOptions{Calibration: t.cfg.Calibration, ForceFull: t.cfg.ForceFull})
+	rep, err := d.Update(t.target, UpdateOptions{
+		Calibration: t.cfg.Calibration,
+		ForceFull:   t.cfg.ForceFull,
+		Swarm:       t.cfg.Swarm,
+	})
 	if err != nil {
 		return rollout.Transfer{}, err
 	}
 	return rollout.Transfer{
-		ShipBytes:  rep.ShipBytes,
-		FlashBytes: rep.FlashBytes,
-		UsedDelta:  rep.UsedDelta,
-		FromID:     rep.From.ID,
-		ToID:       rep.To.ID,
+		ShipBytes:     rep.ShipBytes,
+		FlashBytes:    rep.FlashBytes,
+		UsedDelta:     rep.UsedDelta,
+		FromID:        rep.From.ID,
+		ToID:          rep.To.ID,
+		PeerBytes:     rep.PeerBytes,
+		RegistryBytes: rep.RegistryBytes,
 	}, nil
 }
 
@@ -159,6 +232,12 @@ func (t *rolloutTarget) Rollback(id string) error {
 	if err != nil {
 		return err
 	}
-	_, err = d.Rollback()
-	return err
+	if _, err = d.Rollback(); err != nil {
+		return err
+	}
+	if t.cfg.Swarm != nil {
+		// The device no longer holds the bytes it registered for.
+		t.cfg.Swarm.RemovePending(id)
+	}
+	return nil
 }

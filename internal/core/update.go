@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -11,7 +12,16 @@ import (
 	"tinymlops/internal/registry"
 	"tinymlops/internal/rollout"
 	"tinymlops/internal/selector"
+	"tinymlops/internal/swarm"
 )
+
+// ErrDeltaBaseMissing reports that a delta transfer could not even be
+// attempted because the registry no longer holds the artifact of the
+// version the device is running — the base was evicted mid-rollout. The
+// update surfaces it on the report's DeltaFallback and ships the full
+// artifact instead (over the swarm when one is configured), so a wave
+// with a pruned base degrades to full transfers rather than wedging.
+var ErrDeltaBaseMissing = errors.New("core: delta base artifact missing")
 
 // UpdateOptions controls one deployment update.
 type UpdateOptions struct {
@@ -20,6 +30,11 @@ type UpdateOptions struct {
 	Calibration *dataset.Dataset
 	// ForceFull disables delta transfer (used to measure the saving).
 	ForceFull bool
+	// Swarm, when non-nil, sources the transfer's bytes peer-to-peer: the
+	// chosen artifact (or its delta) ships as hash-verified chunks from the
+	// wave's seeders, with the registry as seeder of last resort, and the
+	// device registers as a pending seeder on success. See internal/swarm.
+	Swarm *swarm.Swarm
 }
 
 // UpdateReport accounts one update (or rollback): what moved, how it was
@@ -38,6 +53,14 @@ type UpdateReport struct {
 	TransferTime time.Duration
 	// ChangedParams/TotalParams summarize delta sparsity (0 for full).
 	ChangedParams, TotalParams int
+	// PeerBytes/RegistryBytes split a swarm transfer's radio bytes by
+	// serving side (both zero on registry-direct transfers).
+	PeerBytes, RegistryBytes int64
+	// DeltaFallback, when non-nil, explains why a delta-eligible update
+	// shipped the full artifact instead of failing: it wraps
+	// ErrDeltaBaseMissing when the registry evicted the base image
+	// mid-rollout. The update itself succeeded.
+	DeltaFallback error
 }
 
 // Health returns the deployment's live-window telemetry summary: queries
@@ -110,6 +133,10 @@ func (d *Deployment) Update(target *registry.ModelVersion, opts UpdateOptions) (
 		} else if d.Monitor != nil {
 			d.Monitor.Reset()
 		}
+		// The device holds these exact bytes, so it can seed them.
+		if opts.Swarm != nil && d.watermark == "" {
+			opts.Swarm.AddSeeder("full:"+chosen.ID, d.DeviceID)
+		}
 		return rep, nil
 	}
 
@@ -118,28 +145,49 @@ func (d *Deployment) Update(target *registry.ModelVersion, opts UpdateOptions) (
 	// the registry's stored artifact; a per-customer watermark perturbs
 	// them, so watermarked deployments always ship full images.
 	if !opts.ForceFull && d.watermark == "" {
-		model, err = d.tryDeltaLocked(chosen, rep)
+		if opts.Swarm != nil {
+			model, err = d.trySwarmDeltaLocked(opts.Swarm, chosen, rep)
+		} else {
+			model, err = d.tryDeltaLocked(chosen, rep)
+		}
 		if err != nil {
 			return nil, err
 		}
 	}
 	if model == nil {
-		var dur time.Duration
-		model, dur, err = p.shipFull(d.device, chosen)
-		if err != nil {
-			return nil, err
+		if opts.Swarm != nil {
+			model, err = p.swarmShipFull(opts.Swarm, d.device, chosen, rep)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			var dur time.Duration
+			model, dur, err = p.shipFull(d.device, chosen)
+			if err != nil {
+				return nil, err
+			}
+			rep.ShipBytes = int64(chosen.Metrics.SizeBytes)
+			rep.FlashBytes = int64(chosen.Metrics.SizeBytes)
+			rep.TransferTime = dur
 		}
 		if d.watermark != "" {
 			if err := p.embedWatermark(model, chosen.ID, d.DeviceID, d.watermark); err != nil {
 				return nil, err
 			}
 		}
-		rep.ShipBytes = int64(chosen.Metrics.SizeBytes)
-		rep.FlashBytes = int64(chosen.Metrics.SizeBytes)
-		rep.TransferTime = dur
 	}
 	if err := d.swapLocked(chosen, model, opts.Calibration); err != nil {
 		return nil, err
+	}
+	// The swap succeeded: the device now holds the canonical artifact (and,
+	// if it took a delta, the delta bytes it staged), so register it as a
+	// pending seeder — visible to fetchers at the next wave promotion.
+	// Watermarked copies are perturbed per customer and never seed.
+	if opts.Swarm != nil && d.watermark == "" {
+		if rep.UsedDelta {
+			opts.Swarm.AddSeeder("delta:"+rep.From.ID+">"+chosen.ID, d.DeviceID)
+		}
+		opts.Swarm.AddSeeder("full:"+chosen.ID, d.DeviceID)
 	}
 	return rep, nil
 }
@@ -154,7 +202,14 @@ func (d *Deployment) tryDeltaLocked(chosen *registry.ModelVersion, rep *UpdateRe
 	p := d.platform
 	delta, err := p.Registry.Delta(d.Version.ID, chosen.ID)
 	if err != nil {
-		return nil, nil // different topology: full transfer
+		// Different topology: expected, a full transfer is simply the plan.
+		// A missing base artifact (evicted mid-rollout) is surfaced as a
+		// typed fallback so callers can tell pruning from topology — the
+		// wave degrades to full transfers instead of wedging.
+		if errors.Is(err, registry.ErrArtifactMissing) {
+			rep.DeltaFallback = fmt.Errorf("%w: %w", ErrDeltaBaseMissing, err)
+		}
+		return nil, nil
 	}
 	cost, err := nn.CostOfDelta(delta, chosen.Scheme.Bits())
 	if err != nil {
@@ -189,6 +244,69 @@ func (d *Deployment) tryDeltaLocked(chosen *registry.ModelVersion, rep *UpdateRe
 	rep.FlashBytes = int64(cost.FlashBytes)
 	rep.TransferTime = dur
 	rep.ChangedParams, rep.TotalParams = cost.ChangedParams, cost.TotalParams
+	return model, nil
+}
+
+// trySwarmDeltaLocked is tryDeltaLocked's peer-to-peer counterpart: the
+// same delta-worthwhile decision, but the encoded delta ships as
+// hash-verified chunks from the wave's seeders (devices that already took
+// this exact transition hold its bytes) instead of an encrypted
+// registry-direct stream. The swarm moves canonical plaintext bytes — the
+// chunk hashes content-address the real artifact — so no envelope
+// encryption applies here. Caller holds d.mu.
+func (d *Deployment) trySwarmDeltaLocked(sw *swarm.Swarm, chosen *registry.ModelVersion, rep *UpdateReport) (*nn.Network, error) {
+	p := d.platform
+	delta, err := p.Registry.Delta(d.Version.ID, chosen.ID)
+	if err != nil {
+		if errors.Is(err, registry.ErrArtifactMissing) {
+			rep.DeltaFallback = fmt.Errorf("%w: %w", ErrDeltaBaseMissing, err)
+		}
+		return nil, nil // full (swarm) transfer
+	}
+	cost, err := nn.CostOfDelta(delta, chosen.Scheme.Bits())
+	if err != nil {
+		return nil, err
+	}
+	if cost.ShipBytes >= chosen.Metrics.SizeBytes {
+		return nil, nil // dense delta, not worth shipping
+	}
+	key := "delta:" + d.Version.ID + ">" + chosen.ID
+	data, ts, err := sw.Transfer(d.device, key, int64(cost.FlashBytes))
+	if err != nil {
+		return nil, fmt.Errorf("core: swarm delta to %s: %w", d.DeviceID, err)
+	}
+	model, err := nn.ApplyDelta(d.model, data)
+	if err != nil {
+		return nil, fmt.Errorf("core: apply delta on %s: %w", d.DeviceID, err)
+	}
+	rep.UsedDelta = true
+	rep.ShipBytes = ts.TotalBytes
+	rep.FlashBytes = int64(cost.FlashBytes)
+	rep.TransferTime = ts.Duration
+	rep.PeerBytes = ts.FromPeers
+	rep.RegistryBytes = ts.FromRegistry
+	rep.ChangedParams, rep.TotalParams = cost.ChangedParams, cost.TotalParams
+	return model, nil
+}
+
+// swarmShipFull ships a full artifact over the swarm: hash-verified chunks
+// from the wave's seeders with the registry as seeder of last resort,
+// reusing the same staging-slot discipline as shipFull so an interrupted
+// transfer resumes from the exact byte on retry.
+func (p *Platform) swarmShipFull(sw *swarm.Swarm, dev *device.Device, v *registry.ModelVersion, rep *UpdateReport) (*nn.Network, error) {
+	data, ts, err := sw.Transfer(dev, "full:"+v.ID, 0)
+	if err != nil {
+		return nil, fmt.Errorf("core: swarm ship to %s: %w", dev.ID, err)
+	}
+	model, err := nn.UnmarshalNetwork(data)
+	if err != nil {
+		return nil, err
+	}
+	rep.ShipBytes = ts.TotalBytes
+	rep.FlashBytes = ts.TotalBytes
+	rep.TransferTime = ts.Duration
+	rep.PeerBytes = ts.FromPeers
+	rep.RegistryBytes = ts.FromRegistry
 	return model, nil
 }
 

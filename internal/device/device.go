@@ -424,6 +424,123 @@ func (d *Device) InstallResumable(token string, downloadBytes, flashBytes int64)
 	return dl + fl, nil
 }
 
+// InstallChunk advances the resumable install named by token by up to span
+// download bytes, flashing the proportional share of flashTotal — the
+// swarm-transfer primitive. The staging slot is shared with
+// InstallResumable: a half-written slot for the same (token, totals) is
+// resumed from its exact byte, anything else is discarded first, and the
+// slot persists between chunks (a healthy partial, not a crash) until the
+// final chunk completes the image. The crash injector is consulted once
+// per call with the chunk's flash share, so a swarm transfer interrupted
+// mid-chunk records exactly the bytes it moved and a retry resumes from
+// there — each byte is downloaded and flashed exactly once, from whichever
+// source finishes it. Returns the download bytes actually written (the
+// caller charges the serving side for precisely that many).
+func (d *Device) InstallChunk(token string, span, downloadTotal, flashTotal int64) (written int64, dur time.Duration, err error) {
+	if token == "" {
+		return 0, 0, fmt.Errorf("device: install chunk needs a token")
+	}
+	if downloadTotal <= 0 || flashTotal < 0 || span < 0 {
+		return 0, 0, fmt.Errorf("device: install chunk sizes out of range (span %d of %d/%d)", span, downloadTotal, flashTotal)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	bw, err := d.linkBandwidthLocked()
+	if err != nil {
+		return 0, 0, err
+	}
+	var doneDl, doneFl int64
+	if d.staging != nil && d.staging.token == token &&
+		d.staging.downloadTotal == downloadTotal && d.staging.flashTotal == flashTotal {
+		doneDl, doneFl = d.staging.downloadDone, d.staging.flashDone
+	} else {
+		d.staging = nil // a different image invalidates the staged slot
+	}
+	if doneDl+span > downloadTotal {
+		span = downloadTotal - doneDl
+	}
+	// The chunk's flash share is the integer-proportional slice of
+	// flashTotal its download span covers; the final chunk lands exactly on
+	// flashTotal, so no rounding drift accumulates across chunks.
+	flEnd := flashTotal * (doneDl + span) / downloadTotal
+	remFl := flEnd - doneFl
+
+	// Battery check before the crash draw, same as InstallResumable: an
+	// attempt that dies of battery death wrote nothing and must not be
+	// miscounted as a mid-flash crash.
+	if !d.Caps.WallPowered() && d.battery < float64(remFl)*flashWriteEnergyPerByteJ {
+		return 0, 0, fmt.Errorf("%w on %s", ErrBatteryDepleted, d.ID)
+	}
+
+	frac, crashed := 1.0, false
+	if d.interrupt != nil {
+		if f := d.interrupt(token, remFl); f > 0 && f < 1 {
+			frac, crashed = f, true
+		}
+	}
+	dlNow := int64(float64(span) * frac)
+	flNow := int64(float64(remFl) * frac)
+
+	flashEnergy := float64(flNow) * flashWriteEnergyPerByteJ
+	if !d.Caps.WallPowered() {
+		d.battery -= flashEnergy
+	}
+	d.counters.RxBytes += dlNow
+	d.counters.FlashedBytes += flNow
+	d.counters.EnergyJoule += flashEnergy
+	dur = time.Duration(float64(dlNow)/bw*float64(time.Second)) +
+		time.Duration(float64(flNow)/flashWriteBytesPerSec*float64(time.Second))
+	if doneDl+dlNow >= downloadTotal && !crashed {
+		d.staging = nil // final chunk: the staged image is complete
+		return dlNow, dur, nil
+	}
+	d.staging = &staging{
+		token:         token,
+		downloadDone:  doneDl + dlNow,
+		flashDone:     doneFl + flNow,
+		downloadTotal: downloadTotal,
+		flashTotal:    flashTotal,
+	}
+	if crashed {
+		return dlNow, dur, fmt.Errorf("%w: %s %q at %d/%d bytes",
+			ErrInstallInterrupted, d.ID, token, doneFl+flNow, flashTotal)
+	}
+	return dlNow, dur, nil
+}
+
+// StagingDownload reports the half-written slot's download progress — the
+// byte a resumed chunked transfer must continue from. ok is false when no
+// install is in flight.
+func (d *Device) StagingDownload() (token string, downloaded, downloadTotal, flashTotal int64, ok bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.staging == nil {
+		return "", 0, 0, 0, false
+	}
+	return d.staging.token, d.staging.downloadDone, d.staging.downloadTotal, d.staging.flashTotal, true
+}
+
+// Serve simulates seeding size bytes to a swarm neighbor over the current
+// link: it charges transmit radio energy to the counters and returns the
+// transfer time. Unlike Upload it does not drain the battery — swarm
+// seeding is charger-gated in the simulated firmware (a device only
+// volunteers bytes it can afford), and battery draw from concurrently
+// serving neighbors would make fleet state depend on scheduling order,
+// which the worker-count determinism invariant forbids. Offline devices
+// return an error.
+func (d *Device) Serve(size int64) (time.Duration, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	bw, err := d.linkBandwidthLocked()
+	if err != nil {
+		return 0, err
+	}
+	energy := float64(size) * d.Caps.EnergyPerTxByteJoule
+	d.counters.TxBytes += size
+	d.counters.EnergyJoule += energy
+	return time.Duration(float64(size) / bw * float64(time.Second)), nil
+}
+
 // Upload simulates sending size bytes over the current link, charging
 // radio energy and returning the transfer time.
 func (d *Device) Upload(size int64) (time.Duration, error) {

@@ -8,6 +8,7 @@ import (
 	"tinymlops/internal/core"
 	"tinymlops/internal/metering"
 	"tinymlops/internal/observe"
+	"tinymlops/internal/swarm"
 )
 
 // AuditConfig controls one fleet audit.
@@ -24,6 +25,12 @@ type AuditConfig struct {
 	// MaxViolations caps the listed violation strings (0 = 64); the count
 	// fields keep the true totals.
 	MaxViolations int
+	// Swarm, when non-nil, extends the audit to the peer-to-peer
+	// distribution ledger: byte conservation (registry egress + peer bytes
+	// == delivered bytes, and no per-transfer conservation violations),
+	// zero hash rejects, and — unless AllowPartial — no transfer state
+	// left in flight.
+	Swarm *swarm.Swarm
 }
 
 // AuditReport is the fleet-wide invariant audit result.
@@ -53,6 +60,12 @@ type AuditReport struct {
 	SettlementsChecked int
 	FraudFlagged       int
 	FraudDevices       []string
+	// SwarmChecked reports the swarm ledger was audited; the byte totals
+	// echo the ledger the conservation check ran over.
+	SwarmChecked        bool
+	SwarmDeliveredBytes int64
+	SwarmRegistryBytes  int64
+	SwarmPeerBytes      int64
 	// ViolationCount is the true number of invariant violations found;
 	// Violations lists the first MaxViolations of them.
 	ViolationCount int
@@ -244,6 +257,30 @@ func Audit(p *core.Platform, cfg AuditConfig) *AuditReport {
 				rep.violate(max, "%s: undeployed device stuck mid-install: %q at %d/%d bytes",
 					dev.ID, token, flashed, total)
 			}
+		}
+	}
+
+	// Swarm byte conservation: every delivered byte must be attributed to
+	// exactly one serving side, every chunk must have verified on receipt,
+	// and at terminal convergence no transfer may still be in flight.
+	if cfg.Swarm != nil {
+		st := cfg.Swarm.Stats()
+		rep.SwarmChecked = true
+		rep.SwarmDeliveredBytes = st.DeliveredBytes
+		rep.SwarmRegistryBytes = st.RegistryEgressBytes
+		rep.SwarmPeerBytes = st.PeerBytes
+		if st.RegistryEgressBytes+st.PeerBytes != st.DeliveredBytes {
+			rep.violate(max, "swarm: byte conservation broken: registry %d + peers %d != delivered %d",
+				st.RegistryEgressBytes, st.PeerBytes, st.DeliveredBytes)
+		}
+		if st.ConservationViolations > 0 {
+			rep.violate(max, "swarm: %d transfers with unattributed bytes", st.ConservationViolations)
+		}
+		if st.HashRejects > 0 {
+			rep.violate(max, "swarm: %d chunk hash rejects from honest sources", st.HashRejects)
+		}
+		if n := cfg.Swarm.InFlight(); n > 0 && !cfg.AllowPartial {
+			rep.violate(max, "swarm: %d devices still hold in-flight transfer state", n)
 		}
 	}
 	return rep

@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -35,6 +36,10 @@ type ChaosConfig struct {
 	// PTelemetryLoss is the chance a device's telemetry uplink is lost in
 	// transit for the round (the device flushed; the cloud never saw it).
 	PTelemetryLoss float64
+	// PPeerDrop is the per-chunk-attempt chance a swarm peer vanishes
+	// partway through serving a chunk; the fetcher keeps the bytes that
+	// arrived and re-attempts the remainder from another source.
+	PPeerDrop float64
 
 	// PDropout and PStraggler drive the federated-client faults; a
 	// straggler's modeled round time is multiplied by StragglerFactor
@@ -222,6 +227,26 @@ func (p *Plane) Arm(d *device.Device) {
 		// Crash somewhere strictly inside the remaining flash work.
 		return 0.05 + 0.9*rng.Float64()
 	})
+}
+
+// SwarmDrop returns the plane's swarm peer-churn injector: a
+// swarm.DropFunc deciding, per (wave, attempt, fetcher, peer, key, chunk),
+// whether the serving peer vanishes mid-chunk and how much of the span it
+// managed to send first. Pure in its arguments, so swarm weather is
+// bit-identical at any worker count.
+func (p *Plane) SwarmDrop() func(wave uint64, attempt int, fetcherID, peerID, key string, chunk int) float64 {
+	if p.cfg.PPeerDrop <= 0 {
+		return nil
+	}
+	return func(wave uint64, attempt int, fetcherID, peerID, key string, chunk int) float64 {
+		rng := tensor.NewRNG(engine.SeedForID(p.cfg.Seed, wave,
+			fmt.Sprintf("peerdrop|%s|%s|%s|%d|%d", fetcherID, peerID, key, chunk, attempt)))
+		if rng.Float64() >= p.cfg.PPeerDrop {
+			return 1 // serves the whole span
+		}
+		// Drop somewhere strictly inside the span.
+		return 0.1 + 0.8*rng.Float64()
+	}
 }
 
 // Calm clears every fault from the devices: full connectivity, full

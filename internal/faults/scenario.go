@@ -14,6 +14,7 @@ import (
 	"tinymlops/internal/registry"
 	"tinymlops/internal/rollout"
 	"tinymlops/internal/selector"
+	"tinymlops/internal/swarm"
 	"tinymlops/internal/tensor"
 )
 
@@ -60,6 +61,36 @@ type ScenarioConfig struct {
 	FedAggregators int
 	FedClients     int
 	FedRounds      int
+	// SwarmRollout switches the rollout's and reconciliation's transfers to
+	// peer-to-peer swarm distribution: the registry serves the canary wave
+	// and acts as seeder of last resort, later waves fetch hash-verified
+	// chunks from already-updated devices, and the terminal audit checks
+	// the swarm's byte-conservation ledger.
+	SwarmRollout bool
+	// SwarmChunkBytes is the swarm manifest chunk size (default 64 — small
+	// against the scenario's tiny artifacts, so every transfer spans many
+	// chunks and the per-chunk fault machinery is actually exercised).
+	SwarmChunkBytes int64
+	// ForceFull disables delta transfer for the rollout and every
+	// reconciliation sweep, so the scenario exercises the full-artifact
+	// transfer mode end to end.
+	ForceFull bool
+}
+
+// SwarmReport records a swarm scenario's peer-to-peer distribution: the
+// cumulative transfer ledger plus the per-wave egress split that shows the
+// registry serving the canary and the peers serving the rest.
+type SwarmReport struct {
+	Stats swarm.Stats
+	// WaveEgress splits each rollout wave's delivered bytes by serving side.
+	WaveEgress []WaveBytes
+}
+
+// WaveBytes is one rollout wave's radio-byte split by source.
+type WaveBytes struct {
+	Wave          string
+	RegistryBytes int64
+	PeerBytes     int64
 }
 
 // ScenarioResult is one chaos experiment's record.
@@ -112,6 +143,9 @@ type ScenarioResult struct {
 	// Fed is the hierarchical federated-learning phase's record (nil when
 	// the phase was not configured).
 	Fed *FedReport
+	// Swarm is the peer-to-peer distribution record (nil unless
+	// SwarmRollout was configured).
+	Swarm *SwarmReport
 	// Audit is the terminal deep audit (no partial slots tolerated).
 	Audit *AuditReport
 	// Fingerprint digests the terminal fleet state (per-device version,
@@ -158,6 +192,24 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	}
 	plane := New(cfg.Chaos)
 	plane.Calm(devs) // provisioning runs under calm weather
+
+	// Swarm mode: peer-to-peer distribution over this fleet, with the
+	// plane's deterministic peer-churn weather.
+	var sw *swarm.Swarm
+	if cfg.SwarmRollout {
+		chunk := cfg.SwarmChunkBytes
+		if chunk <= 0 {
+			chunk = 64
+		}
+		sw, err = p.NewSwarm(core.SwarmOptions{
+			ChunkBytes: chunk,
+			Seed:       cfg.Chaos.Seed + 0x5735,
+			PeerDrop:   plane.SwarmDrop(),
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
 
 	// v1: a tiny classifier — the chaos is about the control plane, not
 	// the model, so keep per-device work minimal.
@@ -259,6 +311,8 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		},
 		Calibration: ds,
 		Retry:       engine.RetryPolicy{Attempts: cfg.UpdateAttempts},
+		Swarm:       sw,
+		ForceFull:   cfg.ForceFull,
 		BeforeWave: func(w rollout.Wave, _ []string) {
 			round++
 			res.WaveWeather = append(res.WaveWeather, plane.ApplyRound(round, devs))
@@ -279,12 +333,23 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 			}
 		}
 	}
+	if sw != nil {
+		res.Swarm = &SwarmReport{}
+		for _, w := range rr.Waves {
+			wb := WaveBytes{Wave: w.Wave.Name}
+			for _, o := range w.Outcomes {
+				wb.RegistryBytes += o.Transfer.RegistryBytes
+				wb.PeerBytes += o.Transfer.PeerBytes
+			}
+			res.Swarm.WaveEgress = append(res.Swarm.WaveEgress, wb)
+		}
+	}
 
 	// Reconcile: sweep the devices chaos stranded — churned past their
 	// wave, retries exhausted mid-crash, batteries dead — under continued
 	// weather, then one terminal sweep under calm skies. Interrupted
 	// installs resume their half-written slots here.
-	opts := core.UpdateOptions{Calibration: ds}
+	opts := core.UpdateOptions{Calibration: ds, Swarm: sw, ForceFull: cfg.ForceFull}
 	// A device has converged when it runs v2's family: the base for the
 	// float cohort, the derived int8 variant for the integer cohort.
 	onV2 := func(v *registry.ModelVersion) bool {
@@ -320,6 +385,11 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	for sweep := 0; sweep < cfg.ReconcileRounds; sweep++ {
 		round++
 		plane.ApplyRound(round, devs)
+		if sw != nil {
+			// Promote the previous sweep's (or wave's) updates into the
+			// seeder set before this sweep fans out.
+			sw.AdvanceWave()
+		}
 		n, rerr := reconcile()
 		if rerr != nil {
 			return nil, rerr
@@ -328,6 +398,9 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		res.TelemetryLost += syncTelemetryWithLoss(p, plane, round)
 	}
 	plane.Calm(devs)
+	if sw != nil {
+		sw.AdvanceWave()
+	}
 	n, rerr := reconcile()
 	if rerr != nil {
 		return nil, rerr
@@ -396,7 +469,10 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		res.Fed = fedReport
 	}
 
-	res.Audit = Audit(p, AuditConfig{Deep: true})
+	if sw != nil {
+		res.Swarm.Stats = sw.Stats()
+	}
+	res.Audit = Audit(p, AuditConfig{Deep: true, Swarm: sw})
 	res.Fingerprint = fingerprint(p, res)
 	return res, nil
 }
@@ -491,6 +567,17 @@ func fingerprint(p *core.Platform, res *ScenarioResult) string {
 			f.AggDropouts, f.AggStragglers, f.AggLate,
 			f.EdgeUplinkBytes, f.CloudUplinkBytes, f.DownlinkBytes,
 			f.GlobalDigest, f.PublishedID, f.Personalized)
+	}
+	if s := res.Swarm; s != nil {
+		fmt.Fprintf(h, "swarm|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d\n",
+			s.Stats.Transfers, s.Stats.Resumed, s.Stats.DeliveredBytes,
+			s.Stats.RegistryEgressBytes, s.Stats.PeerBytes,
+			s.Stats.ChunksVerified, s.Stats.HashRejects, s.Stats.PeerServes,
+			s.Stats.RegistryServes, s.Stats.PeerSkips, s.Stats.MidChunkDrops,
+			s.Stats.ConservationViolations)
+		for _, wb := range s.WaveEgress {
+			fmt.Fprintf(h, "waveegress|%s|%d|%d\n", wb.Wave, wb.RegistryBytes, wb.PeerBytes)
+		}
 	}
 	fmt.Fprintf(h, "audit|%d|%d|%d|%d|%d\n", res.Audit.ViolationCount,
 		res.Audit.ArtifactsVerified, res.Audit.TelemetryRecords,

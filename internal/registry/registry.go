@@ -203,6 +203,12 @@ func (r *Registry) Get(id string) (*ModelVersion, error) {
 	return v, nil
 }
 
+// ErrArtifactMissing reports that a version's artifact bytes are not in
+// the store — the version is unknown, or its blob was evicted while the
+// metadata survives. Callers that can recover (a delta encoder falling
+// back to a full transfer) classify on this instead of failing silently.
+var ErrArtifactMissing = fmt.Errorf("registry: artifact missing")
+
 // Load deserializes the network stored under a version ID, verifying the
 // artifact digest first (integrity check on the registry's own storage).
 func (r *Registry) Load(id string) (*nn.Network, error) {
@@ -211,7 +217,7 @@ func (r *Registry) Load(id string) (*nn.Network, error) {
 	v := r.models[id]
 	r.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("registry: unknown version %q", id)
+		return nil, fmt.Errorf("%w: version %q", ErrArtifactMissing, id)
 	}
 	if sha256.Sum256(data) != v.Digest {
 		return nil, fmt.Errorf("registry: artifact %q failed integrity check", id)
@@ -226,9 +232,25 @@ func (r *Registry) Bytes(id string) ([]byte, error) {
 	defer r.mu.RUnlock()
 	data, ok := r.blobs[id]
 	if !ok {
-		return nil, fmt.Errorf("registry: unknown version %q", id)
+		return nil, fmt.Errorf("%w: version %q", ErrArtifactMissing, id)
 	}
 	return data, nil
+}
+
+// Evict drops a version's stored artifact bytes while keeping its
+// metadata — vendor-side blob pruning of superseded images. Devices still
+// running the version keep working (audits compare against the retained
+// digest), but transfers that need the bytes — full ships of it, deltas
+// *from* it — fail with ErrArtifactMissing from then on. Already-cached
+// deltas survive: they are derived artifacts in their own right.
+func (r *Registry) Evict(id string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.models[id]; !ok {
+		return fmt.Errorf("registry: unknown version %q", id)
+	}
+	delete(r.blobs, id)
+	return nil
 }
 
 // Delta returns the encoded weight delta that upgrades fromID's artifact

@@ -32,6 +32,12 @@ type Transfer struct {
 	// UsedDelta reports whether a sparse weight delta was shipped instead
 	// of the full artifact.
 	UsedDelta bool
+	// PeerBytes and RegistryBytes split ShipBytes by serving side for
+	// swarm-mode transfers: neighbors versus the vendor registry. Both are
+	// zero in registry-direct mode, where every shipped byte is registry
+	// egress by definition.
+	PeerBytes     int64
+	RegistryBytes int64
 	// FromID/ToID are the version IDs before and after the update. Equal
 	// IDs mean the update was a no-op (the device already ran the target
 	// bytes): nothing shipped, nothing to roll back.
@@ -126,6 +132,11 @@ type Config struct {
 	// (connectivity, batteries, crash injectors) on the fleet — churn
 	// between waves lives here.
 	BeforeWave func(wave Wave, deviceIDs []string)
+	// AfterWave, when non-nil, runs serially after a wave passes its gate.
+	// The swarm distribution plane promotes the wave's freshly-updated
+	// devices to chunk seeders here, so they serve the next wave; a failed
+	// (rolled-back) wave never reaches it.
+	AfterWave func(wave Wave, deviceIDs []string)
 	// Retry bounds per-device update attempts within a wave (zero value =
 	// a single attempt). Retries run inline in the device's own indexed
 	// task with a deterministic backoff schedule, so a flaky fleet still
@@ -188,11 +199,15 @@ type Result struct {
 	Waves []WaveResult
 	// Completed is true when every wave passed its gate.
 	Completed bool
-	// Transfer accounting across all waves.
-	TotalShipBytes  int64
-	TotalFlashBytes int64
-	DeltaTransfers  int
-	FullTransfers   int
+	// Transfer accounting across all waves. TotalPeerBytes and
+	// TotalRegistryBytes carry the swarm-mode source split (zero in
+	// registry-direct mode, where TotalShipBytes is all registry egress).
+	TotalShipBytes     int64
+	TotalFlashBytes    int64
+	TotalPeerBytes     int64
+	TotalRegistryBytes int64
+	DeltaTransfers     int
+	FullTransfers      int
 }
 
 // Controller runs staged rollouts on a worker pool.
@@ -318,6 +333,8 @@ func (c *Controller) Run(t Target, cfg Config) (*Result, error) {
 			}
 			res.TotalShipBytes += o.Transfer.ShipBytes
 			res.TotalFlashBytes += o.Transfer.FlashBytes
+			res.TotalPeerBytes += o.Transfer.PeerBytes
+			res.TotalRegistryBytes += o.Transfer.RegistryBytes
 			if o.Transfer.UsedDelta {
 				res.DeltaTransfers++
 			} else {
@@ -361,6 +378,9 @@ func (c *Controller) Run(t Target, cfg Config) (*Result, error) {
 			c.rollbackWave(t, group, &wr)
 			res.Waves = append(res.Waves, wr)
 			return res, nil
+		}
+		if cfg.AfterWave != nil {
+			cfg.AfterWave(wave, append([]string(nil), group...))
 		}
 		res.Waves = append(res.Waves, wr)
 	}

@@ -37,6 +37,7 @@ import (
 	"tinymlops/internal/registry"
 	"tinymlops/internal/rollout"
 	"tinymlops/internal/selector"
+	"tinymlops/internal/swarm"
 	"tinymlops/internal/tensor"
 )
 
@@ -174,6 +175,87 @@ func RunChaosScenario(cfg ChaosScenarioConfig) (*ChaosScenarioResult, error) {
 // ClientFault is one federated client's injected failure for a round
 // (dropout or straggler); see FedConfig's Faults hook.
 type ClientFault = fed.ClientFault
+
+// Peer-to-peer OTA swarm distribution (content-addressed chunks with a
+// byte-conservation ledger; see internal/swarm).
+
+// Swarm coordinates peer-to-peer artifact distribution: wave-N devices
+// that hold a version serve hash-verified chunks to wave-N+1 fetchers,
+// with the registry seeding only the canary wave and acting as source of
+// last resort. Build one with Platform.NewSwarm and pass it to
+// RolloutConfig.Swarm or UpdateOptions.Swarm.
+type Swarm = swarm.Swarm
+
+// SwarmOptions configures Platform.NewSwarm (chunk size, seed, peer-drop
+// weather, per-chunk retry budget).
+type SwarmOptions = core.SwarmOptions
+
+// SwarmStats is the swarm's cumulative transfer ledger; its byte
+// conservation invariant (registry egress + peer bytes == delivered
+// bytes) is checked by the fleet audit.
+type SwarmStats = swarm.Stats
+
+// SwarmTransferStats accounts one completed swarm transfer.
+type SwarmTransferStats = swarm.TransferStats
+
+// SwarmDropFunc injects deterministic peer loss into a swarm: called per
+// (wave, attempt, fetcher, peer, key, chunk), it returns 0 for no drop, a
+// fraction in (0,1) for a mid-chunk loss at that point, or ≥1 for a drop
+// before the first byte.
+type SwarmDropFunc = swarm.DropFunc
+
+// SwarmReport is a chaos scenario's swarm record: the cumulative ledger
+// plus each wave's registry/peer egress split.
+type SwarmReport = faults.SwarmReport
+
+// SwarmWaveBytes is one rollout wave's radio-byte split by source.
+type SwarmWaveBytes = faults.WaveBytes
+
+// ChunkManifest splits an artifact into fixed-size content-addressed
+// chunks: per-chunk SHA-256 hashes plus a whole-artifact digest, with a
+// canonical binary codec.
+type ChunkManifest = swarm.Manifest
+
+// ChunkReassembler collects verified chunks and assembles the artifact
+// bit-exactly.
+type ChunkReassembler = swarm.Reassembler
+
+// BuildChunkManifest chunks data under key (chunkBytes ≤ 0 uses the 4 KiB
+// default).
+func BuildChunkManifest(key string, data []byte, chunkBytes int64) (*ChunkManifest, error) {
+	return swarm.BuildManifest(key, data, chunkBytes)
+}
+
+// UnmarshalChunkManifest decodes a canonical manifest; any decodable
+// input re-encodes to exactly the same bytes.
+func UnmarshalChunkManifest(data []byte) (*ChunkManifest, error) {
+	return swarm.UnmarshalManifest(data)
+}
+
+// NewChunkReassembler returns an empty reassembler for the manifest.
+func NewChunkReassembler(m *ChunkManifest) *ChunkReassembler { return swarm.NewReassembler(m) }
+
+// Typed swarm chunk errors: every rejection is classifiable.
+var (
+	// ErrBadManifest is returned for malformed or non-canonical manifest
+	// encodings.
+	ErrBadManifest = swarm.ErrBadManifest
+	// ErrChunkHashMismatch is returned when a chunk's bytes fail its
+	// manifest hash.
+	ErrChunkHashMismatch = swarm.ErrChunkHashMismatch
+	// ErrDuplicateChunk is returned when a chunk index is added twice —
+	// every byte is downloaded exactly once.
+	ErrDuplicateChunk = swarm.ErrDuplicateChunk
+)
+
+// ErrDeltaBaseMissing is set as UpdateReport.DeltaFallback when a
+// delta-eligible update found the running version's artifact evicted from
+// the registry and fell back to a full-artifact transfer.
+var ErrDeltaBaseMissing = core.ErrDeltaBaseMissing
+
+// ErrArtifactMissing is wrapped by registry loads of evicted or unknown
+// version artifacts.
+var ErrArtifactMissing = registry.ErrArtifactMissing
 
 // Edge–cloud offload plane (§IV: partitioned execution, live).
 
