@@ -2,6 +2,7 @@ package tinymlops_test
 
 import (
 	"errors"
+	"math"
 	"net"
 	"strings"
 	"testing"
@@ -409,8 +410,18 @@ func TestIntegerServingSurface(t *testing.T) {
 	cloud := tinymlops.NewOffloadCloud(tinymlops.OffloadCloudConfig{MaxBatch: 4})
 	cloud.Start()
 	defer cloud.Close()
-	if _, err := platform.Offload("npu-board-00", tinymlops.OffloadConfig{Cloud: cloud}); !errors.Is(err, tinymlops.ErrOffloadInteger) {
-		t.Fatalf("offload on integer deployment: %v, want ErrOffloadInteger", err)
+	// Integer-native deployments now split through the quantized boundary
+	// codec; the refusal is retired but its sentinel stays exported so old
+	// errors.Is checks keep compiling (they simply never match).
+	sess, err := platform.Offload("npu-board-00", tinymlops.OffloadConfig{Cloud: cloud})
+	if err != nil {
+		t.Fatalf("integer offload through facade: %v", err)
+	}
+	if _, err := sess.Infer(make([]float32, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if tinymlops.ErrOffloadInteger == nil {
+		t.Fatal("retired ErrOffloadInteger sentinel removed from the surface")
 	}
 }
 
@@ -925,4 +936,88 @@ func TestSwarmSurface(t *testing.T) {
 		errors.Is(tinymlops.ErrDeltaBaseMissing, tinymlops.ErrArtifactMissing) {
 		t.Fatal("delta fallback sentinels miswired")
 	}
+}
+
+// TestProtectedPortableSurface pins the protected-portable facade: the
+// procvm module/runtime/capability re-exports, the compile and codec
+// wrappers, the artifact-kind constants, and the enclave session API —
+// all reached through the root package only.
+func TestProtectedPortableSurface(t *testing.T) {
+	rng := tinymlops.NewRNG(6)
+	net := tinymlops.NewNetwork([]int{4},
+		tinymlops.Dense(4, 8, rng), tinymlops.ReLU(), tinymlops.Dense(8, 2, rng))
+	mod, err := tinymlops.CompileProcVM(net, tinymlops.ProcVMCompileOptions{Name: "surface"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m *tinymlops.ProcVMModule = mod
+	dec, err := tinymlops.DecodeProcVMModule(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Digest() != m.Digest() {
+		t.Fatal("module digest unstable across the facade codec")
+	}
+	var rt *tinymlops.ProcVMRuntime = tinymlops.NewProcVMRuntime(m.Caps)
+	rt.MaxGas = m.GasLimit
+	x := []float32{1, -2, 3, -4}
+	res, err := rt.Run(dec, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GasUsed != m.GasLimit {
+		t.Fatalf("gas %d != pinned limit %d", res.GasUsed, m.GasLimit)
+	}
+	// The metering and capability sentinels.
+	starved := tinymlops.NewProcVMRuntime(m.Caps)
+	starved.MaxGas = 1
+	if _, err := starved.Run(dec, x); !errors.Is(err, tinymlops.ErrProcVMOutOfGas) {
+		t.Fatalf("starved run: %v, want ErrProcVMOutOfGas", err)
+	}
+	denied := tinymlops.NewProcVMRuntime(tinymlops.ProcVMCapNone)
+	if _, err := denied.Run(dec, x); !errors.Is(err, tinymlops.ErrProcVMCapabilityDenied) {
+		t.Fatalf("ungranted run: %v, want ErrProcVMCapabilityDenied", err)
+	}
+	var caps tinymlops.ProcVMCapability = tinymlops.ProcVMCapSensor | tinymlops.ProcVMCapNetwork | tinymlops.ProcVMCapStorage
+	if caps == tinymlops.ProcVMCapNone {
+		t.Fatal("capability constants collapsed")
+	}
+	// The registry artifact kinds.
+	if tinymlops.ModelKindNetwork != "" || tinymlops.ModelKindProcVM != "procvm" {
+		t.Fatalf("artifact kinds %q/%q drifted", tinymlops.ModelKindNetwork, tinymlops.ModelKindProcVM)
+	}
+	// The enclave session: sealed load, attestable measurement, in-enclave
+	// execution bit-identical to the plain runtime.
+	root := []byte("surface-root-key-0123456789abcde")
+	encl, err := tinymlops.NewEnclave("surface", root, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := tinymlops.NewEnclaveSession(encl)
+	sealed, err := encl.Seal(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	meas, err := sess.LoadSealedModule("m", sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep tinymlops.EnclaveReport
+	if rep, err = sess.Attest("m", []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	if !tinymlops.VerifyAttestation(root, rep) || rep.Measurement != meas {
+		t.Fatal("session attestation does not verify against the root")
+	}
+	out, err := sess.RunModule("m", x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out.Output.Vec {
+		if math.Float32bits(v) != math.Float32bits(res.Output.Vec[i]) {
+			t.Fatalf("enclave output %d diverged from the plain runtime", i)
+		}
+	}
+	// Offload accepts a caller-owned session.
+	_ = tinymlops.OffloadConfig{Enclave: sess}
 }

@@ -17,7 +17,7 @@ import (
 func cmdBench(args []string) error {
 	fs := newFlagSet("bench")
 	dir := fs.String("dir", ".", "directory holding the BENCH_<area>.json snapshots")
-	area := fs.String("area", "all", "suite to run: all, serving, offload, fed, swarm")
+	area := fs.String("area", "all", "suite to run: all, serving, offload, fed, swarm, protect")
 	check := fs.Bool("check", false, "diff against committed snapshots instead of rewriting them")
 	tol := fs.Float64("tolerance", 0.25, "fractional ns/op slack before -check fails (allocs/op gets 0.1%)")
 	if err := fs.Parse(args); err != nil {

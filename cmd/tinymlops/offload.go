@@ -25,6 +25,7 @@ func cmdOffload(args []string) error {
 	seed := fs.Uint64("seed", 42, "random seed")
 	rtt := fs.Duration("rtt", 200*time.Microsecond, "modeled round-trip to the cloud")
 	workers := fs.Int("workers", 0, "worker pool size (0 = all cores)")
+	enclaved := fs.Bool("enclave", false, "watermark each device's copy and serve suffixes from the vendor enclave")
 	fs.Parse(args) //nolint:errcheck // ExitOnError
 
 	rng := tinymlops.NewRNG(*seed)
@@ -63,7 +64,14 @@ func cmdOffload(args []string) error {
 	for _, d := range devs {
 		ids = append(ids, d.ID)
 	}
-	if _, err := platform.DeployMany(ids, "offload-demo", tinymlops.DeployConfig{PrepaidQueries: 1 << 16}); err != nil {
+	deploy := tinymlops.DeployConfig{PrepaidQueries: 1 << 16}
+	if *enclaved {
+		// Each device gets its own watermarked copy; the cloud tier then
+		// refuses plaintext suffix hosting and platform.Offload provisions
+		// the per-device copies into the vendor enclave instead.
+		deploy.Watermark = "offload-demo-customer"
+	}
+	if _, err := platform.DeployMany(ids, "offload-demo", deploy); err != nil {
 		return err
 	}
 
@@ -79,7 +87,11 @@ func cmdOffload(args []string) error {
 		}
 	}
 
-	fmt.Printf("offload: %d devices, %d queries/device/phase, rtt %v\n\n", len(ids), *queries, *rtt)
+	fmt.Printf("offload: %d devices, %d queries/device/phase, rtt %v\n", len(ids), *queries, *rtt)
+	if *enclaved {
+		fmt.Println("enclave: per-device watermarked suffixes attested and sealed into the vendor enclave")
+	}
+	fmt.Println()
 	es := ds.X.Size() / ds.Len()
 	phases := []struct {
 		name string

@@ -2,6 +2,7 @@ package tinymlops_test
 
 import (
 	"fmt"
+	"math"
 	"net"
 	"time"
 
@@ -388,4 +389,116 @@ func ExamplePlatform_swarmRollout() {
 	//   fleet: 12 devices, registry-funded false, peer-funded true
 	// byte conservation: true (registry + peers = delivered)
 	// chunk hashes rejected: 0, transfers still in flight: 0
+}
+
+// ExamplePlatform_protectedOffload exercises the protected portable
+// plane end-to-end: the published model is compiled into a gas-pinned
+// procvm module and registered as a variant, one device runs a
+// watermarked deployment whose offload suffix executes inside the
+// vendor enclave, another is pinned to the compiled module and ships the
+// raw input for whole-module enclave execution — and both answers stay
+// bit-identical to the deployment's own reference forward.
+func ExamplePlatform_protectedOffload() {
+	rng := tinymlops.NewRNG(5)
+	fleet, err := tinymlops.NewStandardFleet(tinymlops.FleetSpec{CountPerProfile: 1, Seed: 5})
+	if err != nil {
+		panic(err)
+	}
+	for _, d := range fleet.Devices() {
+		d.SetBehavior(1, 1, 0) // on a charger, on WiFi
+	}
+	fleet.Tick()
+	platform, err := tinymlops.NewPlatform(fleet, tinymlops.PlatformConfig{
+		VendorKey: []byte("example-vendor-key-0123456789abc"), Seed: 5,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	ds := tinymlops.Blobs(rng, 200, 4, 3, 5)
+	net := tinymlops.NewNetwork([]int{4},
+		tinymlops.Dense(4, 16, rng), tinymlops.ReLU(), tinymlops.Dense(16, 3, rng))
+	spec := tinymlops.OptimizationSpec{Evaluate: func(n *tinymlops.Network) float64 {
+		return tinymlops.Evaluate(n, ds.X, ds.Y)
+	}}
+	versions, err := platform.Publish("protected", net, ds, spec)
+	if err != nil {
+		panic(err)
+	}
+	base := versions[0]
+
+	// Compile the published artifact into a procvm module and register it
+	// as a variant of the float base.
+	artifact, err := platform.Registry.Load(base.ID)
+	if err != nil {
+		panic(err)
+	}
+	module, err := tinymlops.CompileProcVM(artifact, tinymlops.ProcVMCompileOptions{Name: "protected"})
+	if err != nil {
+		panic(err)
+	}
+	if _, err := platform.Registry.RegisterCompiled(base.ID, module, base.Metrics.Accuracy); err != nil {
+		panic(err)
+	}
+
+	// A watermarked deployment: the per-device copy embeds the customer
+	// mark, so its offload suffix must execute inside the vendor enclave.
+	wmDep, err := platform.Deploy("edge-gateway-00", "protected", tinymlops.DeployConfig{
+		Watermark: "acme-devices", PrepaidQueries: 10,
+	})
+	if err != nil {
+		panic(err)
+	}
+	// A compiled-module deployment: the policy pins the procvm artifact
+	// kind, and the deployment serves it on the gas-metered runtime.
+	vmDep, err := platform.Deploy("m4-wearable-00", "protected", tinymlops.DeployConfig{
+		Policy:         tinymlops.SelectionPolicy{Kinds: []string{tinymlops.ModelKindProcVM}},
+		PrepaidQueries: 10,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	cloud := tinymlops.NewOffloadCloud(tinymlops.OffloadCloudConfig{})
+	cloud.Start()
+	defer cloud.Close()
+	wmSess, err := platform.Offload("edge-gateway-00", tinymlops.OffloadConfig{
+		Cloud: cloud, Plan: &tinymlops.SplitPlan{Cut: 1},
+		Replan: tinymlops.OffloadReplanConfig{Disabled: true},
+	})
+	if err != nil {
+		panic(err)
+	}
+	vmSess, err := platform.Offload("m4-wearable-00", tinymlops.OffloadConfig{
+		Cloud: cloud, Plan: &tinymlops.SplitPlan{Cut: 0}, // ship the raw input
+		Replan: tinymlops.OffloadReplanConfig{Disabled: true},
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	x := ds.X.Data[:4]
+	wmOut, err := wmSess.Infer(x)
+	if err != nil {
+		panic(err)
+	}
+	vmOut, err := vmSess.Infer(x)
+	if err != nil {
+		panic(err)
+	}
+	exact := func(got, want []float32) bool {
+		for i := range got {
+			if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+				return false
+			}
+		}
+		return len(got) == len(want)
+	}
+	fmt.Printf("watermarked: mode=%s watermarked=%v bit-exact=%v\n",
+		wmOut.Split.Mode, wmDep.Watermarked(), exact(wmOut.Split.Logits, wmDep.ReferenceLogits(x)))
+	fmt.Printf("procvm: mode=%s kind=%q bit-exact=%v\n",
+		vmOut.Split.Mode, vmDep.Version.Kind, exact(vmOut.Split.Logits, vmDep.ReferenceLogits(x)))
+	// Output:
+	// watermarked: mode=split watermarked=true bit-exact=true
+	// procvm: mode=split kind="procvm" bit-exact=true
 }

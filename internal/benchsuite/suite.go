@@ -6,14 +6,17 @@ import (
 	"testing"
 
 	"tinymlops/internal/benchfmt"
+	"tinymlops/internal/compat"
 	"tinymlops/internal/core"
 	"tinymlops/internal/dataset"
 	"tinymlops/internal/device"
+	"tinymlops/internal/enclave"
 	"tinymlops/internal/engine"
 	"tinymlops/internal/fed"
 	"tinymlops/internal/market"
 	"tinymlops/internal/nn"
 	"tinymlops/internal/offload"
+	"tinymlops/internal/procvm"
 	"tinymlops/internal/quant"
 	"tinymlops/internal/registry"
 	"tinymlops/internal/rollout"
@@ -495,6 +498,73 @@ func Swarm() []Case {
 	}
 }
 
+// Protect returns the protected-execution suite: the enclave-hosted split
+// suffix against the plain split it shadows (the price of trusted
+// offload), and the compiled procvm module against the native forward it
+// lowered from (the interpretation tax of portability). The root
+// bench_test.go benchmarks in offload and compat mirror these fixtures.
+func Protect() []Case {
+	return []Case{
+		{Name: "OffloadEnclaveSuffix", Bench: func(b *testing.B) {
+			model := offloadModel(tensor.NewRNG(2))
+			enc, err := enclave.New("bench-enclave", []byte("bench-manufacturer-root-key-00001"), 1.2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			esess := enclave.NewSession(enc)
+			blob, err := model.MarshalBinary()
+			if err != nil {
+				b.Fatal(err)
+			}
+			sealed, err := enc.Seal(blob)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := esess.LoadSealedNetwork("bench-art", sealed); err != nil {
+				b.Fatal(err)
+			}
+			cloud := offload.NewCloud(offload.CloudConfig{})
+			if err := cloud.RegisterProtected("bench", esess, "bench-art", 32); err != nil {
+				b.Fatal(err)
+			}
+			cloud.Start()
+			defer cloud.Close()
+			s := offloadSession(b, 2, cloud, model, "enclave")
+			x := offloadInput()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Exec(x); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{Name: "ProcVMForward", Bench: func(b *testing.B) {
+			net := offloadModel(tensor.NewRNG(2))
+			m, err := compat.CompileProcVM(net, compat.CompileOptions{Name: "bench"})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rt := procvm.NewRuntime(m.Caps)
+			rt.MaxGas = m.GasLimit
+			x := tensor.Randn(tensor.NewRNG(4), 1, 1, 32)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := rt.Run(m, x.Data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{Name: "ProcVMNativeForward", Bench: func(b *testing.B) {
+			net := offloadModel(tensor.NewRNG(2))
+			x := tensor.Randn(tensor.NewRNG(4), 1, 1, 32)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				net.ForwardBatch(x, nil)
+			}
+		}},
+	}
+}
+
 // Areas maps area names to their suites — the registry `tinymlops bench`
 // iterates.
 func Areas() map[string][]Case {
@@ -503,5 +573,6 @@ func Areas() map[string][]Case {
 		"offload": Offload(),
 		"fed":     Fed(),
 		"swarm":   Swarm(),
+		"protect": Protect(),
 	}
 }

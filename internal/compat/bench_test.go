@@ -1,0 +1,52 @@
+package compat
+
+import (
+	"testing"
+
+	"tinymlops/internal/nn"
+	"tinymlops/internal/procvm"
+	"tinymlops/internal/tensor"
+)
+
+// benchNet mirrors the offload benchmarks' MLP so the procvm-vs-native
+// numbers and the split numbers describe the same workload.
+func benchNet(rng *tensor.RNG) *nn.Network {
+	return nn.NewNetwork([]int{32},
+		nn.NewDense(32, 128, rng), nn.NewReLU(),
+		nn.NewDense(128, 128, rng), nn.NewReLU(),
+		nn.NewDense(128, 64, rng), nn.NewTanh(),
+		nn.NewDense(64, 8, rng))
+}
+
+// BenchmarkProcVMForward measures one query through a compiled module on
+// the capability-gated runtime — the portable protected path. Compare
+// against BenchmarkNativeForward for the lowering's interpretation tax.
+func BenchmarkProcVMForward(b *testing.B) {
+	net := benchNet(tensor.NewRNG(2))
+	m, err := CompileProcVM(net, CompileOptions{Name: "bench"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt := procvm.NewRuntime(m.Caps)
+	rt.MaxGas = m.GasLimit
+	x := tensor.Randn(tensor.NewRNG(4), 1, 1, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.Run(m, x.Data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNativeForward is the baseline the module lowered from: the
+// same network, same single-row query, through the fused batch path.
+func BenchmarkNativeForward(b *testing.B) {
+	net := benchNet(tensor.NewRNG(2))
+	x := tensor.Randn(tensor.NewRNG(4), 1, 1, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ForwardBatch(x, nil)
+	}
+}

@@ -1,0 +1,171 @@
+package compat
+
+import (
+	"fmt"
+	"math"
+
+	"tinymlops/internal/nn"
+	"tinymlops/internal/procvm"
+	"tinymlops/internal/tensor"
+)
+
+// CompileOptions controls the compat→procvm lowering backend.
+type CompileOptions struct {
+	// Name labels the module; defaults to "compiled".
+	Name string
+	// Caps are the host capabilities the module will require. Defaults to
+	// CapSensor — the grant every deployment runtime extends — so a
+	// compiled model refuses to run on a host that withholds it.
+	Caps procvm.Capability
+	// Probes are the verification inputs for the compile-time gate; when
+	// nil a deterministic seeded batch of 4 examples is generated.
+	Probes *tensor.Tensor
+	// Tol bounds the deviation VerifyLowering accepts between the original
+	// network and its lowered (dropout-stripped, batchnorm-folded) form.
+	// Defaults to 1e-4; folding is the only pass that moves float results.
+	// The compiled module itself must match the lowered network bit-exactly
+	// on every probe — that check has no tolerance.
+	Tol float32
+
+	capsSet bool
+}
+
+// WithCaps returns opts with an explicit capability requirement (needed to
+// distinguish "default" from an intentional CapNone).
+func (o CompileOptions) WithCaps(c procvm.Capability) CompileOptions {
+	o.Caps = c
+	o.capsSet = true
+	return o
+}
+
+// CompileProcVM lowers a trained network into a gas-metered procvm.Module:
+// the portable obfuscated deployment format. The pipeline is
+// drop-dropout → fold-batchnorm → per-layer instruction selection, gated
+// by VerifyLowering on the fold and by a bit-exact module-vs-network probe
+// run on the final bytecode. The module's GasLimit is pinned to the exact
+// measured cost of one inference (gas is a pure function of code and input
+// length, so the pin is tight and deterministic across worker counts).
+func CompileProcVM(net *nn.Network, opts CompileOptions) (*procvm.Module, error) {
+	if opts.Name == "" {
+		opts.Name = "compiled"
+	}
+	if opts.Caps == procvm.CapNone && !opts.capsSet {
+		opts.Caps = procvm.CapSensor
+	}
+	if opts.Tol == 0 {
+		opts.Tol = 1e-4
+	}
+	if opts.Probes == nil {
+		rng := tensor.NewRNG(0x9e3779b97f4a7c15)
+		opts.Probes = tensor.Randn(rng, 1, append([]int{4}, net.InputShape...)...)
+	}
+
+	lowered := net.Clone()
+	dropDropout(lowered)
+	if _, err := FoldBatchNorm(lowered); err != nil {
+		return nil, fmt.Errorf("compat: compile: %w", err)
+	}
+	if err := VerifyLowering(net, lowered, opts.Probes, opts.Tol); err != nil {
+		return nil, fmt.Errorf("compat: compile: lowering gate: %w", err)
+	}
+
+	b := procvm.NewBuilder(opts.Name).RequireCaps(opts.Caps).Input()
+	shape := append([]int(nil), lowered.InputShape...)
+	for i, l := range lowered.Layers() {
+		var err error
+		shape, err = selectInstruction(b, l, shape)
+		if err != nil {
+			return nil, fmt.Errorf("compat: compile: layer %d (%s): %w", i, l.Kind(), err)
+		}
+	}
+	m, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("compat: compile: %w", err)
+	}
+
+	// Pin the gas limit to one inference's exact cost, then prove the
+	// bytecode bit-identical to the lowered network on every probe.
+	inLen := 1
+	for _, d := range lowered.InputShape {
+		inLen *= d
+	}
+	rt := &procvm.Runtime{Granted: opts.Caps, MaxStack: 64, MaxGas: math.MaxUint64}
+	res, err := rt.Run(m, make([]float32, inLen))
+	if err != nil {
+		return nil, fmt.Errorf("compat: compile: gas measurement: %w", err)
+	}
+	m.GasLimit = res.GasUsed
+
+	want := lowered.Predict(opts.Probes)
+	rows := opts.Probes.Dim(0)
+	outLen := want.Size() / rows
+	for r := 0; r < rows; r++ {
+		row := opts.Probes.Data[r*inLen : (r+1)*inLen]
+		got, err := rt.Run(m, row)
+		if err != nil {
+			return nil, fmt.Errorf("compat: compile: probe %d: %w", r, err)
+		}
+		if !got.Output.IsVec || len(got.Output.Vec) != outLen {
+			return nil, fmt.Errorf("compat: compile: probe %d: module output shape mismatch", r)
+		}
+		for j, v := range got.Output.Vec {
+			if math.Float32bits(v) != math.Float32bits(want.Data[r*outLen+j]) {
+				return nil, fmt.Errorf("compat: compile: probe %d: module deviates from network at %d (%v != %v)",
+					r, j, v, want.Data[r*outLen+j])
+			}
+		}
+	}
+	return m, nil
+}
+
+// selectInstruction emits the procvm form of one lowered layer and returns
+// the layer's output shape (sans batch).
+func selectInstruction(b *procvm.Builder, l nn.Layer, shape []int) ([]int, error) {
+	flat := 1
+	for _, d := range shape {
+		flat *= d
+	}
+	switch v := l.(type) {
+	case *nn.Dense:
+		if flat != v.In {
+			return nil, fmt.Errorf("input %v does not feed dense(%d→%d)", shape, v.In, v.Out)
+		}
+		b.MatVec(v.W.Value.Data, v.B.Value.Data)
+		return []int{v.Out}, nil
+	case *nn.ReLU:
+		b.ReLU()
+		return shape, nil
+	case *nn.Sigmoid:
+		b.Sigmoid()
+		return shape, nil
+	case *nn.Tanh:
+		b.Tanh()
+		return shape, nil
+	case *nn.Softmax:
+		b.Softmax()
+		return shape, nil
+	case *nn.Flatten:
+		// The VM's value stack is already flat; reshape is a no-op.
+		return []int{flat}, nil
+	case *nn.Conv2D:
+		if len(shape) != 3 || shape[0] != v.InC {
+			return nil, fmt.Errorf("input %v does not feed conv2d(%d→%d)", shape, v.InC, v.OutC)
+		}
+		h, w := shape[1], shape[2]
+		oh := (h+2*v.Pad-v.KH)/v.Stride + 1
+		ow := (w+2*v.Pad-v.KW)/v.Stride + 1
+		b.Conv2D(v.W.Value.Data, v.B.Value.Data, v.InC, h, w, v.OutC, v.KH, v.KW, v.Stride, v.Pad)
+		return []int{v.OutC, oh, ow}, nil
+	case *nn.MaxPool2D:
+		if len(shape) != 3 {
+			return nil, fmt.Errorf("input %v does not feed maxpool2d", shape)
+		}
+		c, h, w := shape[0], shape[1], shape[2]
+		oh := (h-v.K)/v.Stride + 1
+		ow := (w-v.K)/v.Stride + 1
+		b.MaxPool2D(c, h, w, v.K, v.Stride)
+		return []int{c, oh, ow}, nil
+	default:
+		return nil, fmt.Errorf("no procvm lowering for %q", l.Kind())
+	}
+}

@@ -1,0 +1,124 @@
+package compat
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"tinymlops/internal/nn"
+	"tinymlops/internal/procvm"
+	"tinymlops/internal/tensor"
+)
+
+// fuzzWeights reinterprets fuzz bytes as IEEE-754 bit patterns — NaNs,
+// infinities, signed zeros and denormals are all legal weights.
+func fuzzWeights(raw []byte) []float32 {
+	out := make([]float32, 0, len(raw)/4+1)
+	for i := 0; i+4 <= len(raw); i += 4 {
+		out = append(out, math.Float32frombits(binary.LittleEndian.Uint32(raw[i:i+4])))
+	}
+	if len(out) == 0 {
+		out = []float32{0}
+	}
+	return out
+}
+
+// FuzzModuleCompile derives a small MLP (architecture and weights) from
+// the fuzz input and pins the compiler's safety contract: CompileProcVM
+// either rejects the network with an error or emits a module that
+// (a) round-trips through the canonical codec with a stable digest,
+// (b) carries a pinned, reachable gas limit, and (c) reproduces the
+// lowered network bit-for-bit on inputs the compile-time probes never
+// saw. It must never panic and never ship a deviating module.
+func FuzzModuleCompile(f *testing.F) {
+	seed := func(vals ...uint32) []byte {
+		out := make([]byte, 0, 4*len(vals))
+		for _, v := range vals {
+			out = binary.LittleEndian.AppendUint32(out, v)
+		}
+		return out
+	}
+	nan := math.Float32bits(float32(math.NaN()))
+	inf := math.Float32bits(float32(math.Inf(1)))
+	f.Add(seed(0x3f800000, 0xbf800000, 0x3f000000, 0x40000000), uint8(0), uint8(2))
+	f.Add(seed(nan, inf, 0x80000000, 0x00000001), uint8(1), uint8(3))
+	f.Add(seed(0, 0, 0, 0, 0, 0, 0, 0), uint8(2), uint8(1))
+	f.Add([]byte{}, uint8(3), uint8(0))
+
+	f.Fuzz(func(t *testing.T, raw []byte, archByte, actByte uint8) {
+		w := fuzzWeights(raw)
+		in := 1 + int(archByte%5)
+		hidden := 1 + int(archByte/5%6)
+		out := 1 + int(actByte/3%4)
+		next := 0
+		pull := func() float32 {
+			v := w[next%len(w)]
+			next++
+			return v
+		}
+		var act nn.Layer
+		switch actByte % 3 {
+		case 0:
+			act = nn.NewReLU()
+		case 1:
+			act = nn.NewTanh()
+		default:
+			act = nn.NewSigmoid()
+		}
+		rng := tensor.NewRNG(1)
+		d1 := nn.NewDense(in, hidden, rng)
+		d2 := nn.NewDense(hidden, out, rng)
+		for i := range d1.W.Value.Data {
+			d1.W.Value.Data[i] = pull()
+		}
+		for i := range d2.W.Value.Data {
+			d2.W.Value.Data[i] = pull()
+		}
+		for i := range d1.B.Value.Data {
+			d1.B.Value.Data[i] = pull()
+		}
+		net := nn.NewNetwork([]int{in}, d1, act, d2)
+
+		m, err := CompileProcVM(net, CompileOptions{Name: "fuzz"})
+		if err != nil {
+			return // rejection is a legal outcome; panics are not
+		}
+		// (a) canonical codec round-trip with a stable digest.
+		enc := m.Encode()
+		m2, err := procvm.DecodeModule(enc)
+		if err != nil {
+			t.Fatalf("compiled module does not decode: %v", err)
+		}
+		if m2.Digest() != m.Digest() {
+			t.Fatal("module digest unstable across encode/decode")
+		}
+		// (b) the pinned gas limit is exactly reachable.
+		if m.GasLimit == 0 {
+			t.Fatal("compile left GasLimit unpinned")
+		}
+		rt := procvm.NewRuntime(m.Caps)
+		rt.MaxGas = m.GasLimit
+		// (c) bit-exact equivalence on fresh inputs (the probe batch the
+		// compiler used came from a different seed).
+		x := tensor.Randn(tensor.NewRNG(2), 1, 3, in)
+		want := net.ForwardBatch(x, nil)
+		for r := 0; r < 3; r++ {
+			res, err := rt.Run(m2, x.Data[r*in:(r+1)*in])
+			if err != nil {
+				t.Fatalf("row %d: %v", r, err)
+			}
+			if res.GasUsed != m.GasLimit {
+				t.Fatalf("row %d: gas %d != pinned %d", r, res.GasUsed, m.GasLimit)
+			}
+			for j, v := range res.Output.Vec {
+				g := want.Data[r*out+j]
+				if math.IsNaN(float64(v)) && math.IsNaN(float64(g)) {
+					continue
+				}
+				if math.Float32bits(v) != math.Float32bits(g) {
+					t.Fatalf("row %d out %d: module %v != network %v", r, j, v, g)
+				}
+			}
+		}
+	})
+}

@@ -14,4 +14,13 @@
 // is what variant selection (internal/selector) consults before shipping,
 // and the lowering passes are why a model that trains with dropout and
 // batch norm can still land on an MCU whose runtime has neither.
+//
+// CompileProcVM closes the loop between lowering and portability: it
+// lowers a trained network (dropout dropped, batch norm folded) into a
+// procvm module — one instruction per layer, capability-gated, with a
+// gas limit pinned to the measured per-query cost — and refuses to emit
+// the module unless it reproduces the lowered network bit-for-bit on
+// probe batches. The compiled module is a first-class registry artifact
+// kind: deployments serve it on the capability-gated runtime, and the
+// offload tier can host it inside an enclave for trusted execution.
 package compat

@@ -6,6 +6,7 @@ import (
 	"tinymlops/internal/metering"
 	"tinymlops/internal/nn"
 	"tinymlops/internal/quant"
+	"tinymlops/internal/registry"
 	"tinymlops/internal/tensor"
 	"tinymlops/internal/verify"
 )
@@ -49,15 +50,23 @@ func provedLayer(net *nn.Network) ([]int32, int, int, error) {
 // after every update or rollback; caller holds d.mu (or owns d
 // exclusively).
 func (d *Deployment) refreshAttestorLocked() error {
-	art, err := d.platform.Registry.Load(d.Version.ID)
+	// Compiled module versions prove against the float artifact they were
+	// lowered from: the bytecode executes the same dense layer, and every
+	// retained modelID then names a loadable network — so the settler's
+	// class cache and retired-version re-derivation never see a procvm ID.
+	proveID := d.Version.ID
+	if d.Version.Kind == registry.KindProcVM {
+		proveID = d.Version.ParentID
+	}
+	art, err := d.platform.Registry.Load(proveID)
 	if err != nil {
-		return fmt.Errorf("core: load attestor artifact for %s: %w", d.Version.ID, err)
+		return fmt.Errorf("core: load attestor artifact for %s: %w", proveID, err)
 	}
 	wq, k, n, err := provedLayer(art)
 	if err != nil {
 		return err
 	}
-	d.attWq, d.attK, d.attN, d.attModelID = wq, k, n, d.Version.ID
+	d.attWq, d.attK, d.attN, d.attModelID = wq, k, n, proveID
 	if d.retained == nil {
 		d.retained = make(map[uint64]retainedCharge)
 	}

@@ -71,6 +71,52 @@ func (r *intRunnable) forwardBatch(x *tensor.Tensor, ar *engine.Arena) *tensor.T
 func (r *intRunnable) execScheme() quant.Scheme { return r.qm.Scheme }
 func (r *intRunnable) execBits() int            { return r.qm.Scheme.Bits() }
 
+// vmRunnable serves a deployment from a compiled procvm module — the
+// obfuscated portable format. Execution is row-by-row (the VM is a
+// single-vector machine); the compile-time gate proved the bytecode
+// bit-identical to the float network it was lowered from, so a run failure
+// here means corrupted state and panics like the nn kernels do.
+type vmRunnable struct {
+	mod *procvm.Module
+	rt  *procvm.Runtime
+}
+
+func newVMRunnable(mod *procvm.Module, granted procvm.Capability) *vmRunnable {
+	rt := procvm.NewRuntime(granted)
+	if mod.GasLimit > rt.MaxGas {
+		rt.MaxGas = mod.GasLimit
+	}
+	return &vmRunnable{mod: mod, rt: rt}
+}
+
+func (r *vmRunnable) forwardBatch(x *tensor.Tensor, ar *engine.Arena) *tensor.Tensor {
+	rows := x.Dim(0)
+	cols := 1
+	if rows > 0 {
+		cols = x.Size() / rows
+	}
+	var out *tensor.Tensor
+	for i := 0; i < rows; i++ {
+		res, err := r.rt.Run(r.mod, x.Data[i*cols:(i+1)*cols])
+		if err != nil {
+			panic(fmt.Sprintf("core: compiled module %s failed: %v", r.mod.Name, err))
+		}
+		if !res.Output.IsVec {
+			panic(fmt.Sprintf("core: compiled module %s did not produce a vector", r.mod.Name))
+		}
+		if out == nil {
+			out = tensor.New(rows, len(res.Output.Vec))
+		}
+		copy(out.Data[i*out.Dim(1):(i+1)*out.Dim(1)], res.Output.Vec)
+	}
+	if out == nil {
+		out = tensor.New(0, 1)
+	}
+	return out
+}
+func (r *vmRunnable) execScheme() quant.Scheme { return quant.Float32 }
+func (r *vmRunnable) execBits() int            { return 32 }
+
 // newRunnable builds the executable for (device, version, model): a
 // variant with an integer scheme the device supports natively executes on
 // the quant integer kernels; everything else — float bases, devices
@@ -90,9 +136,10 @@ func newRunnable(dev *device.Device, v *registry.ModelVersion, model *nn.Network
 
 // image is one installed model generation: what a rollback restores.
 type image struct {
-	version *registry.ModelVersion
-	model   *nn.Network
-	monitor *observe.Monitor
+	version  *registry.ModelVersion
+	model    *nn.Network
+	compiled *procvm.Module
+	monitor  *observe.Monitor
 }
 
 // Deployment is one model running on one device: the decrypted model, the
@@ -111,9 +158,12 @@ type Deployment struct {
 	Monitor *observe.Monitor
 	Buffer  *observe.Buffer
 
-	platform  *Platform
-	device    *device.Device
+	platform *Platform
+	device   *device.Device
+	// model is the decrypted network, nil for compiled (procvm) versions,
+	// whose artifact is the module in `compiled` instead.
 	model     *nn.Network
+	compiled  *procvm.Module
 	run       runnable
 	policy    selector.Policy
 	watermark string
@@ -487,8 +537,30 @@ func (d *Deployment) rollWindowLocked() {
 }
 
 // Model exposes the deployed network for white-box operations (ownership
-// verification in disputes). The caller must not mutate it.
+// verification in disputes). The caller must not mutate it. Compiled
+// (procvm) deployments have no network; they return nil — see
+// CompiledModule.
 func (d *Deployment) Model() *nn.Network { return d.model }
+
+// CompiledModule returns the procvm module serving this deployment, nil
+// for network-backed deployments.
+func (d *Deployment) CompiledModule() *procvm.Module {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.compiled
+}
+
+// ReferenceLogits runs the deployment's serving executable on one input
+// row without metering, telemetry or pipeline stages — the bit-exact
+// reference a conformance check compares any other serving path (batched,
+// offloaded, enclave-hosted) against. It is read-only on model state.
+func (d *Deployment) ReferenceLogits(x []float32) []float32 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	in := tensor.FromSlice(append([]float32(nil), x...), 1, len(x))
+	out := d.run.forwardBatch(in, nil)
+	return append([]float32(nil), out.Data...)
+}
 
 // ExecutionScheme reports the weight precision of the kernels actually
 // serving this deployment: the variant's integer scheme when the device

@@ -1,11 +1,12 @@
 package core
 
 import (
-	"errors"
+	"math"
 	"testing"
 
 	"tinymlops/internal/dataset"
 	"tinymlops/internal/device"
+	"tinymlops/internal/market"
 	"tinymlops/internal/nn"
 	"tinymlops/internal/offload"
 	"tinymlops/internal/quant"
@@ -277,26 +278,59 @@ func TestQModelReinstantiatedAcrossUpdateAndRollback(t *testing.T) {
 	check("post-rollback", v1Variant.ID)
 }
 
-// TestOffloadRefusesIntegerDeployments pins the explicit boundary: the
-// split runtime's activation codec is float32-only, so opening an offload
-// session on a QModel-served deployment fails with ErrOffloadInteger.
-func TestOffloadRefusesIntegerDeployments(t *testing.T) {
-	p, _, _ := integerFixture(t, 24)
-	if _, err := p.Deploy("npu-00", "intline", DeployConfig{
+// TestOffloadIntegerDeployments pins the quantized split: an integer-
+// native deployment offloads through the QAB1 boundary codec (int8 codes
+// plus one dynamic scale per example), the cloud resumes the same integer
+// kernels at a dense-stage cut, and offloaded answers stay bit-identical
+// to the device executing alone. ErrOffloadInteger is retired — it never
+// fires.
+func TestOffloadIntegerDeployments(t *testing.T) {
+	p, ds, _ := integerFixture(t, 24)
+	dep, err := p.Deploy("npu-00", "intline", DeployConfig{
 		PrepaidQueries: 100, Policy: int8Policy(),
-	}); err != nil {
+	})
+	if err != nil {
 		t.Fatal(err)
+	}
+	if dep.ExecutionScheme() == quant.Float32 {
+		t.Fatal("fixture lost its native integer execution")
 	}
 	cloud := offload.NewCloud(offload.CloudConfig{MaxBatch: 4})
 	cloud.Start()
 	defer cloud.Close()
-	_, err := p.Offload("npu-00", OffloadConfig{Cloud: cloud})
-	if !errors.Is(err, ErrOffloadInteger) {
-		t.Fatalf("offload on integer deployment: %v, want ErrOffloadInteger", err)
+	// Stage layout is [dense relu dense]: cut 2 is the dense boundary the
+	// session snaps any plan onto.
+	sess, err := p.Offload("npu-00", OffloadConfig{
+		Cloud: cloud, Plan: &market.SplitPlan{Cut: 2},
+		Replan: offload.ReplanConfig{Disabled: true},
+	})
+	if err != nil {
+		t.Fatalf("integer offload: %v, want success (refusal retired)", err)
+	}
+	es := ds.X.Size() / ds.Len()
+	for q := 0; q < 8; q++ {
+		x := ds.X.Data[q*es : (q+1)*es]
+		out, err := sess.Infer(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Split.Mode != offload.ModeSplit || out.Split.Cut != 2 {
+			t.Fatalf("query %d: mode %v cut %d", q, out.Split.Mode, out.Split.Cut)
+		}
+		want := dep.ReferenceLogits(x)
+		for i, v := range out.Split.Logits {
+			if math.Float32bits(v) != math.Float32bits(want[i]) {
+				t.Fatalf("query %d: quantized split logit %d differs from on-device integer forward", q, i)
+			}
+		}
+	}
+	ver, _, _ := dep.StateSnapshot()
+	if !cloud.Registered(ver.ID + "#q") {
+		t.Fatal("integer split did not register a quant entry")
 	}
 
-	// The float fallback on the soft device offloads fine: refusal is
-	// about the executing kernels, not the variant's scheme.
+	// The float fallback on the soft device offloads through the plain
+	// float path under the version's own key — the two entries coexist.
 	if _, err := p.Deploy("soft-00", "intline", DeployConfig{
 		PrepaidQueries: 100, Policy: int8Policy(),
 	}); err != nil {
@@ -304,5 +338,8 @@ func TestOffloadRefusesIntegerDeployments(t *testing.T) {
 	}
 	if _, err := p.Offload("soft-00", OffloadConfig{Cloud: cloud}); err != nil {
 		t.Fatalf("float-fallback deployment refused: %v", err)
+	}
+	if !cloud.Registered(ver.ID) {
+		t.Fatal("float entry missing after fallback offload")
 	}
 }

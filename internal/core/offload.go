@@ -1,10 +1,12 @@
 package core
 
 import (
+	"crypto/sha256"
 	"errors"
 	"fmt"
 	"time"
 
+	"tinymlops/internal/enclave"
 	"tinymlops/internal/engine"
 	"tinymlops/internal/market"
 	"tinymlops/internal/offload"
@@ -17,13 +19,12 @@ import (
 // the device's model. Re-create the session against the new version.
 var ErrOffloadStale = errors.New("core: offload session is stale (deployment was updated)")
 
-// ErrOffloadInteger is returned by Platform.Offload for deployments served
-// by the integer kernels: the split runtime's boundary activations move
-// through the float32 tensor codec and the cloud suffix executes the float
-// artifact, so a split answer could not be bit-exact with the device's own
-// integer forward. Callers keep such deployments fully on-device (their
-// native kernels are the fast path anyway) or redeploy with a float
-// selection policy before offloading.
+// ErrOffloadInteger was returned by Platform.Offload for integer-kernel
+// deployments before the quantized boundary codec existed. Integer-native
+// deployments now split: the boundary crosses as int8 codes plus a dynamic
+// per-example scale, and the cloud resumes the same integer kernels — so
+// this sentinel is retired and no longer returned. It remains exported so
+// callers' errors.Is checks keep compiling (they simply never match).
 var ErrOffloadInteger = errors.New("core: integer-kernel deployment cannot offload (boundary activations are float-codec only)")
 
 // OffloadConfig controls Platform.Offload.
@@ -42,6 +43,12 @@ type OffloadConfig struct {
 	// Plan, when non-nil, pins the initial cut instead of planning from
 	// the device's current conditions.
 	Plan *market.SplitPlan
+	// Enclave, when non-nil, hosts protected suffix execution (watermarked
+	// and compiled deployments) instead of the platform's lazily
+	// provisioned shared session. Its enclave must be provisioned from the
+	// platform vendor key — the manufacturer root the platform verifies
+	// attestation reports against.
+	Enclave *enclave.Session
 }
 
 // OffloadSession is a deployment serving queries through the split
@@ -69,11 +76,23 @@ type OffloadOutcome struct {
 // live SplitPlan — prefix on the device, suffix on cfg.Cloud — re-planned
 // as bandwidth, battery and cloud congestion drift.
 //
-// Watermarked deployments are refused: the per-customer mark perturbs the
-// on-device weights, so a cloud suffix computed from the registry artifact
-// could not be bit-exact with the device's own model. Integer-kernel
-// deployments are refused with ErrOffloadInteger for the symmetric reason
-// — the boundary codec and the cloud tier are float32-only.
+// Every variant kind splits, each on its own executor, and every answer
+// stays bit-identical to the device serving the query alone:
+//
+//   - Float deployments ship float boundary activations; the cloud serves
+//     the registry artifact (bit-identical to the device's copy).
+//   - Integer-native deployments ship int8 boundary codes plus a dynamic
+//     per-example scale (the QAB1 codec); the cloud resumes the same
+//     integer kernels at a dense-stage cut.
+//   - Watermarked deployments seal their per-device marked copy into the
+//     cloud enclave: the suffix executes inside the protected world (paying
+//     its slowdown), so the mark never exists in cloud plaintext.
+//   - Compiled (procvm) deployments seal the module into the enclave and
+//     run it whole there when the plan offloads (cut 0).
+//
+// Each sealed artifact is attested at provisioning: the platform verifies
+// the report against the vendor root key and the artifact digest before
+// registering the entry.
 func (p *Platform) Offload(deviceID string, cfg OffloadConfig) (*OffloadSession, error) {
 	dep, ok := p.Deployment(deviceID)
 	if !ok {
@@ -82,49 +101,190 @@ func (p *Platform) Offload(deviceID string, cfg OffloadConfig) (*OffloadSession,
 	if cfg.Cloud == nil {
 		return nil, fmt.Errorf("core: offload needs a cloud tier")
 	}
-	if dep.Watermarked() {
-		return nil, fmt.Errorf("core: deployment on %s is watermarked; offload would break bit-exactness", deviceID)
+	version, model, watermarked := dep.StateSnapshot()
+	compiled := dep.CompiledModule()
+	execScheme := dep.ExecutionScheme()
+	if watermarked && execScheme != quant.Float32 {
+		return nil, fmt.Errorf("core: watermarked integer-native deployment on %s cannot offload (the enclave executes the float copy)", deviceID)
 	}
-	if sch := dep.ExecutionScheme(); sch != quant.Float32 {
-		return nil, fmt.Errorf("%w: %s executes %s", ErrOffloadInteger, deviceID, sch)
-	}
-	version, model, _ := dep.StateSnapshot()
-	// The cloud serves the registry's own artifact — for an unwatermarked
-	// deployment that is bit-identical to the device's decrypted copy.
-	// Fleet-wide session setup registers each version once, not per
-	// device, so skip the artifact load when the tier already has it.
-	if !cfg.Cloud.Registered(version.ID) {
-		cloudModel, err := p.Registry.Load(version.ID)
-		if err != nil {
-			return nil, fmt.Errorf("core: offload: %w", err)
-		}
-		if err := cfg.Cloud.Register(version.ID, cloudModel, version.Scheme.Bits()); err != nil {
-			return nil, err
-		}
-	}
-	// A session's first Infer would otherwise block forever on a tier
-	// whose dispatchers were never launched — while holding the
-	// deployment lock. Start is idempotent, so just ensure it.
-	cfg.Cloud.Start()
+
 	replan := cfg.Replan
 	if replan.RTT == 0 {
 		replan.RTT = cfg.RTT
 	}
-	sess, err := offload.NewSession(offload.SessionConfig{
-		Tenant:    deviceID,
-		VersionID: version.ID,
-		Device:    dep.device,
-		Model:     model,
-		Bits:      version.Scheme.Bits(),
-		Cloud:     cfg.Cloud,
-		Retry:     cfg.Retry,
-		Replan:    replan,
-		Plan:      cfg.Plan,
-	})
+	scfg := offload.SessionConfig{
+		Tenant: deviceID,
+		Device: dep.device,
+		Cloud:  cfg.Cloud,
+		Retry:  cfg.Retry,
+		Replan: replan,
+		Plan:   cfg.Plan,
+	}
+
+	switch {
+	case compiled != nil:
+		// Obfuscated deployment: the module is sealed to the enclave and
+		// executes whole in the protected world when the plan offloads.
+		sess, err := p.enclaveSession(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if !cfg.Cloud.Registered(version.ID) {
+			blob, err := p.Registry.Bytes(version.ID)
+			if err != nil {
+				return nil, fmt.Errorf("core: offload: %w", err)
+			}
+			if err := p.provisionSealed(sess, version.ID, blob, true); err != nil {
+				return nil, err
+			}
+			if err := cfg.Cloud.RegisterModule(version.ID, sess, version.ID, version.Metrics.MACs); err != nil {
+				return nil, err
+			}
+		}
+		// The module does not declare input geometry; the float artifact it
+		// was lowered from does.
+		parent, err := p.Registry.Load(version.ParentID)
+		if err != nil {
+			return nil, fmt.Errorf("core: offload: %w", err)
+		}
+		feats := 1
+		for _, d := range parent.InputShape {
+			feats *= d
+		}
+		scfg.VersionID = version.ID
+		scfg.Module = compiled
+		scfg.ModuleMACs = version.Metrics.MACs
+		scfg.InFeatures = feats
+		scfg.Bits = 32
+
+	case watermarked:
+		// The per-device marked copy is sealed to the enclave under a
+		// per-device key: its suffix executes only inside the protected
+		// world, so the split no longer breaks watermark protection.
+		sess, err := p.enclaveSession(cfg)
+		if err != nil {
+			return nil, err
+		}
+		key := version.ID + "@" + deviceID
+		if !cfg.Cloud.Registered(key) {
+			blob, err := model.MarshalBinary()
+			if err != nil {
+				return nil, fmt.Errorf("core: offload: %w", err)
+			}
+			if err := p.provisionSealed(sess, key, blob, false); err != nil {
+				return nil, err
+			}
+			if err := cfg.Cloud.RegisterProtected(key, sess, key, version.Scheme.Bits()); err != nil {
+				return nil, err
+			}
+		}
+		scfg.VersionID = key
+		scfg.Model = model
+		scfg.Bits = version.Scheme.Bits()
+
+	case execScheme != quant.Float32:
+		// Integer-native deployment: the cloud lowers the registry artifact
+		// onto the same integer kernels; boundaries cross as int8 codes.
+		// The "#q" key keeps the quant entry distinct from any float entry
+		// of the same version (devices without native support still split
+		// in float).
+		key := version.ID + "#q"
+		if !cfg.Cloud.Registered(key) {
+			cloudModel, err := p.Registry.Load(version.ID)
+			if err != nil {
+				return nil, fmt.Errorf("core: offload: %w", err)
+			}
+			if err := cfg.Cloud.RegisterQuant(key, cloudModel, execScheme); err != nil {
+				return nil, err
+			}
+		}
+		scfg.VersionID = key
+		scfg.Model = model
+		scfg.Scheme = execScheme
+		scfg.Bits = execScheme.Bits()
+
+	default:
+		// The cloud serves the registry's own artifact — for an
+		// unwatermarked deployment that is bit-identical to the device's
+		// decrypted copy. Fleet-wide session setup registers each version
+		// once, not per device, so skip the load when the tier has it.
+		if !cfg.Cloud.Registered(version.ID) {
+			cloudModel, err := p.Registry.Load(version.ID)
+			if err != nil {
+				return nil, fmt.Errorf("core: offload: %w", err)
+			}
+			if err := cfg.Cloud.Register(version.ID, cloudModel, version.Scheme.Bits()); err != nil {
+				return nil, err
+			}
+		}
+		scfg.VersionID = version.ID
+		scfg.Model = model
+		scfg.Bits = version.Scheme.Bits()
+	}
+
+	// A session's first Infer would otherwise block forever on a tier
+	// whose dispatchers were never launched — while holding the
+	// deployment lock. Start is idempotent, so just ensure it.
+	cfg.Cloud.Start()
+	sess, err := offload.NewSession(scfg)
 	if err != nil {
 		return nil, err
 	}
 	return &OffloadSession{dep: dep, sess: sess, versionID: version.ID}, nil
+}
+
+// enclaveSession returns the session hosting protected suffix execution:
+// the caller-supplied one, or the platform's shared cloud enclave session,
+// provisioned on first use from the vendor key.
+func (p *Platform) enclaveSession(cfg OffloadConfig) (*enclave.Session, error) {
+	if cfg.Enclave != nil {
+		return cfg.Enclave, nil
+	}
+	p.encMu.Lock()
+	defer p.encMu.Unlock()
+	if p.encSess == nil {
+		enc, err := enclave.New("cloud-enclave", p.vendorKey, 1.2)
+		if err != nil {
+			return nil, fmt.Errorf("core: provision cloud enclave: %w", err)
+		}
+		p.encSess = enclave.NewSession(enc)
+	}
+	return p.encSess, nil
+}
+
+// provisionSealed seals an artifact into the enclave session under artID
+// and verifies the attestation chain before anything serves from it: the
+// loaded measurement must equal the artifact digest, and the session's
+// report over it must verify against the vendor root. Sealing advances the
+// enclave's monotonic counter, so it serializes under encMu.
+func (p *Platform) provisionSealed(sess *enclave.Session, artID string, blob []byte, module bool) error {
+	p.encMu.Lock()
+	sealed, err := sess.Enclave().Seal(blob)
+	p.encMu.Unlock()
+	if err != nil {
+		return fmt.Errorf("core: seal %s: %w", artID, err)
+	}
+	var meas [32]byte
+	if module {
+		meas, err = sess.LoadSealedModule(artID, sealed)
+	} else {
+		meas, err = sess.LoadSealedNetwork(artID, sealed)
+	}
+	if err != nil {
+		return fmt.Errorf("core: load sealed %s: %w", artID, err)
+	}
+	want := sha256.Sum256(blob)
+	if meas != want {
+		return fmt.Errorf("core: enclave measurement mismatch for %s", artID)
+	}
+	rep, err := sess.Attest(artID, want[:16])
+	if err != nil {
+		return fmt.Errorf("core: attest %s: %w", artID, err)
+	}
+	if !enclave.VerifyReport(p.vendorKey, rep) || rep.Measurement != want {
+		return fmt.Errorf("core: attestation for %s failed verification", artID)
+	}
+	return nil
 }
 
 // Plan returns the split currently in force.

@@ -3,7 +3,12 @@ package core
 import (
 	"errors"
 	"math"
+	"strings"
 	"testing"
+
+	"tinymlops/internal/compat"
+	"tinymlops/internal/enclave"
+	"tinymlops/internal/selector"
 
 	"tinymlops/internal/dataset"
 	"tinymlops/internal/device"
@@ -133,12 +138,45 @@ func TestPlatformOffloadDeniesWhenExhausted(t *testing.T) {
 	}
 }
 
-// TestPlatformOffloadRefusesWatermarked: a per-customer mark perturbs the
-// on-device weights, so the cloud suffix could not be bit-exact.
-func TestPlatformOffloadRefusesWatermarked(t *testing.T) {
-	p, _, cloud, _ := offloadPlatform(t, "customer-7")
-	if _, err := p.Offload("phone-00", OffloadConfig{Cloud: cloud}); err == nil {
-		t.Fatal("offload accepted a watermarked deployment")
+// TestPlatformOffloadWatermarkedEnclave: a per-customer mark perturbs the
+// on-device weights, so a plaintext cloud suffix could never be bit-exact.
+// The platform instead seals the device's marked copy into the cloud
+// enclave and the suffix executes inside the protected world — offloaded
+// answers stay bit-identical to the watermarked model's own forward pass.
+func TestPlatformOffloadWatermarkedEnclave(t *testing.T) {
+	p, dep, cloud, ds := offloadPlatform(t, "customer-7")
+	sess, err := p.Offload("phone-00", OffloadConfig{
+		Cloud: cloud, Plan: &market.SplitPlan{Cut: 1},
+		Replan: offload.ReplanConfig{Disabled: true},
+	})
+	if err != nil {
+		t.Fatalf("watermarked offload: %v", err)
+	}
+	es := ds.X.Size() / ds.Len()
+	for q := 0; q < 5; q++ {
+		x := ds.X.Data[q*es : (q+1)*es]
+		out, err := sess.Infer(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Split.Mode != offload.ModeSplit {
+			t.Fatalf("query %d: mode %v, want split", q, out.Split.Mode)
+		}
+		want := dep.ReferenceLogits(x)
+		for i, v := range out.Split.Logits {
+			if math.Float32bits(v) != math.Float32bits(want[i]) {
+				t.Fatalf("query %d: enclave logit %d differs from watermarked device forward", q, i)
+			}
+		}
+	}
+	// The sealed copy is per device: its cloud entry is keyed by device,
+	// never colliding with the unmarked registry artifact.
+	ver, _, _ := dep.StateSnapshot()
+	if !cloud.Registered(ver.ID + "@phone-00") {
+		t.Fatal("watermarked copy not registered under its per-device key")
+	}
+	if cloud.Registered(ver.ID) {
+		t.Fatal("watermarked offload leaked an unprotected registry entry")
 	}
 }
 
@@ -179,5 +217,55 @@ func TestPlatformOffloadStaleAfterUpdate(t *testing.T) {
 	}
 	if _, err := sess2.Infer(x); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestPlatformOffloadRejectsForeignEnclave: protected offload only serves
+// through an enclave whose attestation chain verifies against the
+// platform's vendor root. A session provisioned from a different
+// manufacturer key produces reports the platform cannot verify, so both
+// protected paths — watermarked and compiled — must refuse to open.
+func TestPlatformOffloadRejectsForeignEnclave(t *testing.T) {
+	p, _, cloud, ds := offloadPlatform(t, "customer-7")
+	rogueEnc, err := enclave.New("rogue-cloud", []byte("rogue-manufacturer-root-key-00001"), 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rogue := enclave.NewSession(rogueEnc)
+	if _, err := p.Offload("phone-00", OffloadConfig{Cloud: cloud, Enclave: rogue}); err == nil {
+		t.Fatal("watermarked offload accepted a foreign enclave")
+	} else if !strings.Contains(err.Error(), "attestation") {
+		t.Fatalf("watermarked offload failed outside attestation: %v", err)
+	}
+
+	// Compiled deployments take the enclave-module path; same gate. The
+	// fixture publishes no quantized variants, so the deployed version is
+	// the float base the compiled module descends from.
+	base := p.Deployments()[0].Version
+	art, err := p.Registry.Load(base.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := compat.CompileProcVM(art, compat.CompileOptions{Name: base.Name})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Registry.RegisterCompiled(base.ID, mod, base.Metrics.Accuracy); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Deploy("m4-wearable-00", "off", DeployConfig{
+		PrepaidQueries: 10, Calibration: ds,
+		Policy: selector.Policy{Kinds: []string{registry.KindProcVM}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Offload("m4-wearable-00", OffloadConfig{Cloud: cloud, Enclave: rogue}); err == nil {
+		t.Fatal("compiled offload accepted a foreign enclave")
+	} else if !strings.Contains(err.Error(), "attestation") {
+		t.Fatalf("compiled offload failed outside attestation: %v", err)
+	}
+	// The platform's own lazily provisioned enclave still works.
+	if _, err := p.Offload("m4-wearable-00", OffloadConfig{Cloud: cloud}); err != nil {
+		t.Fatalf("vendor enclave refused after rogue attempt: %v", err)
 	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"tinymlops/internal/dataset"
 	"tinymlops/internal/device"
+	"tinymlops/internal/enclave"
 	"tinymlops/internal/engine"
 	"tinymlops/internal/fed"
 	"tinymlops/internal/metering"
@@ -61,6 +62,12 @@ type Platform struct {
 	// is nil when the feature is off.
 	verifier *verify.BatchVerifier
 	attRate  int
+
+	// encMu serializes protected-offload provisioning (sealing advances an
+	// enclave-internal monotonic counter); encSess is the lazily provisioned
+	// shared cloud enclave session used when OffloadConfig.Enclave is nil.
+	encMu   sync.Mutex
+	encSess *enclave.Session
 
 	mu          sync.Mutex
 	deployments map[string]*Deployment
@@ -153,18 +160,32 @@ func (p *Platform) Deploy(deviceID, modelName string, cfg DeployConfig) (*Deploy
 	version := decision.Chosen.Version
 
 	// Encrypt the artifact, transfer and flash it, decrypt on device.
-	model, _, err := p.shipFull(dev, version)
-	if err != nil {
-		return nil, err
-	}
-	if cfg.Watermark != "" {
-		// The mark identifies the customer (capacity scales to the carrier
-		// layer so tiny models still embed reliably); the registry tag is
-		// keyed per device so every customer's mark stays on record and
-		// parallel deploys stay deterministic (a single shared key would be
-		// last-writer-wins in scheduling order).
-		if err := p.embedWatermark(model, version.ID, deviceID, cfg.Watermark); err != nil {
+	// Compiled (procvm) versions ship the canonical module encoding; the
+	// obfuscated bytecode is the protection, so watermarks never apply.
+	var model *nn.Network
+	var compiled *procvm.Module
+	if version.Kind == registry.KindProcVM {
+		if cfg.Watermark != "" {
+			return nil, fmt.Errorf("core: compiled module versions cannot carry a watermark")
+		}
+		compiled, _, err = p.shipCompiled(dev, version)
+		if err != nil {
 			return nil, err
+		}
+	} else {
+		model, _, err = p.shipFull(dev, version)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Watermark != "" {
+			// The mark identifies the customer (capacity scales to the carrier
+			// layer so tiny models still embed reliably); the registry tag is
+			// keyed per device so every customer's mark stays on record and
+			// parallel deploys stay deterministic (a single shared key would be
+			// last-writer-wins in scheduling order).
+			if err := p.embedWatermark(model, version.ID, deviceID, cfg.Watermark); err != nil {
+				return nil, err
+			}
 		}
 	}
 
@@ -177,13 +198,18 @@ func (p *Platform) Deploy(deviceID, modelName string, cfg DeployConfig) (*Deploy
 		return nil, err
 	}
 
+	run := newRunnable(dev, version, model)
+	if compiled != nil {
+		run = newVMRunnable(compiled, procvm.CapSensor)
+	}
 	d := &Deployment{
 		DeviceID:  deviceID,
 		Version:   version,
 		platform:  p,
 		device:    dev,
 		model:     model,
-		run:       newRunnable(dev, version, model),
+		compiled:  compiled,
+		run:       run,
 		policy:    cfg.Policy,
 		watermark: cfg.Watermark,
 		Meter:     metering.NewMeter(voucher),
@@ -285,6 +311,11 @@ func log2Ceil(n int) int {
 	}
 	return k
 }
+
+// WatermarkCapacity reports the per-customer mark size the platform embeds
+// into a deployed copy of this model — the convention auditors need to
+// re-extract and verify a device's mark.
+func WatermarkCapacity(model *nn.Network) int { return watermarkCapacity(model) }
 
 // watermarkCapacity picks a per-customer mark size the first dense layer
 // can carry comfortably (≤ a quarter of its weights, at most 32 bits).

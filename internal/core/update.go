@@ -9,6 +9,7 @@ import (
 	"tinymlops/internal/device"
 	"tinymlops/internal/ipprot"
 	"tinymlops/internal/nn"
+	"tinymlops/internal/procvm"
 	"tinymlops/internal/registry"
 	"tinymlops/internal/rollout"
 	"tinymlops/internal/selector"
@@ -140,11 +141,55 @@ func (d *Deployment) Update(target *registry.ModelVersion, opts UpdateOptions) (
 		return rep, nil
 	}
 
+	// Compiled (procvm) targets take their own ship path: bytecode has no
+	// weight topology to diff, so delta never applies, and watermarks never
+	// apply (the obfuscation is the protection) — a watermarked cohort
+	// cannot cross into the compiled kind without losing its mark.
+	if chosen.Kind == registry.KindProcVM {
+		if d.watermark != "" {
+			return nil, fmt.Errorf("core: watermarked deployment %s cannot update to compiled module %s", d.DeviceID, chosen.ID)
+		}
+		var compiled *procvm.Module
+		if opts.Swarm != nil {
+			data, ts, serr := opts.Swarm.Transfer(d.device, "full:"+chosen.ID, 0)
+			if serr != nil {
+				return nil, fmt.Errorf("core: swarm ship to %s: %w", d.DeviceID, serr)
+			}
+			compiled, err = procvm.DecodeModule(data)
+			if err != nil {
+				return nil, err
+			}
+			rep.ShipBytes = ts.TotalBytes
+			rep.FlashBytes = ts.TotalBytes
+			rep.TransferTime = ts.Duration
+			rep.PeerBytes = ts.FromPeers
+			rep.RegistryBytes = ts.FromRegistry
+		} else {
+			var dur time.Duration
+			compiled, dur, err = p.shipCompiled(d.device, chosen)
+			if err != nil {
+				return nil, err
+			}
+			rep.ShipBytes = int64(chosen.Metrics.SizeBytes)
+			rep.FlashBytes = int64(chosen.Metrics.SizeBytes)
+			rep.TransferTime = dur
+		}
+		if err := d.swapLocked(chosen, nil, compiled, opts.Calibration); err != nil {
+			return nil, err
+		}
+		if opts.Swarm != nil {
+			opts.Swarm.AddSeeder("full:"+chosen.ID, d.DeviceID)
+		}
+		return rep, nil
+	}
+
 	var model *nn.Network
 	// Delta transfer requires the on-device weights to be bit-identical to
 	// the registry's stored artifact; a per-customer watermark perturbs
-	// them, so watermarked deployments always ship full images.
-	if !opts.ForceFull && d.watermark == "" {
+	// them, so watermarked deployments always ship full images. A compiled
+	// image holds no float weights at all, so a compiled→network update is
+	// always a full ship too.
+	if !opts.ForceFull && d.watermark == "" && d.model != nil {
 		if opts.Swarm != nil {
 			model, err = d.trySwarmDeltaLocked(opts.Swarm, chosen, rep)
 		} else {
@@ -176,7 +221,7 @@ func (d *Deployment) Update(target *registry.ModelVersion, opts UpdateOptions) (
 			}
 		}
 	}
-	if err := d.swapLocked(chosen, model, opts.Calibration); err != nil {
+	if err := d.swapLocked(chosen, model, nil, opts.Calibration); err != nil {
 		return nil, err
 	}
 	// The swap succeeded: the device now holds the canonical artifact (and,
@@ -323,14 +368,19 @@ func (d *Deployment) Rollback() (*UpdateReport, error) {
 	}
 	rep := &UpdateReport{DeviceID: d.DeviceID, From: d.Version, To: d.prev.version}
 	d.rollWindowLocked()
-	d.Version, d.model, d.Monitor = d.prev.version, d.prev.model, d.prev.monitor
+	d.Version, d.model, d.compiled, d.Monitor = d.prev.version, d.prev.model, d.prev.compiled, d.prev.monitor
 	d.prev = nil
 	if d.Monitor != nil {
 		d.Monitor.Reset()
 	}
 	// Re-derive the executable from the restored image: an integer variant
-	// goes back onto the integer kernels with fresh scratch.
-	d.run = newRunnable(d.device, d.Version, d.model)
+	// goes back onto the integer kernels with fresh scratch, a compiled
+	// image back onto the VM.
+	if d.compiled != nil {
+		d.run = newVMRunnable(d.compiled, procvm.CapSensor)
+	} else {
+		d.run = newRunnable(d.device, d.Version, d.model)
+	}
 	if d.retained != nil {
 		if err := d.refreshAttestorLocked(); err != nil {
 			return nil, err
@@ -340,17 +390,23 @@ func (d *Deployment) Rollback() (*UpdateReport, error) {
 	return rep, nil
 }
 
-// swapLocked installs (version, model) as the live image, saving the old
-// one for rollback. Caller holds d.mu.
-func (d *Deployment) swapLocked(v *registry.ModelVersion, m *nn.Network, calib *dataset.Dataset) error {
+// swapLocked installs (version, model-or-module) as the live image, saving
+// the old one for rollback. Exactly one of m and mod is non-nil, matching
+// the version's kind. Caller holds d.mu.
+func (d *Deployment) swapLocked(v *registry.ModelVersion, m *nn.Network, mod *procvm.Module, calib *dataset.Dataset) error {
 	d.rollWindowLocked()
-	d.prev = &image{version: d.Version, model: d.model, monitor: d.Monitor}
+	d.prev = &image{version: d.Version, model: d.model, compiled: d.compiled, monitor: d.Monitor}
 	d.Version = v
 	d.model = m
+	d.compiled = mod
 	// The registry artifact stays the source of truth: deltas patched the
 	// float model, and the executable (QModel included) is re-instantiated
 	// from the result.
-	d.run = newRunnable(d.device, v, m)
+	if mod != nil {
+		d.run = newVMRunnable(mod, procvm.CapSensor)
+	} else {
+		d.run = newRunnable(d.device, v, m)
+	}
 	if d.retained != nil {
 		if err := d.refreshAttestorLocked(); err != nil {
 			return err
@@ -400,6 +456,35 @@ func (p *Platform) shipFull(dev *device.Device, v *registry.ModelVersion) (*nn.N
 		return nil, 0, err
 	}
 	return model, dur, nil
+}
+
+// shipCompiled is shipFull's counterpart for compiled procvm artifacts: the
+// registry blob is the module's canonical PVM1 encoding, and the decode on
+// the far side is strict, so a corrupted transfer fails here rather than at
+// first inference. Delta transfer never applies — bytecode has no weight
+// topology to diff — so every compiled ship is a full image.
+func (p *Platform) shipCompiled(dev *device.Device, v *registry.ModelVersion) (*procvm.Module, time.Duration, error) {
+	blob, err := p.Registry.Bytes(v.ID)
+	if err != nil {
+		return nil, 0, err
+	}
+	em, err := ipprot.EncryptModel(p.vendorKey, v.ID, blob)
+	if err != nil {
+		return nil, 0, err
+	}
+	dur, err := dev.InstallResumable("full:"+v.ID, int64(v.Metrics.SizeBytes), int64(v.Metrics.SizeBytes))
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: ship to %s: %w", dev.ID, err)
+	}
+	plain, err := ipprot.DecryptModel(p.vendorKey, em)
+	if err != nil {
+		return nil, 0, err
+	}
+	mod, err := procvm.DecodeModule(plain)
+	if err != nil {
+		return nil, 0, err
+	}
+	return mod, dur, nil
 }
 
 // embedWatermark stamps the customer identity into a deployed copy and

@@ -10,4 +10,13 @@
 // library); the isolation is simulated — there is no actual hardware
 // boundary, only the protocol and its costs, which is what the paper's
 // operational argument depends on.
+//
+// A Session is the trusted-loading layer on top: sealed artifacts —
+// networks or compiled procvm modules — unseal only inside the session,
+// which records the plaintext SHA-256 as the attestable measurement,
+// rejects tampered blobs, kind confusion and non-canonical encodings,
+// and executes module queries under the module's own pinned gas limit.
+// The offload cloud tier serves protected suffixes through exactly this
+// interface, so a vendor can prove to a customer what model their
+// queries actually ran against.
 package enclave

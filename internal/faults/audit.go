@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"tinymlops/internal/core"
+	"tinymlops/internal/ipprot"
 	"tinymlops/internal/metering"
 	"tinymlops/internal/observe"
 	"tinymlops/internal/swarm"
@@ -195,19 +196,47 @@ func Audit(p *core.Platform, cfg AuditConfig) *AuditReport {
 			}
 		}
 
-		// Bit-exact artifact check: an unwatermarked deployment's model
-		// must serialize to exactly the registry's stored bytes — the
-		// proof that interrupted installs were recovered, not corrupted.
-		// Updates swap the model pointer rather than mutating in place, so
-		// serializing the snapshot outside the lock is safe.
-		if cfg.Deep && ver != nil && !watermarked {
-			data, merr := liveModel.MarshalBinary()
-			if merr != nil {
-				rep.violate(max, "%s: deployed model does not serialize: %v", id, merr)
-			} else if sha256.Sum256(data) != ver.Digest {
-				rep.violate(max, "%s: deployed model bytes diverge from artifact %s", id, ver.ID)
-			} else {
-				rep.ArtifactsVerified++
+		// Bit-exact artifact check — the proof that interrupted installs
+		// were recovered, not corrupted. Three variant-specific forms:
+		// a compiled deployment's module must re-encode to the registry's
+		// canonical bytes; a watermarked deployment (whose weights are
+		// deliberately perturbed) must still carry its exact per-customer
+		// mark; any other deployment's model must serialize to exactly
+		// the registry artifact. Updates swap the model pointer rather
+		// than mutating in place, so serializing the snapshot outside the
+		// lock is safe.
+		if cfg.Deep && ver != nil {
+			switch {
+			case d.CompiledModule() != nil:
+				if sha256.Sum256(d.CompiledModule().Encode()) != ver.Digest {
+					rep.violate(max, "%s: compiled module bytes diverge from artifact %s", id, ver.ID)
+				} else {
+					rep.ArtifactsVerified++
+				}
+			case watermarked:
+				owner, tagged := ver.Tags["watermark:"+id]
+				if !tagged {
+					rep.violate(max, "%s: watermarked deployment has no registry mark tag on %s", id, ver.ID)
+					break
+				}
+				want := ipprot.KeyedBits(owner, core.WatermarkCapacity(liveModel))
+				got, werr := ipprot.ExtractStatic(liveModel, owner, len(want), ipprot.DefaultStaticWMConfig())
+				if werr != nil {
+					rep.violate(max, "%s: watermark extraction failed: %v", id, werr)
+				} else if ipprot.BitErrorRate(want, got) != 0 {
+					rep.violate(max, "%s: watermark does not verify against owner %q", id, owner)
+				} else {
+					rep.ArtifactsVerified++
+				}
+			default:
+				data, merr := liveModel.MarshalBinary()
+				if merr != nil {
+					rep.violate(max, "%s: deployed model does not serialize: %v", id, merr)
+				} else if sha256.Sum256(data) != ver.Digest {
+					rep.violate(max, "%s: deployed model bytes diverge from artifact %s", id, ver.ID)
+				} else {
+					rep.ArtifactsVerified++
+				}
 			}
 		}
 

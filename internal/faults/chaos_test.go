@@ -65,20 +65,23 @@ func TestChaosRollout10kBitIdenticalAcrossWorkerCounts(t *testing.T) {
 		if o := res.Offload; o == nil || o.Mismatches != 0 || o.Split == 0 || o.Local == 0 {
 			t.Fatalf("workers=%d: offload phase %+v — want bit-exact split and local traffic", workers, o)
 		}
-		// The serving matrix must actually be mixed: a third of the fleet
-		// pins the int8 variant, a third pins int4 (served by the packed
-		// int4 kernels on 4-bit-capable hardware, fake-quantized float on
-		// the rest), a third pins float32 — and the integer cohorts are
-		// the ones the offload phase refused (float boundary codec only).
+		// The serving matrix must actually be mixed: the fleet rotates
+		// through five policy cohorts — int8, int4 (packed kernels on
+		// 4-bit-capable hardware, fake-quantized float on the rest),
+		// float32, watermarked and compiled procvm — and every one of
+		// them, integer and protected variants included, serves split
+		// traffic through the offload phase above.
 		if res.IntServing == 0 || res.FloatServing == 0 {
 			t.Fatalf("workers=%d: serving cohorts int=%d float=%d — want both", workers, res.IntServing, res.FloatServing)
 		}
 		if res.Int4Native == 0 {
 			t.Fatalf("workers=%d: int4 cohort produced no native packed-int4 deployments", workers)
 		}
-		if res.Offload.IntegerSkipped != int64(res.IntServing) {
-			t.Fatalf("workers=%d: offload skipped %d integer deployments, fleet serves %d",
-				workers, res.Offload.IntegerSkipped, res.IntServing)
+		if res.Watermarked == 0 {
+			t.Fatalf("workers=%d: watermarked cohort produced no marked deployments", workers)
+		}
+		if res.ProcVM == 0 {
+			t.Fatalf("workers=%d: procvm cohort produced no compiled deployments", workers)
 		}
 		if first == nil {
 			first = res

@@ -8,7 +8,6 @@ import (
 	"tinymlops/internal/core"
 	"tinymlops/internal/device"
 	"tinymlops/internal/offload"
-	"tinymlops/internal/tensor"
 )
 
 // OffloadReport accounts the chaos scenario's offload phase. Everything
@@ -40,11 +39,6 @@ type OffloadReport struct {
 	CloudServed   int64
 	CloudBatches  int64
 	MaxCloudBatch int
-	// IntegerSkipped counts deployments the phase refused to offload
-	// because they serve through the integer kernels (the boundary codec
-	// is float32-only — core.ErrOffloadInteger): those devices keep
-	// serving natively and sit out the split traffic by design.
-	IntegerSkipped int64
 }
 
 // runOffloadPhase opens a split session on every deployment against one
@@ -66,18 +60,15 @@ func runOffloadPhase(p *core.Platform, plane *Plane, round *uint64, cfg Scenario
 	defer cloud.Close()
 
 	// Sessions are created serially under the calm terminal weather, so
-	// every initial plan derives from (profile, calm link) alone. The
-	// integer cohort is refused by design — those devices' answers come
-	// from their native kernels, which the float boundary codec cannot
-	// reproduce — and sits the phase out.
+	// every initial plan derives from (profile, calm link) alone — and
+	// sealing/attestation order into the shared cloud enclave stays
+	// deterministic. Every cohort splits: float ships float activations,
+	// integer-native ships quantized boundary codes, watermarked and
+	// compiled deployments execute their suffix inside the enclave.
 	report := &OffloadReport{}
 	sessions := make([]*core.OffloadSession, len(deps))
 	for i, d := range deps {
 		s, err := p.Offload(d.DeviceID, core.OffloadConfig{Cloud: cloud})
-		if errors.Is(err, core.ErrOffloadInteger) {
-			report.IntegerSkipped++
-			continue
-		}
 		if err != nil {
 			return nil, fmt.Errorf("faults: offload session for %s: %w", d.DeviceID, err)
 		}
@@ -92,9 +83,6 @@ func runOffloadPhase(p *core.Platform, plane *Plane, round *uint64, cfg Scenario
 		*round++
 		plane.ApplyRound(*round, fleetDevices(deps))
 		err := p.Engine().ForEach(len(deps), func(i int) error {
-			if sessions[i] == nil {
-				return nil // integer cohort: no split session
-			}
 			h := devs[i]
 			for q := 0; q < cfg.OffloadQueries; q++ {
 				x := rows[q%len(rows)]
@@ -122,13 +110,16 @@ func runOffloadPhase(p *core.Platform, plane *Plane, round *uint64, cfg Scenario
 				h.activationBytes += out.Split.ActivationBytes
 				// Activation-boundary bit-exactness: the split answer must
 				// equal the device's own monolithic forward, bit for bit.
-				want := h.dep.Model().Predict(tensor.FromSlice(append([]float32(nil), x...), 1, len(x)))
-				if len(out.Split.Logits) != len(want.Data) {
+				// ReferenceLogits runs the deployment's actual executor —
+				// float engine, integer kernels, watermarked copy or
+				// compiled VM — so the audit is uniform across variants.
+				want := h.dep.ReferenceLogits(x)
+				if len(out.Split.Logits) != len(want) {
 					h.mismatches++
 					continue
 				}
-				for j := range want.Data {
-					if math.Float32bits(out.Split.Logits[j]) != math.Float32bits(want.Data[j]) {
+				for j := range want {
+					if math.Float32bits(out.Split.Logits[j]) != math.Float32bits(want[j]) {
 						h.mismatches++
 						break
 					}

@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"fmt"
 
+	"tinymlops/internal/compat"
 	"tinymlops/internal/core"
 	"tinymlops/internal/dataset"
 	"tinymlops/internal/device"
@@ -118,6 +119,12 @@ type ScenarioResult struct {
 	// emulation penalty — both outcomes are pinned per device by the
 	// fingerprint's executing-scheme column.
 	Int4Native int
+	// Watermarked counts terminal deployments carrying a per-customer mark;
+	// ProcVM counts deployments executing compiled bytecode on the
+	// capability-gated VM. Both cohorts ride the same rollout, offload and
+	// settlement machinery as the rest of the fleet.
+	Watermarked int
+	ProcVM      int
 	// RetriedUpdates counts devices that needed more than one update
 	// attempt in some wave; Crashes counts injected mid-flash power
 	// losses; InstallAttempts counts all install attempts observed.
@@ -230,43 +237,55 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		return nil, err
 	}
 	res := &ScenarioResult{FleetSize: fleet.Size(), V1: v1s[0]}
+	if err := registerCompiledVariant(p, v1s[0]); err != nil {
+		return nil, err
+	}
 
-	// The fleet splits into three selection-policy cohorts by rotation:
+	// The fleet splits into five selection-policy cohorts by rotation:
 	// int8-pinned (every standard profile retires int8 MACs natively, so
 	// these serve through the blocked int8 kernels), int4-pinned (devices
 	// with native 4-bit modes serve through the packed int4 kernels; the
 	// rest fall back to the fake-quantized float engine under the same
-	// pin) and float32-pinned. The chaos therefore exercises the full
-	// mixed serving matrix — int8 QModels, packed-int4 QModels and float
-	// deployments crash, resume, update and roll back side by side — and
-	// the fingerprint pins every device's executing scheme at every
-	// worker count.
+	// pin), float32-pinned, watermarked (float artifact stamped with a
+	// per-customer mark on device) and procvm-pinned (the compiled
+	// bytecode variant, executing on the capability-gated VM). The chaos
+	// therefore exercises the full protected serving matrix — integer
+	// QModels, float, marked and obfuscated deployments crash, resume,
+	// update and roll back side by side — and the fingerprint pins every
+	// device's executing scheme and artifact kind at every worker count.
 	ids := make([]string, 0, len(devs))
 	for _, d := range devs {
 		ids = append(ids, d.ID)
 	}
-	var int8IDs, int4IDs, floatIDs []string
+	var int8IDs, int4IDs, floatIDs, wmIDs, pvmIDs []string
 	for i, id := range ids {
-		switch i % 3 {
+		switch i % 5 {
 		case 0:
 			int8IDs = append(int8IDs, id)
 		case 1:
 			int4IDs = append(int4IDs, id)
-		default:
+		case 2:
 			floatIDs = append(floatIDs, id)
+		case 3:
+			wmIDs = append(wmIDs, id)
+		default:
+			pvmIDs = append(pvmIDs, id)
 		}
 	}
 	for _, cohort := range []struct {
-		ids    []string
-		scheme quant.Scheme
+		ids       []string
+		policy    selector.Policy
+		watermark string
 	}{
-		{int8IDs, quant.Int8},
-		{int4IDs, quant.Int4},
-		{floatIDs, quant.Float32},
+		{int8IDs, selector.Policy{Schemes: []quant.Scheme{quant.Int8}}, ""},
+		{int4IDs, selector.Policy{Schemes: []quant.Scheme{quant.Int4}}, ""},
+		{floatIDs, selector.Policy{Schemes: []quant.Scheme{quant.Float32}}, ""},
+		{wmIDs, selector.Policy{Schemes: []quant.Scheme{quant.Float32}}, "chaos-customer"},
+		{pvmIDs, selector.Policy{Kinds: []string{registry.KindProcVM}}, ""},
 	} {
 		if _, err := p.DeployMany(cohort.ids, "chaos", core.DeployConfig{
 			PrepaidQueries: cfg.PrepaidQueries, Calibration: ds,
-			Policy: selector.Policy{Schemes: []quant.Scheme{cohort.scheme}},
+			Policy: cohort.policy, Watermark: cohort.watermark,
 		}); err != nil {
 			return nil, err
 		}
@@ -293,6 +312,11 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		return nil, fmt.Errorf("faults: fine-tune produced identical bytes; scenario needs two versions")
 	}
 	res.V2 = v2
+	// The procvm cohort needs a compiled v2 variant to converge to —
+	// registered before the rollout so wave selection finds it.
+	if err := registerCompiledVariant(p, v2); err != nil {
+		return nil, err
+	}
 
 	// Staged rollout under chaos: fresh fault weather before every wave,
 	// bounded deterministic retries within it. The gate tolerates the
@@ -422,6 +446,12 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		default:
 			res.IntServing++
 		}
+		if d.Watermarked() {
+			res.Watermarked++
+		}
+		if d.Version.Kind == registry.KindProcVM {
+			res.ProcVM++
+		}
 	}
 	if res.Converged != fleet.Size() {
 		return nil, fmt.Errorf("faults: %d/%d devices converged to %s's family", res.Converged, fleet.Size(), v2.ID)
@@ -433,6 +463,14 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	// int4 cohort must end with packed-int4 executables on those devices.
 	if len(int4IDs) > 0 && res.Int4Native == 0 {
 		return nil, fmt.Errorf("faults: int4 cohort of %d devices ended with no native int4 deployments", len(int4IDs))
+	}
+	if len(wmIDs) > 0 && res.Watermarked == 0 {
+		return nil, fmt.Errorf("faults: watermarked cohort of %d devices ended with no marked deployments", len(wmIDs))
+	}
+	// No silent fallback to the float network: the procvm cohort must end
+	// on the compiled kind, executing natively on the VM.
+	if len(pvmIDs) > 0 && res.ProcVM == 0 {
+		return nil, fmt.Errorf("faults: procvm cohort of %d devices ended with zero native procvm deployments", len(pvmIDs))
 	}
 
 	// Offload phase: the converged fleet serves split queries under fresh
@@ -475,6 +513,26 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	res.Audit = Audit(p, AuditConfig{Deep: true, Swarm: sw})
 	res.Fingerprint = fingerprint(p, res)
 	return res, nil
+}
+
+// registerCompiledVariant lowers a published float artifact onto the
+// procvm bytecode and registers the module as a first-class variant of the
+// version, so kind-pinned cohorts can select it like any quantized child.
+// The compile gate proves the module bit-exact against the lowered network
+// before anything is registered.
+func registerCompiledVariant(p *core.Platform, v *registry.ModelVersion) error {
+	art, err := p.Registry.Load(v.ID)
+	if err != nil {
+		return fmt.Errorf("faults: load %s for compile: %w", v.ID, err)
+	}
+	mod, err := compat.CompileProcVM(art, compat.CompileOptions{Name: v.Name})
+	if err != nil {
+		return fmt.Errorf("faults: compile %s: %w", v.ID, err)
+	}
+	if _, err := p.Registry.RegisterCompiled(v.ID, mod, v.Metrics.Accuracy); err != nil {
+		return fmt.Errorf("faults: register compiled %s: %w", v.ID, err)
+	}
+	return nil
 }
 
 // trafficRows builds a fixed in-distribution query batch from the dataset.
@@ -532,8 +590,9 @@ func fingerprint(p *core.Platform, res *ScenarioResult) string {
 	h := sha256.New()
 	for _, d := range p.Deployments() {
 		c := d.Device().Snapshot()
-		fmt.Fprintf(h, "%s|%s|%s|%d|%d|%d|%d|%d|%d|%d|%d\n",
-			d.DeviceID, d.Version.ID, d.ExecutionScheme(), d.Meter.Used(), d.Meter.Remaining(),
+		fmt.Fprintf(h, "%s|%s|%s|%s|%v|%d|%d|%d|%d|%d|%d|%d|%d\n",
+			d.DeviceID, d.Version.ID, d.Version.Kind, d.ExecutionScheme(),
+			d.Watermarked(), d.Meter.Used(), d.Meter.Remaining(),
 			c.RxBytes, c.FlashedBytes, c.TxBytes, c.Inferences, c.DeniedQueries,
 			d.CurrentWindow())
 	}
@@ -545,10 +604,9 @@ func fingerprint(p *core.Platform, res *ScenarioResult) string {
 	if o := res.Offload; o != nil {
 		// CloudBatches/MaxCloudBatch are scheduling-dependent coalescing
 		// detail and deliberately excluded.
-		fmt.Fprintf(h, "offload|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d\n",
+		fmt.Fprintf(h, "offload|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d\n",
 			o.Queries, o.Denied, o.Errors, o.Split, o.Local, o.Fallback,
-			o.Replans, o.ActivationBytes, o.Mismatches, o.CloudServed,
-			o.IntegerSkipped)
+			o.Replans, o.ActivationBytes, o.Mismatches, o.CloudServed)
 	}
 	if s := res.Settlement; s != nil {
 		for _, vd := range s.Verdicts {

@@ -190,8 +190,13 @@ func applyEpilogues(out *tensor.Tensor, eps []epilogue, rows int) {
 	for _, ep := range eps {
 		switch ep.kind {
 		case epReLU:
+			// Mirror ReLU.InferInto's branch exactly: v > 0 keeps v, anything
+			// else (including NaN) becomes 0 — `v <= 0` would let NaN through
+			// and fork the fused path from the layer-by-layer one.
 			for i, v := range out.Data {
-				if v <= 0 {
+				if v > 0 {
+					out.Data[i] = v
+				} else {
 					out.Data[i] = 0
 				}
 			}

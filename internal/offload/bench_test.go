@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"tinymlops/internal/device"
+	"tinymlops/internal/enclave"
 	"tinymlops/internal/market"
 	"tinymlops/internal/nn"
 	"tinymlops/internal/tensor"
@@ -136,5 +137,46 @@ func BenchmarkOffloadBatchedCloud(b *testing.B) {
 	st := cloud.Stats()
 	if st.Batches > 0 {
 		b.ReportMetric(float64(st.Served)/float64(st.Batches), "batch/op")
+	}
+}
+
+// BenchmarkOffloadEnclaveSuffix mirrors BenchmarkOffloadSplit with one
+// change: the suffix model is registered through RegisterProtected, so
+// every cloud-side resume executes the enclave-resident copy and pays the
+// protected world's overhead. The delta against OffloadSplit is the price
+// of trusted offload.
+func BenchmarkOffloadEnclaveSuffix(b *testing.B) {
+	rng := tensor.NewRNG(2)
+	model := benchModel(rng)
+	enc, err := enclave.New("bench-enclave", []byte("bench-manufacturer-root-key-00001"), 1.2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	esess := enclave.NewSession(enc)
+	blob, err := model.MarshalBinary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sealed, err := enc.Seal(blob)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := esess.LoadSealedNetwork("bench-art", sealed); err != nil {
+		b.Fatal(err)
+	}
+	cloud := NewCloud(CloudConfig{})
+	if err := cloud.RegisterProtected("bench", esess, "bench-art", 32); err != nil {
+		b.Fatal(err)
+	}
+	cloud.Start()
+	defer cloud.Close()
+	s := benchSession(b, 2, cloud, model, "enclave")
+	x := benchInput()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Exec(x); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -8,7 +8,9 @@ import (
 	"time"
 
 	"tinymlops/internal/device"
+	"tinymlops/internal/enclave"
 	"tinymlops/internal/nn"
+	"tinymlops/internal/quant"
 	"tinymlops/internal/tensor"
 )
 
@@ -73,10 +75,14 @@ type CloudStats struct {
 	MaxBatchSize int
 }
 
-// request is one admitted suffix query waiting for service.
+// request is one admitted suffix query waiting for service. Float-boundary
+// requests carry the activation tensor; quantized-boundary requests carry
+// the example's int8 codes and dynamic scale instead.
 type request struct {
 	tenant string
 	act    *tensor.Tensor
+	codes  []int8
+	scale  float32
 	reply  chan result
 }
 
@@ -102,18 +108,36 @@ type class struct {
 	suffix   *nn.Network
 	sufMACs  int64
 	bits     int
-	actShape []int // expected per-example activation shape
-	tenants  map[string][]*request
-	order    []string // tenants with pending work, in arrival order
-	next     int      // round-robin cursor into order
-	pending  int
+	actShape []int // expected per-example activation shape (nil: VM validates)
+	// Integer-native classes resume the registered QModel from boundary
+	// codes at the class cut; width is the per-example code count.
+	qm    *quant.QModel
+	width int
+	// Protected classes execute inside an enclave session; slow is the
+	// protected world's latency factor (1 outside it).
+	sess  *enclave.Session
+	artID string
+	slow  float64
+
+	tenants map[string][]*request
+	order   []string // tenants with pending work, in arrival order
+	next    int      // round-robin cursor into order
+	pending int
 }
 
-// modelEntry is one registered model the tier can serve suffixes of.
+// modelEntry is one registered artifact the tier can serve suffixes of:
+// a plain float network, an integer-native QModel resumed from quantized
+// boundary codes, or a protected artifact (network or compiled module)
+// executing inside an enclave session.
 type modelEntry struct {
 	net   *nn.Network
 	bits  int
 	costs []nn.LayerCost
+	qm    *quant.QModel
+	sess  *enclave.Session
+	artID string
+	mod   bool // protected compiled-module entry (single-unit cost model)
+	slow  float64
 }
 
 // CloudTier is the cloud half of the offload plane: a bounded, batched
@@ -193,7 +217,83 @@ func (c *CloudTier) Register(versionID string, net *nn.Network, bits int) error 
 	if _, ok := c.models[versionID]; ok {
 		return nil
 	}
-	c.models[versionID] = &modelEntry{net: net, bits: bits, costs: costs}
+	c.models[versionID] = &modelEntry{net: net, bits: bits, costs: costs, slow: 1}
+	return nil
+}
+
+// RegisterQuant makes an integer-native model version servable from
+// quantized boundary payloads: the tier lowers the float artifact onto the
+// same integer kernels the device runs, so a suffix resumed from the
+// device's boundary codes is bit-identical to the device finishing locally.
+// Quant entries accept only QAB1 payloads, at dense-stage cuts.
+func (c *CloudTier) RegisterQuant(versionID string, net *nn.Network, scheme quant.Scheme) error {
+	if versionID == "" || net == nil {
+		return fmt.Errorf("offload: register needs a version ID and a model")
+	}
+	qm, err := quant.NewQModel(net, scheme)
+	if err != nil {
+		return fmt.Errorf("offload: register quant %s: %w", versionID, err)
+	}
+	costs, err := net.Summary()
+	if err != nil {
+		return fmt.Errorf("offload: register quant %s: %w", versionID, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.models[versionID]; ok {
+		return nil
+	}
+	c.models[versionID] = &modelEntry{bits: scheme.Bits(), costs: costs, qm: qm, slow: 1}
+	return nil
+}
+
+// RegisterProtected makes an enclave-resident network servable: the suffix
+// executes inside the session's protected world (the watermarked per-device
+// copy never exists in cloud plaintext outside the enclave) and every query
+// is charged the enclave's slowdown factor. artID names the artifact
+// previously loaded into the session with LoadSealedNetwork.
+func (c *CloudTier) RegisterProtected(versionID string, sess *enclave.Session, artID string, bits int) error {
+	if versionID == "" || sess == nil {
+		return fmt.Errorf("offload: register needs a version ID and an enclave session")
+	}
+	net, err := sess.Network(artID)
+	if err != nil {
+		return fmt.Errorf("offload: register protected %s: %w", versionID, err)
+	}
+	if bits <= 0 {
+		bits = 32
+	}
+	costs, err := net.Summary()
+	if err != nil {
+		return fmt.Errorf("offload: register protected %s: %w", versionID, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.models[versionID]; ok {
+		return nil
+	}
+	c.models[versionID] = &modelEntry{net: net, bits: bits, costs: costs, sess: sess, artID: artID, slow: sess.Slowdown()}
+	return nil
+}
+
+// RegisterModule makes an enclave-resident compiled module servable. A
+// module has no layer graph to split, so its cost model is a single unit:
+// cut 0 ships the raw input and the whole module executes in the enclave.
+// macs is the module's per-query work for latency accounting.
+func (c *CloudTier) RegisterModule(versionID string, sess *enclave.Session, artID string, macs int64) error {
+	if versionID == "" || sess == nil {
+		return fmt.Errorf("offload: register needs a version ID and an enclave session")
+	}
+	if _, err := sess.Module(artID); err != nil {
+		return fmt.Errorf("offload: register module %s: %w", versionID, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.models[versionID]; ok {
+		return nil
+	}
+	costs := []nn.LayerCost{{Kind: "module", Info: nn.LayerInfo{MACs: macs}}}
+	c.models[versionID] = &modelEntry{bits: 32, costs: costs, sess: sess, artID: artID, mod: true, slow: sess.Slowdown()}
 	return nil
 }
 
@@ -268,9 +368,27 @@ func (c *CloudTier) Stats() CloudStats {
 // suffix result returns or admission fails. tenant scopes fair
 // scheduling — use a stable per-device identity.
 func (c *CloudTier) Submit(tenant, versionID string, cut int, activation []byte) (Response, error) {
-	var act tensor.Tensor
-	if _, err := act.ReadFrom(bytes.NewReader(activation)); err != nil {
-		return Response{}, fmt.Errorf("offload: decode activation: %w", err)
+	// The payload's magic decides the boundary codec: QAB1 carries int8
+	// activation codes plus a dynamic scale (integer-native splits), the
+	// tensor codec carries float32 activations (everything else).
+	var act *tensor.Tensor
+	var codes []int8
+	var scale float32
+	var width int
+	if isQAB(activation) {
+		cs, scales, rows, cols, err := decodeQAB(activation)
+		if err != nil {
+			return Response{}, err
+		}
+		if rows != 1 {
+			return Response{}, fmt.Errorf("offload: quantized boundary carries %d rows, want 1", rows)
+		}
+		codes, scale, width = cs, scales[0], cols
+	} else {
+		act = new(tensor.Tensor)
+		if _, err := act.ReadFrom(bytes.NewReader(activation)); err != nil {
+			return Response{}, fmt.Errorf("offload: decode activation: %w", err)
+		}
 	}
 
 	c.mu.Lock()
@@ -287,6 +405,13 @@ func (c *CloudTier) Submit(tenant, versionID string, cut int, activation []byte)
 		c.mu.Unlock()
 		return Response{}, fmt.Errorf("offload: cut %d out of range [0,%d) for %s", cut, len(m.costs), versionID)
 	}
+	if (codes != nil) != (m.qm != nil) {
+		c.mu.Unlock()
+		if codes != nil {
+			return Response{}, fmt.Errorf("offload: %s does not accept quantized boundary payloads", versionID)
+		}
+		return Response{}, fmt.Errorf("offload: %s is integer-native and requires quantized boundary payloads", versionID)
+	}
 	key := classKey{version: versionID, cut: cut}
 	cl, ok := c.classes[key]
 	if !ok {
@@ -296,16 +421,30 @@ func (c *CloudTier) Submit(tenant, versionID string, cut int, activation []byte)
 			return Response{}, err
 		}
 	}
-	if act.Dim(0) != 1 || !shapeEq(act.Shape()[1:], cl.actShape) {
-		c.mu.Unlock()
-		return Response{}, fmt.Errorf("offload: activation shape %v, want [1 %v] at cut %d", act.Shape(), cl.actShape, cut)
+	switch {
+	case cl.qm != nil:
+		if width != cl.width {
+			c.mu.Unlock()
+			return Response{}, fmt.Errorf("offload: boundary width %d, want %d at cut %d", width, cl.width, cut)
+		}
+	case cl.actShape == nil:
+		// Compiled-module class: the VM validates the vector's geometry.
+		if act.Dim(0) != 1 {
+			c.mu.Unlock()
+			return Response{}, fmt.Errorf("offload: activation batch %d, want 1", act.Dim(0))
+		}
+	default:
+		if act.Dim(0) != 1 || !shapeEq(act.Shape()[1:], cl.actShape) {
+			c.mu.Unlock()
+			return Response{}, fmt.Errorf("offload: activation shape %v, want [1 %v] at cut %d", act.Shape(), cl.actShape, cut)
+		}
 	}
 	if c.queued >= c.cfg.QueueCap {
 		c.stats.Shed++
 		c.mu.Unlock()
 		return Response{}, fmt.Errorf("%w (%d queued)", ErrShed, c.cfg.QueueCap)
 	}
-	req := &request{tenant: tenant, act: &act, reply: make(chan result, 1)}
+	req := &request{tenant: tenant, act: act, codes: codes, scale: scale, reply: make(chan result, 1)}
 	if _, ok := cl.tenants[tenant]; !ok {
 		cl.order = append(cl.order, tenant)
 	}
@@ -324,23 +463,44 @@ func (c *CloudTier) Submit(tenant, versionID string, cut int, activation []byte)
 }
 
 // newClassLocked builds the (version, cut) serving class: the shared
-// suffix view and its cost figures. Caller holds c.mu.
+// suffix view (or quant/enclave resume state) and its cost figures. Caller
+// holds c.mu.
 func (c *CloudTier) newClassLocked(key classKey, m *modelEntry) (*class, error) {
-	suffix, err := m.net.Subnet(key.cut, len(m.costs))
-	if err != nil {
-		return nil, fmt.Errorf("offload: suffix for %s@%d: %w", key.version, key.cut, err)
-	}
-	shape, err := m.net.PrefixShape(key.cut)
-	if err != nil {
-		return nil, err
-	}
 	var macs int64
 	for _, lc := range m.costs[key.cut:] {
 		macs += lc.Info.MACs
 	}
 	cl := &class{
-		key: key, suffix: suffix, sufMACs: macs, bits: m.bits,
-		actShape: shape, tenants: make(map[string][]*request),
+		key: key, sufMACs: macs, bits: m.bits,
+		sess: m.sess, artID: m.artID, slow: m.slow,
+		tenants: make(map[string][]*request),
+	}
+	if cl.slow <= 0 {
+		cl.slow = 1
+	}
+	switch {
+	case m.qm != nil:
+		if !m.qm.CanCutAt(key.cut) {
+			return nil, fmt.Errorf("offload: cut %d is not a quantized boundary for %s", key.cut, key.version)
+		}
+		w, err := m.qm.BoundaryWidth(key.cut)
+		if err != nil {
+			return nil, fmt.Errorf("offload: %s@%d: %w", key.version, key.cut, err)
+		}
+		cl.qm, cl.width = m.qm, w
+	case m.mod:
+		// Whole-module class (cut 0 enforced by the single-unit cost
+		// model); activation geometry is the VM's to validate.
+	default:
+		suffix, err := m.net.Subnet(key.cut, len(m.costs))
+		if err != nil {
+			return nil, fmt.Errorf("offload: suffix for %s@%d: %w", key.version, key.cut, err)
+		}
+		shape, err := m.net.PrefixShape(key.cut)
+		if err != nil {
+			return nil, err
+		}
+		cl.suffix, cl.actShape = suffix, shape
 	}
 	c.classes[key] = cl
 	c.classOrder = append(c.classOrder, key)
@@ -352,6 +512,7 @@ func (c *CloudTier) newClassLocked(key classKey, m *modelEntry) (*class, error) 
 func (c *CloudTier) dispatch() {
 	defer c.wg.Done()
 	scratch := make(map[classKey]*nn.Scratch)
+	qscratch := make(map[classKey]*quant.QScratch)
 	for {
 		c.mu.Lock()
 		for c.queued == 0 && !c.closed {
@@ -366,12 +527,21 @@ func (c *CloudTier) dispatch() {
 		if len(reqs) == 0 {
 			continue
 		}
-		s, ok := scratch[cl.key]
-		if !ok {
-			s = nn.NewScratch()
-			scratch[cl.key] = s
+		var s *nn.Scratch
+		var qs *quant.QScratch
+		switch {
+		case cl.qm != nil:
+			if qs = qscratch[cl.key]; qs == nil {
+				qs = quant.NewQScratch()
+				qscratch[cl.key] = qs
+			}
+		case cl.suffix != nil:
+			if s = scratch[cl.key]; s == nil {
+				s = nn.NewScratch()
+				scratch[cl.key] = s
+			}
 		}
-		c.execBatch(cl, reqs, s)
+		c.execBatch(cl, reqs, s, qs)
 	}
 }
 
@@ -420,7 +590,10 @@ func (c *CloudTier) drainLocked() (*class, []*request) {
 }
 
 // execBatch runs one coalesced suffix batch and replies to every request.
-func (c *CloudTier) execBatch(cl *class, reqs []*request, s *nn.Scratch) {
+// The execution engine follows the class kind: float suffix (plain or
+// enclave-resident network), integer-kernel resume from boundary codes, or
+// per-row compiled-module execution inside the enclave session.
+func (c *CloudTier) execBatch(cl *class, reqs []*request, s *nn.Scratch, qs *quant.QScratch) {
 	if c.cfg.TraceBatch != nil {
 		tenants := make([]string, len(reqs))
 		for i, r := range reqs {
@@ -428,29 +601,99 @@ func (c *CloudTier) execBatch(cl *class, reqs []*request, s *nn.Scratch) {
 		}
 		c.cfg.TraceBatch(cl.key.version, cl.key.cut, tenants)
 	}
-	rowLen := 1
-	for _, d := range cl.actShape {
-		rowLen *= d
+	rows := len(reqs)
+	var out *tensor.Tensor
+	// errs is allocated only on the failure paths so the float hot path
+	// stays allocation-free per batch.
+	var errs []error
+	fail := func(i int, err error) {
+		if errs == nil {
+			errs = make([]error, rows)
+		}
+		errs[i] = err
 	}
-	batch := tensor.New(append([]int{len(reqs)}, cl.actShape...)...)
-	for i, r := range reqs {
-		copy(batch.Data[i*rowLen:(i+1)*rowLen], r.act.Data)
+	switch {
+	case cl.qm != nil:
+		codes := make([]int8, rows*cl.width)
+		scales := make([]float32, rows)
+		for i, r := range reqs {
+			copy(codes[i*cl.width:(i+1)*cl.width], r.codes)
+			scales[i] = r.scale
+		}
+		o, err := cl.qm.ForwardFromCodes(codes, scales, rows, cl.key.cut, qs)
+		if err != nil {
+			for i := 0; i < rows; i++ {
+				fail(i, fmt.Errorf("offload: quant suffix: %w", err))
+			}
+		} else {
+			out = o
+		}
+	case cl.sess != nil && cl.suffix == nil:
+		// Compiled module: one in-enclave run per request. Gas exhaustion
+		// or a geometry mismatch fails that request alone — its device
+		// falls back to local execution; batch-mates are unaffected.
+		for i, r := range reqs {
+			res, err := cl.sess.RunModule(cl.artID, r.act.Data)
+			if err != nil {
+				fail(i, fmt.Errorf("offload: enclave module: %w", err))
+				continue
+			}
+			if !res.Output.IsVec {
+				fail(i, fmt.Errorf("offload: enclave module produced a scalar, want a vector"))
+				continue
+			}
+			if out == nil {
+				out = tensor.New(rows, len(res.Output.Vec))
+			}
+			copy(out.Data[i*out.Dim(1):(i+1)*out.Dim(1)], res.Output.Vec)
+		}
+	default:
+		rowLen := 1
+		for _, d := range cl.actShape {
+			rowLen *= d
+		}
+		batch := tensor.New(append([]int{rows}, cl.actShape...)...)
+		for i, r := range reqs {
+			copy(batch.Data[i*rowLen:(i+1)*rowLen], r.act.Data)
+		}
+		out = cl.suffix.ForwardBatch(batch, s)
 	}
-	out := cl.suffix.ForwardBatch(batch, s)
-	outShape := out.Shape()[1:]
-	outLen := out.Size() / len(reqs)
-	perQuery := c.cfg.Caps.InferenceLatency(cl.sufMACs, cl.bits)
+	var outShape []int
+	outLen := 0
+	if out != nil {
+		outShape = out.Shape()[1:]
+		outLen = out.Size() / rows
+	}
+	served := 0
+	for i := range reqs {
+		if (errs == nil || errs[i] == nil) && out != nil {
+			served++
+		}
+	}
+	// Protected execution pays the enclave's slowdown on cloud compute.
+	perQuery := time.Duration(float64(c.cfg.Caps.InferenceLatency(cl.sufMACs, cl.bits)) * cl.slow)
 	// Stats commit BEFORE any reply is delivered: a caller unblocked by
 	// its reply must observe its own request in Stats() — the chaos
 	// scenario's CloudServed == Split invariant depends on it.
 	c.mu.Lock()
 	c.stats.Batches++
-	c.stats.Served += int64(len(reqs))
-	if len(reqs) > c.stats.MaxBatchSize {
-		c.stats.MaxBatchSize = len(reqs)
+	c.stats.Served += int64(served)
+	if rows > c.stats.MaxBatchSize {
+		c.stats.MaxBatchSize = rows
 	}
 	c.mu.Unlock()
 	for i, r := range reqs {
+		var e error
+		if errs != nil {
+			e = errs[i]
+		}
+		if e != nil || out == nil {
+			if e == nil {
+				e = fmt.Errorf("offload: suffix produced no output")
+			}
+			r.reply <- result{err: e}
+			continue
+		}
 		row := tensor.FromSlice(
 			append([]float32(nil), out.Data[i*outLen:(i+1)*outLen]...),
 			append([]int{1}, outShape...)...)
@@ -459,7 +702,7 @@ func (c *CloudTier) execBatch(cl *class, reqs []*request, s *nn.Scratch) {
 			r.reply <- result{err: fmt.Errorf("offload: encode result: %w", err)}
 			continue
 		}
-		r.reply <- result{resp: Response{Payload: buf.Bytes(), Latency: perQuery, BatchSize: len(reqs)}}
+		r.reply <- result{resp: Response{Payload: buf.Bytes(), Latency: perQuery, BatchSize: rows}}
 	}
 }
 

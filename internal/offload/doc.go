@@ -23,4 +23,15 @@
 // its trigger thresholds, and moves the cut only for a MinGain predicted
 // improvement — two-stage hysteresis, so the fault plane's weather
 // migrates the cut without making it flap.
+//
+// Three protected registration paths extend the tier beyond plaintext
+// float suffixes. RegisterQuant serves integer-native splits: the device
+// ships its boundary as int8 codes plus a per-example scale (the strict
+// QAB1 wire codec) and the cloud resumes on the same integer kernels, so
+// the split stays bit-identical to the device's own quantized forward.
+// RegisterProtected serves watermarked per-device copies from an enclave
+// session — the protected plaintext never exists cloud-side outside the
+// enclave, and every query is charged the enclave's measured slowdown.
+// RegisterModule hosts compiled procvm modules, whose only split is
+// all-local versus whole-module execution inside the enclave (cut 0).
 package offload

@@ -12,6 +12,8 @@ import (
 	"tinymlops/internal/market"
 	"tinymlops/internal/metering"
 	"tinymlops/internal/nn"
+	"tinymlops/internal/procvm"
+	"tinymlops/internal/quant"
 	"tinymlops/internal/tensor"
 )
 
@@ -105,8 +107,24 @@ type SessionConfig struct {
 	// (prefix execution caches layer state, so two sessions cannot share
 	// one copy), and bit-exactness requires its weights be identical to
 	// the cloud's registered artifact — deployments satisfy both, since
-	// every device owns its decrypted copy of the registry bytes.
+	// every device owns its decrypted copy of the registry bytes. Nil
+	// exactly when Module is set.
 	Model *nn.Network
+	// Scheme, when an integer scheme, runs both halves of the split on the
+	// integer kernels: the session lowers Model onto a QModel, plans cuts
+	// snapped to dense-stage boundaries, and ships boundaries as int8
+	// codes plus a per-example scale (the QAB1 codec). The cloud entry
+	// must have been registered with RegisterQuant at the same scheme.
+	Scheme quant.Scheme
+	// Module, when non-nil, replaces Model with a compiled procvm
+	// artifact: the only split is all-local versus whole-module execution
+	// on the cloud's enclave (cut 0), planned over ModuleMACs.
+	Module *procvm.Module
+	// ModuleMACs is the module's per-query work for planning (with Module).
+	ModuleMACs int64
+	// InFeatures is the module's input width (required with Module; a
+	// module does not declare its own input geometry).
+	InFeatures int
 	// Bits is the deployed weight precision for latency modeling (≤0 = 32).
 	Bits int
 	// Meter, when non-nil, gates every query (pay-per-query survives the
@@ -134,6 +152,15 @@ type Session struct {
 	costs    []nn.LayerCost
 	features int
 	inShape  []int
+	// Integer-native execution state (nil on float and module sessions):
+	// the QModel lowered from cfg.Model plus the prefix scratch and the
+	// boundary-quantization workspaces.
+	qm      *quant.QModel
+	qs      *quant.QScratch
+	qcodes  []int8
+	qscales []float32
+	// rt executes cfg.Module locally (local plans and fallbacks).
+	rt *procvm.Runtime
 
 	mu     sync.Mutex
 	replan *Replanner
@@ -148,8 +175,11 @@ type Session struct {
 // NewSession validates the configuration and plans the initial split from
 // the device's current conditions (unless cfg.Plan pins one).
 func NewSession(cfg SessionConfig) (*Session, error) {
-	if cfg.Device == nil || cfg.Model == nil || cfg.Cloud == nil {
-		return nil, fmt.Errorf("offload: session needs a device, a model and a cloud tier")
+	if cfg.Device == nil || cfg.Cloud == nil {
+		return nil, fmt.Errorf("offload: session needs a device and a cloud tier")
+	}
+	if (cfg.Model == nil) == (cfg.Module == nil) {
+		return nil, fmt.Errorf("offload: session needs exactly one of a model and a compiled module")
 	}
 	if cfg.Tenant == "" {
 		cfg.Tenant = cfg.Device.ID
@@ -160,19 +190,41 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 	if cfg.Retry.Attempts < 1 {
 		cfg.Retry.Attempts = 3
 	}
-	costs, err := cfg.Model.Summary()
-	if err != nil {
-		return nil, fmt.Errorf("offload: %w", err)
+	s := &Session{cfg: cfg, arena: engine.NewArena()}
+	if cfg.Module != nil {
+		if cfg.InFeatures <= 0 {
+			return nil, fmt.Errorf("offload: module session needs InFeatures")
+		}
+		s.costs = []nn.LayerCost{{Kind: "module", Info: nn.LayerInfo{MACs: cfg.ModuleMACs}}}
+		s.inShape = []int{cfg.InFeatures}
+		s.features = cfg.InFeatures
+		rt := procvm.NewRuntime(cfg.Module.Caps)
+		if cfg.Module.GasLimit > rt.MaxGas {
+			rt.MaxGas = cfg.Module.GasLimit
+		}
+		s.rt = rt
+	} else {
+		costs, err := cfg.Model.Summary()
+		if err != nil {
+			return nil, fmt.Errorf("offload: %w", err)
+		}
+		if len(costs) == 0 {
+			return nil, fmt.Errorf("offload: model has no layers")
+		}
+		s.costs, s.inShape = costs, cfg.Model.InputShape
+		s.features = 1
+		for _, d := range cfg.Model.InputShape {
+			s.features *= d
+		}
+		if cfg.Scheme != quant.Float32 {
+			qm, err := quant.NewQModel(cfg.Model, cfg.Scheme)
+			if err != nil {
+				return nil, fmt.Errorf("offload: %w", err)
+			}
+			s.qm, s.qs = qm, quant.NewQScratch()
+		}
 	}
-	if len(costs) == 0 {
-		return nil, fmt.Errorf("offload: model has no layers")
-	}
-	s := &Session{cfg: cfg, costs: costs, inShape: cfg.Model.InputShape, arena: engine.NewArena()}
-	s.features = 1
-	for _, d := range cfg.Model.InputShape {
-		s.features *= d
-	}
-	rp, err := NewReplanner(cfg.Replan, cfg.Device.Caps, cfg.Cloud.Caps(), costs,
+	rp, err := NewReplanner(cfg.Replan, cfg.Device.Caps, cfg.Cloud.Caps(), s.costs,
 		cfg.Bits, 4*int64(s.features), cfg.Plan, s.conditions())
 	if err != nil {
 		return nil, err
@@ -240,18 +292,25 @@ func (s *Session) exec(x []float32) (Result, error) {
 	if moved {
 		s.stats.Replans++
 	}
-	res := Result{Cut: plan.Cut, Replanned: moved}
+	// The planner works on the float layer graph; an integer-native
+	// session snaps its cut onto the nearest dense-stage boundary the
+	// quantized codec can cross (falling back to all-local when none is).
+	cut := plan.Cut
+	if s.qm != nil {
+		cut = s.qm.SnapCut(cut)
+	}
+	res := Result{Cut: cut, Replanned: moved}
 	in := tensor.FromSlice(append([]float32(nil), x...), append([]int{1}, s.inShape...)...)
 	n := len(s.costs)
 	dev := s.cfg.Device
 
 	// Full-edge plan: one on-device inference, no network at all.
-	if plan.Cut == n {
+	if cut == n {
 		lat, err := dev.RunInference(s.macs(0, n), s.cfg.Bits)
 		if err != nil {
 			return Result{}, fmt.Errorf("offload: device: %w", err)
 		}
-		out, err := s.cfg.Model.ForwardPrefix(in, n)
+		out, err := s.forwardPrefix(in, n)
 		if err != nil {
 			return Result{}, err
 		}
@@ -266,7 +325,7 @@ func (s *Session) exec(x []float32) (Result, error) {
 	// Split path: prefix on-device (cut 0 ships the raw input and runs
 	// nothing locally), activation through the codec, suffix in the cloud.
 	var prefixLat time.Duration
-	prefixMACs := s.macs(0, plan.Cut)
+	prefixMACs := s.macs(0, cut)
 	if prefixMACs > 0 {
 		var err error
 		if prefixLat, err = dev.RunInference(prefixMACs, s.cfg.Bits); err != nil {
@@ -274,7 +333,7 @@ func (s *Session) exec(x []float32) (Result, error) {
 		}
 		res.DeviceEnergyJ += dev.Caps.InferenceEnergy(prefixMACs)
 	}
-	act, err := s.cfg.Model.ForwardPrefix(in, plan.Cut)
+	act, err := s.forwardPrefix(in, cut)
 	if err != nil {
 		return Result{}, err
 	}
@@ -282,7 +341,7 @@ func (s *Session) exec(x []float32) (Result, error) {
 	// synchronous and copies what it keeps, so the payload's lifetime ends
 	// at return and the buffer's storage is reused by the next query.
 	buf := s.arena.Buffer(0)
-	if _, err := act.WriteTo(buf); err != nil {
+	if err := s.encodeBoundary(act, buf); err != nil {
 		return Result{}, fmt.Errorf("offload: encode activation: %w", err)
 	}
 	payload := buf.Bytes()
@@ -292,7 +351,7 @@ func (s *Session) exec(x []float32) (Result, error) {
 	if err != nil {
 		// Uplink drop mid-activation: the radio refused (offline, battery)
 		// before spending, so fall back to finishing on-device.
-		return s.fallback(res, act, plan.Cut, prefixLat)
+		return s.fallback(res, act, cut, prefixLat)
 	}
 	res.DeviceEnergyJ += float64(len(payload)) * dev.Caps.EnergyPerTxByteJoule
 	s.stats.ActivationBytes += int64(len(payload))
@@ -301,7 +360,7 @@ func (s *Session) exec(x []float32) (Result, error) {
 	rr, err := engine.Retry(s.cfg.Retry,
 		func(e error) bool { return errors.Is(e, ErrShed) },
 		func(int) error {
-			r, serr := s.cfg.Cloud.Submit(s.cfg.Tenant, s.cfg.VersionID, plan.Cut, payload)
+			r, serr := s.cfg.Cloud.Submit(s.cfg.Tenant, s.cfg.VersionID, cut, payload)
 			if serr == nil {
 				resp = r
 			}
@@ -311,14 +370,14 @@ func (s *Session) exec(x []float32) (Result, error) {
 	if err != nil {
 		// The cloud shed us past the retry budget (or is closed): the
 		// uplink bytes are spent, but the query must still answer.
-		return s.fallback(res, act, plan.Cut, prefixLat+upDur+rr.Backoff)
+		return s.fallback(res, act, cut, prefixLat+upDur+rr.Backoff)
 	}
 
 	dnDur, err := dev.Download(int64(len(resp.Payload)))
 	if err != nil {
 		// The answer was computed but the downlink is gone; recompute the
 		// suffix locally rather than losing the query.
-		return s.fallback(res, act, plan.Cut, prefixLat+upDur+rr.Backoff+resp.Latency)
+		return s.fallback(res, act, cut, prefixLat+upDur+rr.Backoff+resp.Latency)
 	}
 	var out tensor.Tensor
 	if _, err := out.ReadFrom(bytes.NewReader(resp.Payload)); err != nil {
@@ -343,7 +402,7 @@ func (s *Session) fallback(res Result, act *tensor.Tensor, cut int, spent time.D
 	if err != nil {
 		return Result{}, fmt.Errorf("offload: fallback: %w", err)
 	}
-	out, err := s.cfg.Model.ForwardSuffix(act, cut)
+	out, err := s.forwardSuffix(act, cut)
 	if err != nil {
 		return Result{}, err
 	}
@@ -354,6 +413,73 @@ func (s *Session) fallback(res Result, act *tensor.Tensor, cut int, spent time.D
 	s.stats.Queries++
 	s.stats.Fallbacks++
 	return res, nil
+}
+
+// forwardPrefix runs layers [0, cut) on the session's executor: the float
+// network, the integer kernels, or (for a module session, where the only
+// non-trivial cut is 0) the identity — cut == len(costs) is the full local
+// pass in every mode.
+func (s *Session) forwardPrefix(in *tensor.Tensor, cut int) (*tensor.Tensor, error) {
+	switch {
+	case s.cfg.Module != nil:
+		if cut == 0 {
+			return in, nil
+		}
+		return s.runModule(in)
+	case s.qm != nil:
+		return s.qm.ForwardRange(in, s.qs, 0, cut), nil
+	default:
+		return s.cfg.Model.ForwardPrefix(in, cut)
+	}
+}
+
+// forwardSuffix finishes execution locally from the boundary at cut — the
+// fallback half of forwardPrefix. An integer session resumes the integer
+// kernels at stage cut, which quantizes the boundary exactly as the wire
+// codec did, so fallback answers stay bit-identical to split answers.
+func (s *Session) forwardSuffix(act *tensor.Tensor, cut int) (*tensor.Tensor, error) {
+	switch {
+	case s.cfg.Module != nil:
+		return s.runModule(act)
+	case s.qm != nil:
+		return s.qm.ForwardRange(act, s.qs, cut, len(s.costs)), nil
+	default:
+		return s.cfg.Model.ForwardSuffix(act, cut)
+	}
+}
+
+// runModule executes the session's compiled module on one input row.
+func (s *Session) runModule(in *tensor.Tensor) (*tensor.Tensor, error) {
+	r, err := s.rt.Run(s.cfg.Module, in.Data)
+	if err != nil {
+		return nil, fmt.Errorf("offload: module: %w", err)
+	}
+	if !r.Output.IsVec {
+		return nil, fmt.Errorf("offload: module produced a scalar, want a vector")
+	}
+	return tensor.FromSlice(append([]float32(nil), r.Output.Vec...), 1, len(r.Output.Vec)), nil
+}
+
+// encodeBoundary serializes the boundary activation for the wire: float
+// sessions use the tensor codec; integer sessions quantize each example
+// with its own dynamic scale — producing the identical codes stage cut
+// would compute locally — and pack them as a QAB1 payload.
+func (s *Session) encodeBoundary(act *tensor.Tensor, buf *bytes.Buffer) error {
+	if s.qm == nil {
+		_, err := act.WriteTo(buf)
+		return err
+	}
+	rows := act.Dim(0)
+	cols := act.Size() / rows
+	if cap(s.qcodes) < rows*cols {
+		s.qcodes = make([]int8, rows*cols)
+	}
+	if cap(s.qscales) < rows {
+		s.qscales = make([]float32, rows)
+	}
+	codes, scales := s.qcodes[:rows*cols], s.qscales[:rows]
+	quant.QuantizeActivationsRows(act, codes, scales)
+	return encodeQAB(buf, codes, scales, rows, cols)
 }
 
 // finish fills the label and logits from the output row.

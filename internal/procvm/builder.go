@@ -158,6 +158,47 @@ func (b *Builder) MeanPool(k int) *Builder { return b.emit(OpMeanPool, k) }
 // Slice keeps elements [lo, hi) of the top vector.
 func (b *Builder) Slice(lo, hi int) *Builder { return b.emit(OpSlice, lo, hi) }
 
+// ReLU applies the rectifier element-wise.
+func (b *Builder) ReLU() *Builder { return b.emit(OpReLU) }
+
+// Sigmoid applies the logistic function element-wise.
+func (b *Builder) Sigmoid() *Builder { return b.emit(OpSigmoid) }
+
+// Tanh applies the hyperbolic tangent element-wise.
+func (b *Builder) Tanh() *Builder { return b.emit(OpTanh) }
+
+// MatVec multiplies the top vector (length in) by the [in, out] row-major
+// weight matrix and adds the bias — the lowered form of a dense layer.
+func (b *Builder) MatVec(w []float32, bias []float32) *Builder {
+	if b.err != nil {
+		return b
+	}
+	out := len(bias)
+	if out == 0 || len(w)%out != 0 {
+		b.err = fmt.Errorf("procvm: MatVec weights %d not a multiple of bias %d", len(w), out)
+		return b
+	}
+	return b.emit(OpMatVec, b.vectorConst(w), b.vectorConst(bias), out)
+}
+
+// Conv2D convolves the top vector, interpreted as a flattened [inC, h, w]
+// feature map, with the [outC, inC*kh*kw] row-major kernel matrix.
+func (b *Builder) Conv2D(w, bias []float32, inC, h, wd, outC, kh, kw, stride, pad int) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if len(w) != outC*inC*kh*kw || len(bias) != outC {
+		b.err = fmt.Errorf("procvm: Conv2D weights %d / bias %d inconsistent with geometry", len(w), len(bias))
+		return b
+	}
+	return b.emit(OpConv2D, b.vectorConst(w), b.vectorConst(bias), inC, h, wd, outC, kh, kw, stride, pad)
+}
+
+// MaxPool2D max-pools the top vector as a flattened [ch, h, w] map.
+func (b *Builder) MaxPool2D(ch, h, w, k, stride int) *Builder {
+	return b.emit(OpMaxPool2D, ch, h, w, k, stride)
+}
+
 // Dup duplicates the top value.
 func (b *Builder) Dup() *Builder { return b.emit(OpDup) }
 
@@ -216,6 +257,28 @@ func Validate(m *Module) error {
 		case OpSlice:
 			if operands[0] > operands[1] {
 				return fmt.Errorf("procvm: slice bounds [%d:%d] inverted", operands[0], operands[1])
+			}
+		case OpMatVec:
+			if operands[0] >= len(m.Vectors) || operands[1] >= len(m.Vectors) {
+				return fmt.Errorf("procvm: matvec pool index out of pool (size %d)", len(m.Vectors))
+			}
+			if operands[2] == 0 {
+				return fmt.Errorf("procvm: matvec output width must be positive")
+			}
+		case OpConv2D:
+			if operands[0] >= len(m.Vectors) || operands[1] >= len(m.Vectors) {
+				return fmt.Errorf("procvm: conv2d pool index out of pool (size %d)", len(m.Vectors))
+			}
+			for _, v := range operands[2:9] {
+				if v == 0 {
+					return fmt.Errorf("procvm: conv2d geometry operand must be positive")
+				}
+			}
+		case OpMaxPool2D:
+			for _, v := range operands {
+				if v == 0 {
+					return fmt.Errorf("procvm: maxpool2d geometry operand must be positive")
+				}
 			}
 		}
 		pops, pushes := stackEffect(op)

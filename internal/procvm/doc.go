@@ -13,4 +13,11 @@
 // the §IV orchestration story's sandbox requirement. The interpreter is
 // deliberately allocation-light and branch-simple, standing in for the
 // WebAssembly-class runtimes the paper points at.
+//
+// Beyond hand-built pipelines, internal/compat compiles whole trained
+// networks into modules — dense, convolution, pooling and activation
+// instructions — making the VM a portable protected-execution target:
+// a module's gas limit is pinned at compile time to its measured
+// per-query cost, so a hosting runtime can meter a stranger's model
+// deterministically without trusting its cost claims.
 package procvm

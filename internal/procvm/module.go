@@ -17,6 +17,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 )
 
@@ -104,11 +105,13 @@ func (m *Module) Encode() []byte {
 // content address.
 func (m *Module) Digest() [32]byte { return sha256.Sum256(m.Encode()) }
 
-// DecodeModule parses a module from its canonical binary form.
+// DecodeModule parses a module from its canonical binary form. Every
+// section is read with io.ReadFull and the input must be consumed exactly:
+// truncated, trailing or garbage bytes all reject.
 func DecodeModule(data []byte) (*Module, error) {
 	r := bytes.NewReader(data)
 	magic := make([]byte, len(moduleMagic))
-	if _, err := r.Read(magic); err != nil || string(magic) != moduleMagic {
+	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != moduleMagic {
 		return nil, errors.New("procvm: not a PVM1 module")
 	}
 	m := &Module{}
@@ -173,8 +176,11 @@ func DecodeModule(data []byte) (*Module, error) {
 		return nil, fmt.Errorf("procvm: implausible code size %d", nc)
 	}
 	m.Code = make([]byte, nc)
-	if _, err := r.Read(m.Code); err != nil && nc > 0 {
+	if _, err := io.ReadFull(r, m.Code); err != nil && nc > 0 {
 		return nil, fmt.Errorf("procvm: short code section: %w", err)
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("procvm: %d trailing bytes after module", r.Len())
 	}
 	return m, nil
 }
@@ -198,7 +204,7 @@ func putString(b *bytes.Buffer, s string) {
 
 func getU32(r *bytes.Reader) (uint32, error) {
 	var tmp [4]byte
-	if _, err := r.Read(tmp[:]); err != nil {
+	if _, err := io.ReadFull(r, tmp[:]); err != nil {
 		return 0, fmt.Errorf("procvm: truncated module: %w", err)
 	}
 	return binary.LittleEndian.Uint32(tmp[:]), nil
@@ -206,7 +212,7 @@ func getU32(r *bytes.Reader) (uint32, error) {
 
 func getU64(r *bytes.Reader) (uint64, error) {
 	var tmp [8]byte
-	if _, err := r.Read(tmp[:]); err != nil {
+	if _, err := io.ReadFull(r, tmp[:]); err != nil {
 		return 0, fmt.Errorf("procvm: truncated module: %w", err)
 	}
 	return binary.LittleEndian.Uint64(tmp[:]), nil
@@ -221,7 +227,7 @@ func getString(r *bytes.Reader) (string, error) {
 		return "", fmt.Errorf("procvm: implausible string length %d", n)
 	}
 	buf := make([]byte, n)
-	if _, err := r.Read(buf); err != nil && n > 0 {
+	if _, err := io.ReadFull(r, buf); err != nil && n > 0 {
 		return "", fmt.Errorf("procvm: truncated string: %w", err)
 	}
 	return string(buf), nil

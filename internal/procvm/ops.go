@@ -51,6 +51,26 @@ const (
 	OpMeanPool
 	// OpSlice <u16 lo> <u16 hi> pops a vector and pushes v[lo:hi].
 	OpSlice
+	// Neural-network ops (the compat→procvm lowering backend). These run
+	// the exact float32 kernels the native nn layers use, so a compiled
+	// module is bit-identical to the network it was lowered from.
+	//
+	// OpReLU / OpSigmoid / OpTanh apply the activation element-wise.
+	OpReLU
+	OpSigmoid
+	OpTanh
+	// OpMatVec <u16 w> <u16 b> <u16 out> pops x (length `in`), reads the
+	// weight matrix [in, out] from Vectors[w] and the bias from
+	// Vectors[b], and pushes x·W + b. Charges in×out supplemental gas.
+	OpMatVec
+	// OpConv2D <u16 w> <u16 b> <u16 inC> <u16 h> <u16 wd> <u16 outC>
+	// <u16 kh> <u16 kw> <u16 stride> <u16 pad> pops a flattened
+	// [inC, h, wd] feature map and pushes the flattened [outC, oh, ow]
+	// convolution output. Charges outC·oh·ow·inC·kh·kw supplemental gas.
+	OpConv2D
+	// OpMaxPool2D <u16 ch> <u16 h> <u16 w> <u16 k> <u16 stride> pops a
+	// flattened [ch, h, w] map and pushes the k×k max-pooled map.
+	OpMaxPool2D
 	opCount // sentinel
 )
 
@@ -87,6 +107,12 @@ var opTable = [opCount]opInfo{
 	OpSum:        {"sum", 0},
 	OpMeanPool:   {"meanpool", 1},
 	OpSlice:      {"slice", 2},
+	OpReLU:       {"relu", 0},
+	OpSigmoid:    {"sigmoid", 0},
+	OpTanh:       {"tanh", 0},
+	OpMatVec:     {"matvec", 3},
+	OpConv2D:     {"conv2d", 10},
+	OpMaxPool2D:  {"maxpool2d", 5},
 }
 
 // String implements fmt.Stringer.
@@ -119,9 +145,13 @@ func gasCost(op OpCode, n int) uint64 {
 		return uint64(n) + 1
 	case OpSoftmax:
 		return uint64(4*n) + 1
-	case OpSqrt, OpNormalize:
+	case OpSqrt, OpNormalize, OpSigmoid, OpTanh:
 		return uint64(2*n) + 1
 	default:
+		// The heavy nn ops (OpMatVec, OpConv2D, OpMaxPool2D) land here for
+		// their base cost and charge supplemental gas proportional to the
+		// actual MAC count inside the interpreter, after decoding operands
+		// — still a pure function of the code and input length.
 		return uint64(n) + 1
 	}
 }

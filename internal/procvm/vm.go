@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"tinymlops/internal/tensor"
 )
 
 // Value is one stack slot: a scalar or a vector.
@@ -137,6 +139,15 @@ func (rt *Runtime) Run(m *Module, input []float32) (Result, error) {
 		gas += gasCost(op, n)
 		if gas > gasLimit {
 			return Result{GasUsed: gas}, fmt.Errorf("%w: used %d of %d", ErrOutOfGas, gas, gasLimit)
+		}
+		// charge meters supplemental gas for the heavy nn ops, whose cost
+		// is known only after their operands decode.
+		charge := func(extra uint64) error {
+			gas += extra
+			if gas > gasLimit {
+				return fmt.Errorf("%w: used %d of %d", ErrOutOfGas, gas, gasLimit)
+			}
+			return nil
 		}
 
 		var err error
@@ -321,6 +332,27 @@ func (rt *Runtime) Run(m *Module, input []float32) (Result, error) {
 					}
 				}
 			}
+		case OpReLU:
+			err = unaryOp(pop, push, func(x float32) float32 {
+				if x > 0 {
+					return x
+				}
+				return 0
+			})
+		case OpSigmoid:
+			err = unaryOp(pop, push, func(x float32) float32 {
+				return float32(1 / (1 + math.Exp(-float64(x))))
+			})
+		case OpTanh:
+			err = unaryOp(pop, push, func(x float32) float32 {
+				return float32(math.Tanh(float64(x)))
+			})
+		case OpMatVec:
+			err = runMatVec(m, readU16, popVec, push, charge)
+		case OpConv2D:
+			err = runConv2D(m, readU16, popVec, push, charge)
+		case OpMaxPool2D:
+			err = runMaxPool2D(readU16, popVec, push, charge)
 		}
 		if err != nil {
 			return Result{GasUsed: gas}, err
@@ -413,6 +445,173 @@ func softmax(x []float32) []float32 {
 		out[i] *= inv
 	}
 	return out
+}
+
+// runMatVec executes OpMatVec: pop x (len in), push x·W + b. The multiply
+// goes through tensor.MatMulInto on a 1×in row so the result is
+// bit-identical to nn.Dense's InferInto on the same row.
+func runMatVec(m *Module, readU16 func() (int, error), popVec func() ([]float32, error), push func(Value) error, charge func(uint64) error) error {
+	wi, err := readU16()
+	if err != nil {
+		return err
+	}
+	bi, err := readU16()
+	if err != nil {
+		return err
+	}
+	outN, err := readU16()
+	if err != nil {
+		return err
+	}
+	if wi >= len(m.Vectors) || bi >= len(m.Vectors) {
+		return fmt.Errorf("%w: matvec pool index out of range", ErrBadModule)
+	}
+	x, err := popVec()
+	if err != nil {
+		return err
+	}
+	in := len(x)
+	w, b := m.Vectors[wi], m.Vectors[bi]
+	if outN <= 0 || len(w) != in*outN || len(b) != outN {
+		return fmt.Errorf("%w: matvec shapes: input %d, weights %d, bias %d, out %d",
+			ErrTypeMismatch, in, len(w), len(b), outN)
+	}
+	if err := charge(uint64(in) * uint64(outN)); err != nil {
+		return err
+	}
+	out := make([]float32, outN)
+	tensor.MatMulInto(tensor.FromSlice(out, 1, outN), tensor.FromSlice(x, 1, in), tensor.FromSlice(w, in, outN))
+	for j := range out {
+		out[j] += b[j]
+	}
+	return push(vector(out))
+}
+
+// runConv2D executes OpConv2D by the same im2col + MatMulInto route
+// nn.Conv2D takes, so compiled convolutions stay bit-identical to native.
+func runConv2D(m *Module, readU16 func() (int, error), popVec func() ([]float32, error), push func(Value) error, charge func(uint64) error) error {
+	var ops [10]int
+	for i := range ops {
+		v, err := readU16()
+		if err != nil {
+			return err
+		}
+		ops[i] = v
+	}
+	wi, bi := ops[0], ops[1]
+	inC, h, w := ops[2], ops[3], ops[4]
+	outC, kh, kw := ops[5], ops[6], ops[7]
+	stride, pad := ops[8], ops[9]
+	if wi >= len(m.Vectors) || bi >= len(m.Vectors) {
+		return fmt.Errorf("%w: conv2d pool index out of range", ErrBadModule)
+	}
+	if inC <= 0 || h <= 0 || w <= 0 || outC <= 0 || kh <= 0 || kw <= 0 || stride <= 0 {
+		return fmt.Errorf("%w: conv2d geometry", ErrTypeMismatch)
+	}
+	oh := (h+2*pad-kh)/stride + 1
+	ow := (w+2*pad-kw)/stride + 1
+	if oh <= 0 || ow <= 0 {
+		return fmt.Errorf("%w: conv2d output would be empty", ErrTypeMismatch)
+	}
+	x, err := popVec()
+	if err != nil {
+		return err
+	}
+	k := inC * kh * kw
+	weights, bias := m.Vectors[wi], m.Vectors[bi]
+	if len(x) != inC*h*w || len(weights) != outC*k || len(bias) != outC {
+		return fmt.Errorf("%w: conv2d shapes: input %d, weights %d, bias %d",
+			ErrTypeMismatch, len(x), len(weights), len(bias))
+	}
+	if err := charge(uint64(outC) * uint64(oh) * uint64(ow) * uint64(k)); err != nil {
+		return err
+	}
+	cols := tensor.New(k, oh*ow)
+	// im2col matching nn.Conv2D's unroll exactly (zero-padded taps).
+	idx := 0
+	for ch := 0; ch < inC; ch++ {
+		plane := x[ch*h*w : (ch+1)*h*w]
+		for ki := 0; ki < kh; ki++ {
+			for kj := 0; kj < kw; kj++ {
+				row := cols.Data[idx*oh*ow : (idx+1)*oh*ow]
+				idx++
+				p := 0
+				for oi := 0; oi < oh; oi++ {
+					si := oi*stride + ki - pad
+					for oj := 0; oj < ow; oj++ {
+						sj := oj*stride + kj - pad
+						if si >= 0 && si < h && sj >= 0 && sj < w {
+							row[p] = plane[si*w+sj]
+						}
+						p++
+					}
+				}
+			}
+		}
+	}
+	y := tensor.New(outC, oh*ow)
+	tensor.MatMulInto(y, tensor.FromSlice(weights, outC, k), cols)
+	out := make([]float32, outC*oh*ow)
+	copy(out, y.Data)
+	for oc := 0; oc < outC; oc++ {
+		b := bias[oc]
+		seg := out[oc*oh*ow : (oc+1)*oh*ow]
+		for i := range seg {
+			seg[i] += b
+		}
+	}
+	return push(vector(out))
+}
+
+// runMaxPool2D executes OpMaxPool2D with nn.MaxPool2D's exact loop.
+func runMaxPool2D(readU16 func() (int, error), popVec func() ([]float32, error), push func(Value) error, charge func(uint64) error) error {
+	var ops [5]int
+	for i := range ops {
+		v, err := readU16()
+		if err != nil {
+			return err
+		}
+		ops[i] = v
+	}
+	ch, h, w, k, stride := ops[0], ops[1], ops[2], ops[3], ops[4]
+	if ch <= 0 || h <= 0 || w <= 0 || k <= 0 || stride <= 0 {
+		return fmt.Errorf("%w: maxpool2d geometry", ErrTypeMismatch)
+	}
+	oh := (h-k)/stride + 1
+	ow := (w-k)/stride + 1
+	if oh <= 0 || ow <= 0 {
+		return fmt.Errorf("%w: maxpool2d output would be empty", ErrTypeMismatch)
+	}
+	x, err := popVec()
+	if err != nil {
+		return err
+	}
+	if len(x) != ch*h*w {
+		return fmt.Errorf("%w: maxpool2d input %d != %d×%d×%d", ErrTypeMismatch, len(x), ch, h, w)
+	}
+	if err := charge(uint64(ch) * uint64(oh) * uint64(ow) * uint64(k) * uint64(k)); err != nil {
+		return err
+	}
+	out := make([]float32, ch*oh*ow)
+	for c := 0; c < ch; c++ {
+		plane := x[c*h*w : (c+1)*h*w]
+		dst := out[c*oh*ow : (c+1)*oh*ow]
+		for oi := 0; oi < oh; oi++ {
+			for oj := 0; oj < ow; oj++ {
+				best := float32(math.Inf(-1))
+				for ki := 0; ki < k; ki++ {
+					for kj := 0; kj < k; kj++ {
+						v := plane[(oi*stride+ki)*w+(oj*stride+kj)]
+						if v > best {
+							best = v
+						}
+					}
+				}
+				dst[oi*ow+oj] = best
+			}
+		}
+	}
+	return push(vector(out))
 }
 
 func reduce(op OpCode, x []float32) float32 {

@@ -30,10 +30,21 @@ type Metrics struct {
 	PeakActivationBytes int64
 }
 
+// Artifact kinds a ModelVersion can carry. The zero value (KindNetwork)
+// is a serialized nn.Network; KindProcVM is a compiled procvm module in
+// its canonical PVM1 encoding — the portable obfuscated deployment format.
+const (
+	KindNetwork = ""
+	KindProcVM  = "procvm"
+)
+
 // ModelVersion is one node of the lineage DAG.
 type ModelVersion struct {
 	// ID is the hex-truncated content digest of the artifact.
 	ID string
+	// Kind discriminates the artifact encoding: KindNetwork (default) or
+	// KindProcVM. Selection policies must opt in to non-network kinds.
+	Kind string
 	// Name is the logical model line ("wakeword", "defect-detector").
 	Name string
 	// Seq is the registration sequence number within the registry
@@ -211,6 +222,8 @@ var ErrArtifactMissing = fmt.Errorf("registry: artifact missing")
 
 // Load deserializes the network stored under a version ID, verifying the
 // artifact digest first (integrity check on the registry's own storage).
+// Compiled-module versions reject: their bytes are not a network, and a
+// caller expecting one must follow ParentID to the float artifact instead.
 func (r *Registry) Load(id string) (*nn.Network, error) {
 	r.mu.RLock()
 	data, ok := r.blobs[id]
@@ -219,10 +232,74 @@ func (r *Registry) Load(id string) (*nn.Network, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: version %q", ErrArtifactMissing, id)
 	}
+	if v.Kind == KindProcVM {
+		return nil, fmt.Errorf("registry: version %q is a compiled module, not a network", id)
+	}
 	if sha256.Sum256(data) != v.Digest {
 		return nil, fmt.Errorf("registry: artifact %q failed integrity check", id)
 	}
 	return nn.UnmarshalNetwork(data)
+}
+
+// LoadCompiled decodes the procvm module stored under a compiled version
+// ID, verifying the artifact digest first.
+func (r *Registry) LoadCompiled(id string) (*procvm.Module, error) {
+	r.mu.RLock()
+	data, ok := r.blobs[id]
+	v := r.models[id]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: version %q", ErrArtifactMissing, id)
+	}
+	if v.Kind != KindProcVM {
+		return nil, fmt.Errorf("registry: version %q is not a compiled module", id)
+	}
+	if sha256.Sum256(data) != v.Digest {
+		return nil, fmt.Errorf("registry: artifact %q failed integrity check", id)
+	}
+	return procvm.DecodeModule(data)
+}
+
+// RegisterCompiled stores a compiled procvm module as a first-class
+// variant of the float version it was lowered from: the canonical PVM1
+// encoding is the digest-pinned artifact, cost metrics carry over from the
+// parent (the module executes the same arithmetic), and the variant is
+// selectable only by policies that opt in to registry.KindProcVM.
+func (r *Registry) RegisterCompiled(parentID string, m *procvm.Module, accuracy float64) (*ModelVersion, error) {
+	parent := r.mustGet(parentID)
+	if parent == nil {
+		return nil, fmt.Errorf("registry: unknown parent version %q", parentID)
+	}
+	if parent.Kind != KindNetwork {
+		return nil, fmt.Errorf("registry: compiled parent %q must be a network artifact", parentID)
+	}
+	data := m.Encode()
+	digest := sha256.Sum256(data)
+	id := idFromDigest(digest)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if existing, ok := r.models[id]; ok {
+		return existing, nil
+	}
+	r.seq++
+	v := &ModelVersion{
+		ID: id, Kind: KindProcVM, Name: parent.Name, Seq: r.seq, ParentID: parentID,
+		Scheme: quant.Float32,
+		Metrics: Metrics{
+			Accuracy:            accuracy,
+			SizeBytes:           len(data),
+			MACs:                parent.Metrics.MACs,
+			PeakActivationBytes: parent.Metrics.PeakActivationBytes,
+		},
+		Tags:   make(map[string]string),
+		Digest: digest,
+	}
+	r.blobs[id] = data
+	r.models[id] = v
+	r.byName[v.Name] = append(r.byName[v.Name], id)
+	r.children[parentID] = append(r.children[parentID], id)
+	return v, nil
 }
 
 // Bytes returns the raw artifact (for transfer-size accounting and

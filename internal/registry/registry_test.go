@@ -253,3 +253,127 @@ func TestConcurrentRegistration(t *testing.T) {
 		t.Fatalf("registered %d versions, want 16", got)
 	}
 }
+
+// buildTestModule assembles a small procvm module without going through
+// the compiler, so registry tests stay below the compat layer.
+func buildTestModule(t *testing.T, name string) *procvm.Module {
+	t.Helper()
+	m, err := procvm.NewBuilder(name).
+		Input().MatVec([]float32{1, 0, 0, 1, 1, -1, 0, 2}, []float32{0.5, -0.5}).ReLU().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestRegisterCompiledLineageAndRoundTrip pins the compiled artifact kind:
+// the module registers as a digest-addressed procvm variant of its float
+// parent, carries the parent's cost metrics, round-trips bit-exactly
+// through LoadCompiled, and deduplicates on content.
+func TestRegisterCompiledLineageAndRoundTrip(t *testing.T) {
+	r := New()
+	parent, err := r.RegisterModel("demo", newTestNet(1), 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := buildTestModule(t, "demo")
+	v, err := r.RegisterCompiled(parent.ID, mod, 0.89)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Kind != KindProcVM || v.ParentID != parent.ID || v.Name != parent.Name {
+		t.Fatalf("compiled version = %+v", v)
+	}
+	if v.Metrics.MACs != parent.Metrics.MACs || v.Metrics.Accuracy != 0.89 {
+		t.Fatalf("compiled metrics = %+v", v.Metrics)
+	}
+	got, err := r.LoadCompiled(v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Digest() != mod.Digest() {
+		t.Fatal("compiled module did not round-trip")
+	}
+	// Content addressing: the same module registers to the same version.
+	again, err := r.RegisterCompiled(parent.ID, mod, 0.89)
+	if err != nil || again.ID != v.ID {
+		t.Fatalf("re-register: %v, id %q vs %q", err, again.ID, v.ID)
+	}
+	// The variant shows up in the parent's lineage.
+	kids := r.Variants(parent.ID)
+	found := false
+	for _, k := range kids {
+		found = found || k.ID == v.ID
+	}
+	if !found {
+		t.Fatal("compiled variant missing from parent lineage")
+	}
+}
+
+// TestRegisterCompiledAndLoadCompiledRejects pins the kind guards: no
+// compiling off an unknown or non-network parent, no loading a float
+// artifact as a module, and integrity failure on tampered blobs.
+func TestRegisterCompiledAndLoadCompiledRejects(t *testing.T) {
+	r := New()
+	parent, err := r.RegisterModel("demo", newTestNet(1), 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := buildTestModule(t, "demo")
+	if _, err := r.RegisterCompiled("nope", mod, 0.5); err == nil {
+		t.Fatal("registered under an unknown parent")
+	}
+	v, err := r.RegisterCompiled(parent.ID, mod, 0.89)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A compiled version cannot parent another compiled version.
+	if _, err := r.RegisterCompiled(v.ID, mod, 0.5); err == nil {
+		t.Fatal("compiled-on-compiled lineage accepted")
+	}
+	// The float parent is not loadable as a module.
+	if _, err := r.LoadCompiled(parent.ID); err == nil {
+		t.Fatal("float artifact loaded as a compiled module")
+	}
+	if _, err := r.LoadCompiled("missing"); err == nil {
+		t.Fatal("unknown ID loaded")
+	}
+}
+
+// TestEvictKeepsMetadataDropsBytes pins vendor-side blob pruning: the
+// version survives, the bytes do not.
+func TestEvictKeepsMetadataDropsBytes(t *testing.T) {
+	r := New()
+	v, err := r.RegisterModel("demo", newTestNet(1), 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Evict("missing"); err == nil {
+		t.Fatal("evicted an unknown version")
+	}
+	if err := r.Evict(v.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Bytes(v.ID); err == nil {
+		t.Fatal("evicted bytes still served")
+	}
+	if _, err := r.Get(v.ID); err != nil {
+		t.Fatalf("metadata lost on evict: %v", err)
+	}
+	if _, err := r.Load(v.ID); err == nil {
+		t.Fatal("evicted artifact still loads")
+	}
+}
+
+// TestDefaultOptimizationSpec exercises the canned variant pipeline spec.
+func TestDefaultOptimizationSpec(t *testing.T) {
+	ds := dataset.Blobs(tensor.NewRNG(3), 60, 4, 3, 4)
+	eval := func(n *nn.Network) float64 { return nn.Evaluate(n, ds.X, ds.Y) }
+	spec := DefaultOptimizationSpec(eval)
+	if spec.Evaluate == nil {
+		t.Fatal("spec has no evaluator")
+	}
+	if acc := spec.Evaluate(newTestNet(1)); acc < 0 || acc > 1 {
+		t.Fatalf("accuracy %v out of range", acc)
+	}
+}

@@ -22,6 +22,11 @@ type Policy struct {
 	// (e.g. Float32 only while the integer serving path canaries, or Int8
 	// only to force native execution on capable hardware).
 	Schemes []quant.Scheme
+	// Kinds lists the artifact kinds the policy accepts. Empty means
+	// network artifacts only: compiled variants (registry.KindProcVM) are
+	// never selected by accident — a cohort opts in explicitly, mirroring
+	// the Schemes pin.
+	Kinds []string
 
 	// LatencyRef and DownloadRef are the absolute budgets that make the
 	// latency and download penalties unit-free: a candidate at the
@@ -62,6 +67,7 @@ func (p Policy) normalized() Policy {
 		d := DefaultPolicy()
 		d.MinAccuracy, d.MaxLatency, d.BatteryAware = p.MinAccuracy, p.MaxLatency, p.BatteryAware
 		d.Schemes = p.Schemes
+		d.Kinds = p.Kinds
 		p = d
 	}
 	if p.LatencyRef <= 0 {
@@ -184,6 +190,22 @@ func capAt1(v float64) float64 {
 }
 
 func feasibility(dev *device.Device, v *registry.ModelVersion, policy Policy) string {
+	if len(policy.Kinds) == 0 {
+		if v.Kind != registry.KindNetwork {
+			return fmt.Sprintf("artifact kind %q excluded by policy", v.Kind)
+		}
+	} else {
+		allowed := false
+		for _, k := range policy.Kinds {
+			if v.Kind == k {
+				allowed = true
+				break
+			}
+		}
+		if !allowed {
+			return fmt.Sprintf("artifact kind %q excluded by policy", v.Kind)
+		}
+	}
 	if len(policy.Schemes) > 0 {
 		allowed := false
 		for _, s := range policy.Schemes {

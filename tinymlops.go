@@ -25,15 +25,18 @@ package tinymlops
 import (
 	"time"
 
+	"tinymlops/internal/compat"
 	"tinymlops/internal/core"
 	"tinymlops/internal/dataset"
 	"tinymlops/internal/device"
+	"tinymlops/internal/enclave"
 	"tinymlops/internal/engine"
 	"tinymlops/internal/faults"
 	"tinymlops/internal/fed"
 	"tinymlops/internal/market"
 	"tinymlops/internal/nn"
 	"tinymlops/internal/offload"
+	"tinymlops/internal/procvm"
 	"tinymlops/internal/registry"
 	"tinymlops/internal/rollout"
 	"tinymlops/internal/selector"
@@ -344,10 +347,89 @@ var ErrOffloadShed = offload.ErrShed
 // session; open a new session against the updated deployment.
 var ErrOffloadStale = core.ErrOffloadStale
 
-// ErrOffloadInteger is returned by Platform.Offload for deployments served
-// by the integer kernels: the split runtime's boundary activations move
-// through the float32 codec, so such deployments stay fully on-device.
+// ErrOffloadInteger is retired: integer-kernel deployments now split
+// through the quantized boundary codec (int8 codes plus a per-example
+// scale), so Platform.Offload never returns it. The sentinel stays
+// exported so existing errors.Is checks keep compiling; they simply never
+// match.
 var ErrOffloadInteger = core.ErrOffloadInteger
+
+// Portable protected execution: compat→procvm lowering, registry-first
+// compiled artifacts and enclave-hosted trusted offload.
+
+// ProcVMModule is a compiled processing pipeline for the capability-gated,
+// gas-metered bytecode VM — the portable protected executable format. The
+// canonical encoding (Module.Encode / DecodeProcVMModule) is what the
+// registry stores and deployments flash.
+type ProcVMModule = procvm.Module
+
+// ProcVMRuntime executes modules under a capability grant and a gas
+// budget.
+type ProcVMRuntime = procvm.Runtime
+
+// ProcVMCapability is a bitmask of host resources a module requires and a
+// runtime grants.
+type ProcVMCapability = procvm.Capability
+
+// Procvm capability flags.
+const (
+	ProcVMCapNone    = procvm.CapNone
+	ProcVMCapSensor  = procvm.CapSensor
+	ProcVMCapNetwork = procvm.CapNetwork
+	ProcVMCapStorage = procvm.CapStorage
+)
+
+// ErrProcVMOutOfGas is returned when execution exhausts the runtime's gas
+// budget; ErrProcVMCapabilityDenied when the host grant does not cover the
+// module's manifest.
+var (
+	ErrProcVMOutOfGas         = procvm.ErrOutOfGas
+	ErrProcVMCapabilityDenied = procvm.ErrCapabilityDenied
+)
+
+// NewProcVMRuntime returns a runtime granting the given capabilities.
+func NewProcVMRuntime(granted ProcVMCapability) *ProcVMRuntime { return procvm.NewRuntime(granted) }
+
+// DecodeProcVMModule parses a canonical module encoding, rejecting any
+// truncated, trailing or malformed input.
+func DecodeProcVMModule(data []byte) (*ProcVMModule, error) { return procvm.DecodeModule(data) }
+
+// ProcVMCompileOptions controls CompileProcVM (module name, capability
+// manifest, verification probes and lowering tolerance).
+type ProcVMCompileOptions = compat.CompileOptions
+
+// CompileProcVM lowers a trained network into a procvm module: dropout is
+// stripped, batchnorm folded, each layer instruction-selected onto the VM
+// ISA, and the result is gate-checked bit-exact against the lowered
+// network on every probe before anything is returned. The module's gas
+// limit is pinned to its measured execution cost.
+func CompileProcVM(net *Network, opts ProcVMCompileOptions) (*ProcVMModule, error) {
+	return compat.CompileProcVM(net, opts)
+}
+
+// Artifact kinds in the registry's lineage DAG: plain serialized networks
+// (the default) and compiled procvm modules registered as first-class
+// variants via Registry.RegisterCompiled.
+const (
+	ModelKindNetwork = registry.KindNetwork
+	ModelKindProcVM  = registry.KindProcVM
+)
+
+// EnclaveSession hosts protected suffix execution on the cloud tier:
+// sealed artifacts (networks and compiled modules) are loaded, measured
+// and attested, then served to offload sessions without the plaintext
+// ever leaving the enclave. Build the Enclave itself with NewEnclave
+// (protect.go) and verify reports with VerifyAttestation. Pass a session
+// through OffloadConfig.Enclave, or leave it nil and the platform
+// provisions a shared cloud enclave from the vendor key on first use.
+type EnclaveSession = enclave.Session
+
+// EnclaveReport is a keyed attestation over (enclave, measurement,
+// nonce); verify it against the manufacturer root with VerifyAttestation.
+type EnclaveReport = enclave.Report
+
+// NewEnclaveSession opens a protected-execution session on an enclave.
+func NewEnclaveSession(e *Enclave) *EnclaveSession { return enclave.NewSession(e) }
 
 // TransientUpdateError reports whether an update failure is worth
 // retrying: the device was offline, or the install crashed mid-flash and
